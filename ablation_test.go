@@ -1,0 +1,114 @@
+package mtier_test
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// adaptive vs deterministic routing, placement policy, engine accuracy
+// knobs (RefreshFraction / RelEpsilon), the latency model, and upper-tier
+// provisioning (non-blocking vs 2:1-thinned tree). Each benchmark reports
+// the resulting makespan as a custom metric so `go test -bench=Ablation`
+// doubles as a results table.
+
+import (
+	"testing"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/place"
+	"mtier/internal/workload"
+)
+
+func runCell(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Result.Makespan
+	}
+	b.ReportMetric(last, "makespan-s")
+	return last
+}
+
+func baseCfg(kind core.TopoKind, w workload.Kind) core.Config {
+	return core.Config{
+		Kind:      kind,
+		Endpoints: 512,
+		T:         2,
+		U:         2,
+		Workload:  w,
+		Params:    workload.Params{Seed: 7},
+	}
+}
+
+// --- Routing ablation: deterministic vs adaptive (least-loaded candidate).
+
+func BenchmarkAblationRoutingStaticTorus(b *testing.B) {
+	runCell(b, baseCfg(core.Torus3D, workload.UnstructuredApp))
+}
+
+func BenchmarkAblationRoutingAdaptiveTorus(b *testing.B) {
+	cfg := baseCfg(core.Torus3D, workload.UnstructuredApp)
+	cfg.Sim.AdaptiveRouting = true
+	runCell(b, cfg)
+}
+
+func BenchmarkAblationRoutingStaticGHC(b *testing.B) {
+	runCell(b, baseCfg(core.GHCFlat, workload.UnstructuredApp))
+}
+
+func BenchmarkAblationRoutingAdaptiveGHC(b *testing.B) {
+	cfg := baseCfg(core.GHCFlat, workload.UnstructuredApp)
+	cfg.Sim.AdaptiveRouting = true
+	runCell(b, cfg)
+}
+
+// --- Placement ablation: locality-preserving vs spread vs random.
+
+func placementCfg(p place.Policy) core.Config {
+	cfg := baseCfg(core.NestGHC, workload.NearNeighbors)
+	cfg.Params.Tasks = 256
+	cfg.Placement = p
+	return cfg
+}
+
+func BenchmarkAblationPlacementLinear(b *testing.B)  { runCell(b, placementCfg(place.Linear)) }
+func BenchmarkAblationPlacementStrided(b *testing.B) { runCell(b, placementCfg(place.Strided)) }
+func BenchmarkAblationPlacementRandom(b *testing.B)  { runCell(b, placementCfg(place.Random)) }
+
+// --- Engine accuracy ablation: exact vs batched/lazy rate updates.
+
+func BenchmarkAblationEngineExact(b *testing.B) {
+	cfg := baseCfg(core.NestTree, workload.UnstructuredApp)
+	cfg.Sim = flow.Options{RelEpsilon: 1e-12, RefreshFraction: 1e-12, LatencyPerHop: core.DefaultLatencyPerHop, LatencyBase: core.DefaultLatencyBase}
+	runCell(b, cfg)
+}
+
+func BenchmarkAblationEnginePreset(b *testing.B) {
+	runCell(b, baseCfg(core.NestTree, workload.UnstructuredApp))
+}
+
+// --- Latency-model ablation: pure bandwidth vs per-hop latency (Sweep3D
+// is the latency-sensitive workload).
+
+func BenchmarkAblationLatencyOffSweep(b *testing.B) {
+	cfg := baseCfg(core.Torus3D, workload.Sweep3D)
+	// core.Run re-applies the preset latency when both figures are zero;
+	// an epsilon-tiny base keeps the pure bandwidth model in force.
+	cfg.Sim = flow.Options{RelEpsilon: 0.01, RefreshFraction: 1.0 / 16, LatencyBase: 1e-30}
+	runCell(b, cfg)
+}
+
+func BenchmarkAblationLatencyOnSweep(b *testing.B) {
+	runCell(b, baseCfg(core.Torus3D, workload.Sweep3D))
+}
+
+// --- Upper-tier provisioning: non-blocking fattree vs 2:1 thintree.
+
+func BenchmarkAblationFattreeFull(b *testing.B) {
+	runCell(b, baseCfg(core.Fattree, workload.Bisection))
+}
+
+func BenchmarkAblationFattreeThin(b *testing.B) {
+	runCell(b, baseCfg(core.Thintree, workload.Bisection))
+}

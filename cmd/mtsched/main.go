@@ -1,0 +1,93 @@
+// Command mtsched exercises the job-scheduling substrate: a synthetic
+// stream of jobs (mixed workloads and sizes) is scheduled FCFS onto one
+// machine under a chosen allocation policy, and the schedule trace is
+// printed with waiting times and stretch.
+//
+// Usage:
+//
+//	mtsched -n 2048 -jobs 12 -alloc firstfit
+//	mtsched -topo torus -alloc randomfit -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/sched"
+	"mtier/internal/workload"
+	"mtier/internal/xrand"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "nestghc", "topology kind")
+		n        = flag.Int("n", 2048, "machine size (QFDBs)")
+		tFlag    = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
+		uFlag    = flag.Int("u", 2, "one uplink per u QFDBs (hybrids)")
+		jobs     = flag.Int("jobs", 10, "number of synthetic jobs")
+		alloc    = flag.String("alloc", "firstfit", "allocation policy: firstfit|randomfit")
+		seed     = flag.Int64("seed", 1, "job stream seed")
+	)
+	flag.Parse()
+
+	top, err := core.BuildTopology(core.TopoKind(*topoName), *n, *tFlag, *uFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsched:", err)
+		os.Exit(1)
+	}
+	// Synthetic job stream: random workload kinds, sizes between 1/16 and
+	// 1/2 of the machine, Poisson-ish submissions.
+	rng := xrand.New(*seed).Split("jobs")
+	kinds := []workload.Kind{
+		workload.AllReduce, workload.NearNeighbors, workload.UnstructuredApp,
+		workload.Sweep3D, workload.UnstructuredMgnt,
+	}
+	list := make([]sched.Job, *jobs)
+	submit := 0.0
+	for i := range list {
+		k := kinds[rng.Intn(len(kinds))]
+		tasks := top.NumEndpoints() / (2 << rng.Intn(4))
+		if tasks < 2 {
+			tasks = 2
+		}
+		list[i] = sched.Job{
+			Name:     fmt.Sprintf("job-%02d-%s", i, k),
+			Workload: k,
+			Params: workload.Params{
+				Tasks:    tasks,
+				MsgBytes: core.DefaultMsgBytes(k),
+				Seed:     int64(i) + *seed,
+			},
+			Submit: submit,
+		}
+		submit += 0.002 * float64(rng.Intn(10))
+	}
+
+	s := sched.New(top, sched.AllocPolicy(*alloc), flow.Options{
+		RelEpsilon:      0.01,
+		RefreshFraction: 1.0 / 16,
+		LatencyBase:     core.DefaultLatencyBase,
+		LatencyPerHop:   core.DefaultLatencyPerHop,
+	}, *seed)
+	events, err := s.Run(list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsched:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine: %s (%d endpoints), allocation: %s\n\n", top.Name(), top.NumEndpoints(), *alloc)
+	fmt.Printf("%-28s %8s %8s %10s %10s %10s %8s %6s\n",
+		"job", "tasks", "submit", "start", "end", "run", "wait", "stretch")
+	var end, waits float64
+	for i, e := range events {
+		if e.End > end {
+			end = e.End
+		}
+		waits += e.WaitTime
+		fmt.Printf("%-28s %8d %8.3f %10.4f %10.4f %10.4f %8.4f %6.2f\n",
+			e.Name, list[i].Params.Tasks, e.Submit, e.Start, e.End, e.RunTime, e.WaitTime, e.Stretch)
+	}
+	fmt.Printf("\nmakespan: %.4f s   mean wait: %.4f s\n", end, waits/float64(len(events)))
+}

@@ -1,0 +1,97 @@
+// Command mtsim runs one workload on one topology and reports the
+// completion time and congestion statistics — the basic unit of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	mtsim -topo nestghc -t 2 -u 4 -n 8192 -workload unstructuredapp
+//	mtsim -topo torus -n 4096 -workload sweep3d -msg 262144
+//	mtsim -topo fattree -n 4096 -workload mapreduce -tasks 256 -place strided
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtier/internal/core"
+	"mtier/internal/cost"
+	"mtier/internal/flow"
+	"mtier/internal/place"
+	"mtier/internal/workload"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "nestghc", "topology kind (torus, fattree, nesttree, nestghc, thintree, ghc, dragonfly, jellyfish)")
+		n        = flag.Int("n", 4096, "total number of QFDBs (endpoints)")
+		tFlag    = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
+		uFlag    = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
+		wName    = flag.String("workload", "unstructuredapp", "workload kind")
+		tasks    = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg      = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		latBase  = flag.Float64("latbase", core.DefaultLatencyBase, "per-flow startup latency (s)")
+		latHop   = flag.Float64("lathop", core.DefaultLatencyPerHop, "per-hop latency (s)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		placePol = flag.String("place", "", "placement: linear|strided|random (default auto)")
+		eps      = flag.Float64("eps", 0.01, "completion batching window (0 = exact)")
+		bw       = flag.Float64("bw", flow.DefaultBandwidth, "link bandwidth in bytes/s")
+		noPorts  = flag.Bool("noports", false, "disable injection/ejection port model")
+		adaptive = flag.Bool("adaptive", false, "least-loaded adaptive routing (multi-path topologies)")
+		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Kind:      core.TopoKind(*topoName),
+		Endpoints: *n,
+		T:         *tFlag,
+		U:         *uFlag,
+		Workload:  workload.Kind(*wName),
+		Params: workload.Params{
+			Tasks:    *tasks,
+			MsgBytes: *msg,
+			Seed:     *seed,
+		},
+		Placement: place.Policy(*placePol),
+		Sim: flow.Options{
+			LinkBandwidth:   *bw,
+			RelEpsilon:      *eps,
+			LatencyBase:     *latBase,
+			LatencyPerHop:   *latHop,
+			DisablePorts:    *noPorts,
+			AdaptiveRouting: *adaptive,
+		},
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		fmt.Fprintln(w, "flow,src,dst,bytes,start,end")
+		cfg.Sim.Trace = w
+	}
+	start := time.Now()
+	res, err := core.Run(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology:            %s\n", res.Topology)
+	fmt.Printf("workload:            %s (%d flows, %.3g bytes)\n", *wName, res.Flows, res.Result.BytesDelivered)
+	fmt.Printf("makespan:            %.6f s\n", res.Result.Makespan)
+	fmt.Printf("epochs:              %d\n", res.Result.Epochs)
+	fmt.Printf("max link util:       %.3f\n", res.Result.MaxLinkUtilization)
+	fmt.Printf("mean link util:      %.3f\n", res.Result.MeanLinkUtilization)
+	fmt.Printf("max port util:       %.3f\n", res.Result.MaxPortUtilization)
+	if e, eerr := cost.Energy(res.Result, res.Switches, res.Links, cost.DefaultEnergyModel()); eerr == nil {
+		fmt.Printf("network energy:      %.3f J (%.0f%% dynamic)\n", e.TotalJoules, 100*e.DynamicFraction)
+	}
+	fmt.Printf("wall time:           %v\n", time.Since(start))
+}

@@ -1,0 +1,89 @@
+// Command mtsweep reproduces Figures 4 and 5 of the paper: for each
+// workload it sweeps the 12 (t,u) hybrid configurations of NestGHC and
+// NestTree plus the fattree and torus references, and prints the
+// normalised execution time panel (fattree = 1).
+//
+// Usage:
+//
+//	mtsweep -set heavy -n 2048          # Figure 4
+//	mtsweep -set light -n 2048          # Figure 5
+//	mtsweep -workload bisection -csv    # one panel, CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/report"
+	"mtier/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 2048, "total number of QFDBs (endpoints)")
+		setName = flag.String("set", "", "workload set: heavy (Fig 4) | light (Fig 5) | all")
+		wName   = flag.String("workload", "", "single workload to sweep")
+		tasks   = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg     = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		eps     = flag.Float64("eps", 0.01, "completion batching window")
+		workers = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var kinds []workload.Kind
+	switch {
+	case *wName != "":
+		kinds = []workload.Kind{workload.Kind(*wName)}
+	case *setName == "heavy":
+		kinds = workload.HeavyKinds()
+	case *setName == "light":
+		kinds = workload.LightKinds()
+	case *setName == "all" || *setName == "":
+		kinds = workload.Kinds()
+	default:
+		fmt.Fprintf(os.Stderr, "mtsweep: unknown set %q\n", *setName)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	set, err := core.BuildSet(*n, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mtsweep: built %d-endpoint topology set in %v\n", *n, time.Since(start))
+
+	opt := core.PanelOptions{
+		Seed:     *seed,
+		Tasks:    *tasks,
+		MsgBytes: *msg,
+		Workers:  *workers,
+		Sim:      flow.Options{RelEpsilon: *eps},
+	}
+	for _, k := range kinds {
+		t0 := time.Now()
+		fig, err := core.Panel(set, k, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtsweep: %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		emit(fig, *csv)
+		fmt.Fprintf(os.Stderr, "mtsweep: %s done in %v\n", k, time.Since(t0))
+	}
+}
+
+func emit(fig *report.Figure, csv bool) {
+	tab := fig.Table()
+	if csv {
+		_ = tab.WriteCSV(os.Stdout)
+	} else {
+		_ = tab.WriteText(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Command mttopo reproduces Table 1 of the paper: average distance under
+// uniform traffic and diameter for the hybrid topologies (NestGHC and
+// NestTree across the 12 (t,u) design points) with the fattree and torus
+// references. It can also analyse a single topology in detail.
+//
+// Usage:
+//
+//	mttopo -n 131072                 # full paper scale (static analysis only)
+//	mttopo -n 8192 -samples 500000   # smaller system, fewer samples
+//	mttopo -one nestghc -t 4 -u 2    # distance histogram of one instance
+//	mttopo -csv                      # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtier/internal/core"
+	"mtier/internal/metrics"
+	"mtier/internal/report"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 8192, "total number of QFDBs (endpoints)")
+		samples = flag.Int("samples", 2_000_000, "sampled pairs for large systems")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+		one     = flag.String("one", "", "analyse a single topology: torus|fattree|nesttree|nestghc")
+		tFlag   = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
+		uFlag   = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	if *one != "" {
+		if err := analyseOne(core.TopoKind(*one), *n, *tFlag, *uFlag, *samples, *seed, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "mttopo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	set, err := core.BuildSet(*n, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttopo:", err)
+		os.Exit(1)
+	}
+	tab, err := core.Table1(set, *samples, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttopo:", err)
+		os.Exit(1)
+	}
+	emit(tab, *csv)
+}
+
+func analyseOne(kind core.TopoKind, n, t, u, samples int, seed int64, csv bool) error {
+	top, err := core.BuildTopology(kind, n, t, u)
+	if err != nil {
+		return err
+	}
+	s := metrics.Distances(top, metrics.Options{Samples: samples, Seed: seed})
+	tab := report.NewTable(fmt.Sprintf("%s — distance distribution", top.Name()), "distance", "pairs", "fraction")
+	for d, c := range s.Histogram {
+		if c == 0 {
+			continue
+		}
+		tab.AddRow(d, c, float64(c)/float64(s.Pairs))
+	}
+	emit(tab, csv)
+	fmt.Printf("\nendpoints=%d vertices=%d links=%d\n", top.NumEndpoints(), top.NumVertices(), top.NumLinks())
+	fmt.Printf("mean=%.4f (exact=%v)  max=%d (exact=%v)  pairs=%d\n",
+		s.Mean, s.ExactMean, s.Max, s.ExactMax, s.Pairs)
+	ll := metrics.LinkLoads(top, metrics.LinkLoadOptions{Samples: samples, Seed: seed})
+	fmt.Printf("uniform channel load: max=%.3f mean=%.3f  saturation throughput=%.3f of line rate\n",
+		ll.MaxLoad, ll.MeanLoad, ll.Throughput)
+	return nil
+}
+
+func emit(tab *report.Table, csv bool) {
+	if csv {
+		_ = tab.WriteCSV(os.Stdout)
+		return
+	}
+	_ = tab.WriteText(os.Stdout)
+}

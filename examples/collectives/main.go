@@ -1,0 +1,71 @@
+// Collectives: an algorithm × topology study on top of the simulator —
+// compare the paper's two AllReduce models (pathological N-to-1 Reduce and
+// logarithmic recursive doubling) with the extension algorithms (ring
+// AllReduce, binomial tree Reduce/Broadcast) across topologies.
+//
+// This reproduces textbook behaviour end-to-end: ring AllReduce wins on a
+// physical ring/torus, recursive doubling likes high-bisection fabrics,
+// binomial reduce removes the root hotspot.
+//
+// Run with: go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/workload"
+)
+
+func main() {
+	const n = 1024
+	topos := []struct {
+		kind core.TopoKind
+		t, u int
+		name string
+	}{
+		{core.Torus3D, 0, 0, "Torus3D"},
+		{core.Fattree, 0, 0, "Fattree"},
+		{core.NestGHC, 2, 2, "NestGHC(2,2)"},
+	}
+	algos := []workload.Kind{
+		workload.Reduce,
+		workload.ReduceTree,
+		workload.BroadcastTree,
+		workload.AllReduce,
+		workload.AllReduceRing,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "collective\t")
+	for _, tp := range topos {
+		fmt.Fprintf(w, "%s\t", tp.name)
+	}
+	fmt.Fprintln(w)
+	for _, algo := range algos {
+		fmt.Fprintf(w, "%s\t", algo)
+		for _, tp := range topos {
+			res, err := core.Run(core.Config{
+				Kind:      tp.kind,
+				Endpoints: n,
+				T:         tp.t,
+				U:         tp.u,
+				Workload:  algo,
+				Params:    workload.Params{Tasks: n, MsgBytes: 1e6, Seed: 3},
+				Sim:       flow.Options{RelEpsilon: 0.01},
+			}, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%.4fs\t", res.Result.Makespan)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\nThe logarithmic algorithms dwarf the naive N-to-1 Reduce (the paper's")
+	fmt.Println("pathological hotspot); ring AllReduce is the bandwidth-optimal choice.")
+}

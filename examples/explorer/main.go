@@ -1,0 +1,63 @@
+// Explorer: a compact design-space exploration mirroring the paper's
+// methodology — for a target machine size, sweep the (t, u) grid of one
+// hybrid family under one workload, print the normalised results next to
+// the cost model, and report the configuration with the best
+// performance-per-overhead trade-off.
+//
+// Run with: go run ./examples/explorer [-n 2048] [-workload unstructuredapp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mtier/internal/core"
+	"mtier/internal/cost"
+	"mtier/internal/report"
+	"mtier/internal/topo/nest"
+	"mtier/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 2048, "machine size (QFDBs)")
+	wName := flag.String("workload", "unstructuredapp", "workload kind")
+	flag.Parse()
+
+	set, err := core.BuildSet(*n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig, err := core.Panel(set, workload.Kind(*wName), core.PanelOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("Design exploration — %s on %d QFDBs (fattree = 1.0)", *wName, *n),
+		"(t,u)", "NestGHC time", "NestTree time", "Cost% (GHC)", "Score (GHC)")
+	best := ""
+	bestScore := 0.0
+	for _, pt := range set.Points {
+		ghcTime, _ := fig.Get("NestGHC", pt.Label())
+		treeTime, _ := fig.Get("NestTree", pt.Label())
+		h, err := nest.BuildCube(nest.UpperGHC, pt.T, pt.U, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := cost.ForNest(h, cost.DefaultModel())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Score: throughput per unit of total relative cost.
+		score := 1 / (ghcTime * (1 + est.CostOverheadPct/100))
+		tab.AddRow(pt.Label(), ghcTime, treeTime,
+			fmt.Sprintf("%.2f", est.CostOverheadPct), fmt.Sprintf("%.3f", score))
+		if score > bestScore {
+			bestScore, best = score, pt.Label()
+		}
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("\nbest performance-per-cost cell: %s\n", best)
+	fmt.Println("(the paper's conclusion: u of 2-4 with small subtori is the sweet spot)")
+}

@@ -1,0 +1,52 @@
+// MapReduce: a datacentre-flavoured scenario — the paper's motivation
+// includes the convergence of HPC and data analytics. A stream of
+// MapReduce and management-traffic jobs is scheduled FCFS onto a hybrid
+// machine, exercising the scheduler substrate (allocation policies) and
+// the flow engine together.
+//
+// Run with: go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtier/internal/flow"
+	"mtier/internal/sched"
+	"mtier/internal/topo/nest"
+	"mtier/internal/workload"
+)
+
+func main() {
+	machine, err := nest.BuildCube(nest.UpperTree, 2, 2, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s (%d endpoints)\n\n", machine.Name(), machine.NumEndpoints())
+
+	jobs := []sched.Job{
+		{Name: "analytics-1", Workload: workload.MapReduce, Params: workload.Params{Tasks: 256, MsgBytes: 4e6, Seed: 1}},
+		{Name: "analytics-2", Workload: workload.MapReduce, Params: workload.Params{Tasks: 256, MsgBytes: 4e6, Seed: 2}},
+		{Name: "mgnt-sweep", Workload: workload.UnstructuredMgnt, Params: workload.Params{Tasks: 1024, MsgBytes: 1e6, Seed: 3}},
+		{Name: "big-shuffle", Workload: workload.MapReduce, Params: workload.Params{Tasks: 512, MsgBytes: 8e6, Seed: 4}, Submit: 0.01},
+		{Name: "hotspot-app", Workload: workload.UnstructuredHR, Params: workload.Params{Tasks: 1024, MsgBytes: 1e6, Seed: 5}, Submit: 0.02},
+	}
+
+	for _, alloc := range []sched.AllocPolicy{sched.FirstFit, sched.RandomFit} {
+		s := sched.New(machine, alloc, flow.Options{RelEpsilon: 0.01}, 99)
+		events, err := s.Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("allocation policy: %s\n", alloc)
+		var lastEnd float64
+		for _, e := range events {
+			fmt.Printf("  %-12s submit=%.3f start=%.3f end=%.4f wait=%.4f run=%.4f stretch=%.2f\n",
+				e.Name, e.Submit, e.Start, e.End, e.WaitTime, e.RunTime, e.Stretch)
+			if e.End > lastEnd {
+				lastEnd = e.End
+			}
+		}
+		fmt.Printf("  campaign finished at t=%.4f s\n\n", lastEnd)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a hybrid multi-tier topology, generate a workload,
+// and measure its completion time — the smallest end-to-end use of the
+// library.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/place"
+	"mtier/internal/topo/nest"
+	"mtier/internal/workload"
+)
+
+func main() {
+	// A 4096-QFDB machine: 2x2x2 subtori nested under a generalised
+	// hypercube, one uplink per 2 QFDBs.
+	machine, err := nest.BuildCube(nest.UpperGHC, 2, 2, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s\n", machine.Name())
+	fmt.Printf("  endpoints=%d switches=%d links=%d diameter=%d\n",
+		machine.NumEndpoints(), machine.Fabric().NumSwitches(), machine.NumLinks(), machine.Diameter())
+
+	// An unstructured application over every node, 1 MB per message.
+	spec, err := workload.Generate(workload.UnstructuredApp, workload.Params{
+		Tasks:    machine.NumEndpoints(),
+		MsgBytes: 1e6,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping, err := place.Mapping(place.Linear, machine.NumEndpoints(), machine.NumEndpoints(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := place.Apply(spec, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := flow.Simulate(machine, mapped, flow.Options{RelEpsilon: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unstructured app: %d flows complete in %.4f s\n", len(mapped.Flows), res.Makespan)
+	fmt.Printf("  busiest link at %.0f%% utilisation, busiest port at %.0f%%\n",
+		100*res.MaxLinkUtilization, 100*res.MaxPortUtilization)
+
+	// Compare against the plain torus the hardware would impose.
+	torusMachine, err := core.BuildTopology(core.Torus3D, 4096, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := flow.Simulate(torusMachine, mapped, flow.Options{RelEpsilon: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same workload on %s: %.4f s (%.2fx the hybrid's time)\n",
+		torusMachine.Name(), res2.Makespan, res2.Makespan/res.Makespan)
+}

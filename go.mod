@@ -1,0 +1,3 @@
+module mtier
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package core ties the simulator together: it builds the four topology
+// families under study (Torus3D, Fattree, NestTree, NestGHC), runs
+// workloads over them, and provides one preset per table and figure of the
+// paper. Sweeps execute cells concurrently across a worker pool; all
+// randomness derives from a single seed, so every preset is reproducible.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mtier/internal/flow"
+	"mtier/internal/grid"
+	"mtier/internal/place"
+	"mtier/internal/topo"
+	"mtier/internal/topo/dragonfly"
+	"mtier/internal/topo/fattree"
+	"mtier/internal/topo/jellyfish"
+	"mtier/internal/topo/nest"
+	"mtier/internal/topo/torus"
+	"mtier/internal/workload"
+)
+
+// TopoKind names a topology family of the study.
+type TopoKind string
+
+const (
+	// Torus3D is the plain lower-tier-only torus.
+	Torus3D TopoKind = "torus"
+	// Fattree is the standalone 3-stage non-blocking fattree reference.
+	Fattree TopoKind = "fattree"
+	// NestTree is the subtorus + fattree hybrid.
+	NestTree TopoKind = "nesttree"
+	// NestGHC is the subtorus + generalised hypercube hybrid.
+	NestGHC TopoKind = "nestghc"
+
+	// The remaining kinds are related-work baselines beyond the paper's
+	// four families (usable with mtsim and the library, not part of the
+	// figure sweeps).
+
+	// Thintree is a 2:1-slimmed tree (k:k'-ary n-tree).
+	Thintree TopoKind = "thintree"
+	// GHCFlat is a standalone generalised hypercube.
+	GHCFlat TopoKind = "ghc"
+	// Dragonfly is a balanced dragonfly sized to at least n endpoints.
+	Dragonfly TopoKind = "dragonfly"
+	// Jellyfish is a random regular graph sized like the fattree.
+	Jellyfish TopoKind = "jellyfish"
+)
+
+// TopoKinds lists the four families in the paper's legend order.
+func TopoKinds() []TopoKind { return []TopoKind{NestGHC, NestTree, Fattree, Torus3D} }
+
+// Point is one (t, u) cell of the paper's design grid.
+type Point struct {
+	T int // nodes per subtorus dimension
+	U int // one uplink per U QFDBs
+}
+
+// Label renders the cell as the paper's x-axis labels, e.g. "(2, 8)".
+func (p Point) Label() string { return fmt.Sprintf("(%d, %d)", p.T, p.U) }
+
+// PaperPoints returns the 12 (t,u) configurations of Tables 1-2 and
+// Figures 4-5, in the paper's order.
+func PaperPoints() []Point {
+	var pts []Point
+	for _, t := range []int{2, 4, 8} {
+		for _, u := range []int{8, 4, 2, 1} {
+			pts = append(pts, Point{T: t, U: u})
+		}
+	}
+	return pts
+}
+
+// BuildTopology constructs a topology of the given family with n endpoints.
+// t and u are only used by the hybrid families.
+func BuildTopology(kind TopoKind, n, t, u int) (topo.Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 endpoints, got %d", n)
+	}
+	switch kind {
+	case Torus3D:
+		f := grid.FactorBalanced(n, 3)
+		return torus.New(grid.Shape{f[0], f[1], f[2]})
+	case Fattree:
+		m := grid.FactorBalanced(n, 3)
+		trimmed := m[:0]
+		for _, v := range m {
+			if v > 1 {
+				trimmed = append(trimmed, v)
+			}
+		}
+		return fattree.NewNonBlocking(trimmed)
+	case NestTree:
+		return nest.BuildCube(nest.UpperTree, t, u, n)
+	case NestGHC:
+		return nest.BuildCube(nest.UpperGHC, t, u, n)
+	case Thintree:
+		m := grid.FactorBalanced(n, 3)
+		trimmed := m[:0]
+		for _, v := range m {
+			if v > 1 {
+				trimmed = append(trimmed, v)
+			}
+		}
+		// The 2:1 slimming needs even arities below the top; round up (the
+		// extension kinds promise *at least* n endpoints).
+		for i := 0; i < len(trimmed)-1; i++ {
+			trimmed[i] += trimmed[i] % 2
+		}
+		return fattree.NewThinTree(trimmed, 2)
+	case GHCFlat:
+		return nest.SuggestGHC(n)
+	case Dragonfly:
+		// Smallest balanced dragonfly with at least n endpoints: a/2
+		// endpoints per router, a routers per group, a*h+1 groups.
+		for a := 2; ; a += 2 {
+			d, err := dragonfly.NewBalanced(a)
+			if err != nil {
+				return nil, err
+			}
+			if d.NumEndpoints() >= n {
+				return d, nil
+			}
+		}
+	case Jellyfish:
+		// Degree-8 random graph with 8 endpoints per switch.
+		switches := grid.CeilDiv(n, 8)
+		if switches < 10 {
+			switches = 10
+		}
+		if switches*8%2 != 0 {
+			switches++
+		}
+		return jellyfish.New(switches, 8, 8, 1)
+	default:
+		return nil, fmt.Errorf("core: unknown topology kind %q", kind)
+	}
+}
+
+// Config describes a single simulation cell.
+type Config struct {
+	// Topology family and size.
+	Kind      TopoKind
+	Endpoints int
+	// Hybrid parameters (ignored by Torus3D/Fattree).
+	T, U int
+	// Workload and its parameters. Params.Tasks defaults to the workload's
+	// DefaultTasks for the system size.
+	Workload workload.Kind
+	Params   workload.Params
+	// Placement maps tasks to endpoints. Default: Linear when tasks fill
+	// the machine, Strided otherwise (so reduced-task workloads still
+	// exercise the whole system).
+	Placement place.Policy
+	// Sim options; RelEpsilon defaults to 0.01.
+	Sim flow.Options
+}
+
+// DefaultTasks caps the task count of the quadratic-flow-count workloads
+// so sweeps stay tractable, and fills the machine otherwise.
+func DefaultTasks(k workload.Kind, endpoints int) int {
+	switch k {
+	case workload.MapReduce, workload.NBodies:
+		if endpoints > 512 {
+			return 512
+		}
+	}
+	return endpoints
+}
+
+// DefaultMsgBytes returns the preset message size per workload: the
+// wavefront kernels (Sweep3D, Flood) exchange fine-grained boundary data,
+// where per-hop latency dominates — the regime in which the paper's torus
+// wins those panels — while the bulk workloads move megabyte-scale
+// payloads and are bandwidth-bound.
+func DefaultMsgBytes(k workload.Kind) float64 {
+	switch k {
+	case workload.Sweep3D, workload.Flood:
+		return 1024
+	default:
+		return 1e6
+	}
+}
+
+// Default latency figures for the experiment presets: FPGA-router hop
+// traversal and NIC startup, matching the ExaNeSt hardware's order of
+// magnitude. The flow engine itself defaults to a pure bandwidth model;
+// these are applied by Run when the caller leaves the options zero.
+const (
+	DefaultLatencyBase   = 5e-7 // seconds
+	DefaultLatencyPerHop = 1e-6 // seconds per network hop
+)
+
+// RunResult is the outcome of one cell.
+type RunResult struct {
+	Config   Config
+	Topology string
+	// Switches and Links describe the topology instance (for energy and
+	// cost accounting without rebuilding it).
+	Switches int
+	Links    int
+	Flows    int
+	Result   *flow.Result
+}
+
+// Run executes one simulation cell. If top is non-nil it is used instead
+// of building a fresh topology (so sweeps can share instances).
+func Run(cfg Config, top topo.Topology) (*RunResult, error) {
+	var err error
+	if top == nil {
+		top, err = BuildTopology(cfg.Kind, cfg.Endpoints, cfg.T, cfg.U)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := cfg.Params
+	if p.Tasks == 0 {
+		p.Tasks = DefaultTasks(cfg.Workload, top.NumEndpoints())
+	}
+	if p.MsgBytes == 0 {
+		p.MsgBytes = DefaultMsgBytes(cfg.Workload)
+	}
+	if p.Tasks > top.NumEndpoints() {
+		return nil, fmt.Errorf("core: %d tasks exceed %d endpoints", p.Tasks, top.NumEndpoints())
+	}
+	spec, err := workload.Generate(cfg.Workload, p)
+	if err != nil {
+		return nil, err
+	}
+	pol := cfg.Placement
+	if pol == "" {
+		if p.Tasks == top.NumEndpoints() {
+			pol = place.Linear
+		} else {
+			pol = place.Strided
+		}
+	}
+	mapping, err := place.Mapping(pol, p.Tasks, top.NumEndpoints(), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := place.Apply(spec, mapping)
+	if err != nil {
+		return nil, err
+	}
+	sim := cfg.Sim
+	if sim.RelEpsilon == 0 {
+		sim.RelEpsilon = 0.01
+	}
+	if sim.LatencyBase == 0 && sim.LatencyPerHop == 0 {
+		sim.LatencyBase = DefaultLatencyBase
+		sim.LatencyPerHop = DefaultLatencyPerHop
+	}
+	if sim.RefreshFraction == 0 {
+		sim.RefreshFraction = 1.0 / 16
+	}
+	res, err := flow.Simulate(top, mapped, sim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", cfg.Kind, cfg.Workload, err)
+	}
+	return &RunResult{
+		Config:   cfg,
+		Topology: top.Name(),
+		Switches: top.NumVertices() - top.NumEndpoints(),
+		Links:    top.NumLinks(),
+		Flows:    len(spec.Flows),
+		Result:   res,
+	}, nil
+}
+
+// pool runs fn(i) for i in [0,n) over min(workers, n) goroutines and
+// returns the first error.
+func pool(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mtier/internal/cost"
+	"mtier/internal/flow"
+	"mtier/internal/metrics"
+	"mtier/internal/report"
+	"mtier/internal/topo"
+	"mtier/internal/topo/nest"
+	"mtier/internal/workload"
+)
+
+// TopoSet holds one instance of every topology of the study so sweeps can
+// share them: the reference torus and fattree, plus a NestTree and a
+// NestGHC per (t,u) point. Topologies are read-only after construction and
+// safe for concurrent routing.
+type TopoSet struct {
+	Endpoints int
+	Points    []Point
+	refs      map[TopoKind]topo.Topology
+	hybrids   map[TopoKind]map[Point]topo.Topology
+}
+
+// BuildSet constructs the full topology set for n endpoints, building
+// instances concurrently.
+func BuildSet(n int, workers int) (*TopoSet, error) {
+	s := &TopoSet{
+		Endpoints: n,
+		Points:    PaperPoints(),
+		refs:      make(map[TopoKind]topo.Topology),
+		hybrids: map[TopoKind]map[Point]topo.Topology{
+			NestTree: {},
+			NestGHC:  {},
+		},
+	}
+	type job struct {
+		kind TopoKind
+		pt   Point
+		ref  bool
+	}
+	jobs := []job{{kind: Torus3D, ref: true}, {kind: Fattree, ref: true}}
+	for _, pt := range s.Points {
+		jobs = append(jobs, job{kind: NestTree, pt: pt}, job{kind: NestGHC, pt: pt})
+	}
+	var mu sync.Mutex
+	err := pool(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		t, err := BuildTopology(j.kind, n, j.pt.T, j.pt.U)
+		if err != nil {
+			return fmt.Errorf("core: building %s %s: %w", j.kind, j.pt.Label(), err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if j.ref {
+			s.refs[j.kind] = t
+		} else {
+			s.hybrids[j.kind][j.pt] = t
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Get returns the instance for a family (and point, for hybrids).
+func (s *TopoSet) Get(kind TopoKind, pt Point) topo.Topology {
+	if t, ok := s.refs[kind]; ok {
+		return t
+	}
+	return s.hybrids[kind][pt]
+}
+
+// Table1 reproduces Table 1: average distance under uniform traffic and
+// diameter for every hybrid configuration, with the fattree and torus
+// references appended.
+func Table1(set *TopoSet, samples int, seed int64) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Table 1 — average distance and diameter (N=%d)", set.Endpoints),
+		"(t,u)", "AvgDist NestGHC", "AvgDist NestTree", "Diam NestGHC", "Diam NestTree")
+	opt := metrics.Options{Samples: samples, Seed: seed}
+	type row struct {
+		ghc, tree metrics.DistanceStats
+	}
+	rows := make([]row, len(set.Points))
+	err := pool(len(set.Points)*2, 0, func(i int) error {
+		pt := set.Points[i/2]
+		if i%2 == 0 {
+			rows[i/2].ghc = metrics.Distances(set.Get(NestGHC, pt), opt)
+		} else {
+			rows[i/2].tree = metrics.Distances(set.Get(NestTree, pt), opt)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range set.Points {
+		t.AddRow(pt.Label(),
+			fmt.Sprintf("%.2f", rows[i].ghc.Mean), fmt.Sprintf("%.2f", rows[i].tree.Mean),
+			rows[i].ghc.Max, rows[i].tree.Max)
+	}
+	ft := metrics.Distances(set.Get(Fattree, Point{}), opt)
+	to := metrics.Distances(set.Get(Torus3D, Point{}), opt)
+	t.AddRow("Fattree (ref)", fmt.Sprintf("%.2f", ft.Mean), "-", ft.Max, "-")
+	t.AddRow("Torus3D (ref)", fmt.Sprintf("%.2f", to.Mean), "-", to.Max, "-")
+	return t, nil
+}
+
+// Table2 reproduces Table 2: upper-tier switch counts and estimated cost
+// and power overheads for every hybrid configuration, plus the standalone
+// fattree reference.
+func Table2(n int, model cost.Model) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Table 2 — switches and cost/power overhead (N=%d)", n),
+		"(t,u)", "Switches NestGHC", "Switches NestTree",
+		"Cost% NestGHC", "Cost% NestTree", "Power% NestGHC", "Power% NestTree")
+	for _, pt := range PaperPoints() {
+		var est [2]cost.Estimate
+		for i, kind := range []nest.UpperKind{nest.UpperGHC, nest.UpperTree} {
+			h, err := nest.BuildCube(kind, pt.T, pt.U, n)
+			if err != nil {
+				return nil, err
+			}
+			e, err := cost.ForNest(h, model)
+			if err != nil {
+				return nil, err
+			}
+			est[i] = e
+		}
+		t.AddRow(pt.Label(), est[0].Switches, est[1].Switches,
+			fmt.Sprintf("%.2f", est[0].CostOverheadPct), fmt.Sprintf("%.2f", est[1].CostOverheadPct),
+			fmt.Sprintf("%.2f", est[0].PowerOverheadPct), fmt.Sprintf("%.2f", est[1].PowerOverheadPct))
+	}
+	// The standalone fattree as upper bound: every QFDB uplinked.
+	ft, err := BuildTopology(Fattree, n, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	fab, ok := ft.(topo.Fabric)
+	if !ok {
+		return nil, fmt.Errorf("core: fattree does not expose fabric accounting")
+	}
+	e, err := cost.ForFabric(fab, n, n, model)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Fattree (ref)", "-", e.Switches, "-",
+		fmt.Sprintf("%.2f", e.CostOverheadPct), "-", fmt.Sprintf("%.2f", e.PowerOverheadPct))
+	return t, nil
+}
+
+// PanelOptions configures one workload panel of Figure 4/5.
+type PanelOptions struct {
+	// Seed drives workload randomness.
+	Seed int64
+	// Tasks overrides the default task count.
+	Tasks int
+	// MsgBytes overrides the default message size.
+	MsgBytes float64
+	// Workers bounds sweep concurrency (0 = NumCPU).
+	Workers int
+	// Sim tunes the engine (RelEpsilon defaults to 0.01).
+	Sim flow.Options
+}
+
+// Panel runs one workload over every topology of the set and returns the
+// figure panel: normalised execution time (fattree = 1) per (t,u) point,
+// with one series per topology family.
+func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, error) {
+	type cell struct {
+		kind TopoKind
+		pt   Point
+	}
+	var cells []cell
+	for _, pt := range set.Points {
+		cells = append(cells, cell{NestGHC, pt}, cell{NestTree, pt})
+	}
+	cells = append(cells, cell{Fattree, Point{}}, cell{Torus3D, Point{}})
+
+	makespans := make([]float64, len(cells))
+	err := pool(len(cells), opt.Workers, func(i int) error {
+		c := cells[i]
+		cfg := Config{
+			Kind:      c.kind,
+			Endpoints: set.Endpoints,
+			T:         c.pt.T,
+			U:         c.pt.U,
+			Workload:  w,
+			Params:    workload.Params{Tasks: opt.Tasks, Seed: opt.Seed, MsgBytes: opt.MsgBytes},
+			Sim:       opt.Sim,
+		}
+		res, err := Run(cfg, set.Get(c.kind, c.pt))
+		if err != nil {
+			return err
+		}
+		makespans[i] = res.Result.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := makespans[len(cells)-2] // fattree
+	if base <= 0 {
+		return nil, fmt.Errorf("core: fattree makespan is %g for %s", base, w)
+	}
+	fig := report.NewFigure(string(w), "(t, u)", "Norm. execution time")
+	for i, c := range cells[:len(cells)-2] {
+		fig.Add(string(kindLegend(c.kind)), c.pt.Label(), makespans[i]/base)
+	}
+	// Flat reference series, one value per x position, as in the paper.
+	for _, pt := range set.Points {
+		fig.Add("Fattree", pt.Label(), makespans[len(cells)-2]/base)
+		fig.Add("Torus3D", pt.Label(), makespans[len(cells)-1]/base)
+	}
+	return fig, nil
+}
+
+func kindLegend(k TopoKind) string {
+	switch k {
+	case NestGHC:
+		return "NestGHC"
+	case NestTree:
+		return "NestTree"
+	case Fattree:
+		return "Fattree"
+	default:
+		return "Torus3D"
+	}
+}
+
+// Figure4 runs the heavy-workload panels.
+func Figure4(set *TopoSet, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
+	return panels(set, workload.HeavyKinds(), opt)
+}
+
+// Figure5 runs the light-workload panels.
+func Figure5(set *TopoSet, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
+	return panels(set, workload.LightKinds(), opt)
+}
+
+func panels(set *TopoSet, kinds []workload.Kind, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
+	out := make(map[workload.Kind]*report.Figure, len(kinds))
+	for _, k := range kinds {
+		fig, err := Panel(set, k, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: panel %s: %w", k, err)
+		}
+		out[k] = fig
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"testing"
+
+	"mtier/internal/topo/nest"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := DefaultModel()
+	m.NodeCost = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero node cost accepted")
+	}
+	m = DefaultModel()
+	m.SwitchCost = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative switch cost accepted")
+	}
+}
+
+func TestOverheadsAreFewPercent(t *testing.T) {
+	// Table 2's headline: hybrid upper tiers cost a few percent of the
+	// system, power even less.
+	for _, kind := range []nest.UpperKind{nest.UpperTree, nest.UpperGHC} {
+		for _, u := range []int{1, 2, 4, 8} {
+			n, err := nest.BuildCube(kind, 2, u, 32768)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := ForNest(n, DefaultModel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.CostOverheadPct <= 0 || e.CostOverheadPct > 15 {
+				t.Errorf("%s u=%d: cost overhead %g%% out of band", kind, u, e.CostOverheadPct)
+			}
+			if e.PowerOverheadPct <= 0 || e.PowerOverheadPct >= e.CostOverheadPct {
+				t.Errorf("%s u=%d: power overhead %g%% should be below cost %g%%", kind, u, e.PowerOverheadPct, e.CostOverheadPct)
+			}
+		}
+	}
+}
+
+func TestOverheadDropsWithThinning(t *testing.T) {
+	dense, err := nest.BuildCube(nest.UpperGHC, 2, 1, 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := nest.BuildCube(nest.UpperGHC, 2, 8, 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := ForNest(dense, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := ForNest(sparse, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.CostOverheadPct >= ed.CostOverheadPct {
+		t.Errorf("u=8 cost %g%% should be below u=1 cost %g%%", es.CostOverheadPct, ed.CostOverheadPct)
+	}
+	if es.Switches >= ed.Switches {
+		t.Errorf("u=8 switches %d should be below u=1 switches %d", es.Switches, ed.Switches)
+	}
+	if es.Uplinks*8 != ed.Uplinks {
+		t.Errorf("uplink counts inconsistent: %d vs %d", es.Uplinks, ed.Uplinks)
+	}
+}
+
+func TestSwitchCountIndependentOfT(t *testing.T) {
+	// Table 2: switch counts depend on u, not on t.
+	for _, u := range []int{1, 2, 4, 8} {
+		var prev int
+		for i, tt := range []int{2, 4, 8} {
+			n, err := nest.BuildCube(nest.UpperTree, tt, u, 32768)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := ForNest(n, DefaultModel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && e.Switches != prev {
+				t.Errorf("u=%d: switches depend on t (%d vs %d)", u, e.Switches, prev)
+			}
+			prev = e.Switches
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	n, err := nest.BuildCube(nest.UpperTree, 2, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.NodePower = 0
+	if _, err := ForNest(n, bad); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := ForFabric(n.Fabric(), 0, 10, DefaultModel()); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package cost
+
+import (
+	"fmt"
+
+	"mtier/internal/flow"
+)
+
+// EnergyModel extends the cost model with the figures needed for the
+// network-energy estimation the paper lists as future work: a static
+// component (the network hardware idling for the duration of the run) and
+// a dynamic component proportional to bytes moved per hop.
+type EnergyModel struct {
+	// StaticSwitchWatts is the idle power of one switch.
+	StaticSwitchWatts float64
+	// StaticPortWatts is the idle power of one active transceiver (two per
+	// cable).
+	StaticPortWatts float64
+	// JoulesPerByteHop is the dynamic energy to move one byte across one
+	// link (~10 pJ/bit-class SerDes plus buffering).
+	JoulesPerByteHop float64
+}
+
+// DefaultEnergyModel returns figures in the range of 10 Gbps FPGA
+// transceivers.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		StaticSwitchWatts: 15,
+		StaticPortWatts:   0.5,
+		JoulesPerByteHop:  1e-10, // 0.8 pJ/bit
+	}
+}
+
+// Validate rejects negative parameters.
+func (m EnergyModel) Validate() error {
+	if m.StaticSwitchWatts < 0 || m.StaticPortWatts < 0 || m.JoulesPerByteHop < 0 {
+		return fmt.Errorf("cost: negative energy parameters")
+	}
+	return nil
+}
+
+// EnergyEstimate is the energy bill of one simulated run.
+type EnergyEstimate struct {
+	// StaticJoules is idle network power × makespan.
+	StaticJoules float64
+	// DynamicJoules is bytes×hops × per-byte-hop energy.
+	DynamicJoules float64
+	// TotalJoules is the sum.
+	TotalJoules float64
+	// DynamicFraction is DynamicJoules / TotalJoules (0 when idle-free).
+	DynamicFraction float64
+}
+
+// Energy estimates the network energy of a simulation result on a system
+// with the given switch and directed-link counts.
+func Energy(res *flow.Result, switches, directedLinks int, m EnergyModel) (EnergyEstimate, error) {
+	if err := m.Validate(); err != nil {
+		return EnergyEstimate{}, err
+	}
+	if res == nil || switches < 0 || directedLinks < 0 {
+		return EnergyEstimate{}, fmt.Errorf("cost: invalid energy inputs")
+	}
+	staticW := float64(switches)*m.StaticSwitchWatts + float64(directedLinks)*m.StaticPortWatts
+	e := EnergyEstimate{
+		StaticJoules:  staticW * res.Makespan,
+		DynamicJoules: res.HopBytes * m.JoulesPerByteHop,
+	}
+	e.TotalJoules = e.StaticJoules + e.DynamicJoules
+	if e.TotalJoules > 0 {
+		e.DynamicFraction = e.DynamicJoules / e.TotalJoules
+	}
+	return e, nil
+}

@@ -1,0 +1,79 @@
+package cost
+
+import (
+	"testing"
+
+	"mtier/internal/flow"
+	"mtier/internal/grid"
+	"mtier/internal/topo/torus"
+)
+
+func TestEnergyValidation(t *testing.T) {
+	m := DefaultEnergyModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.JoulesPerByteHop = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+	if _, err := Energy(nil, 1, 1, DefaultEnergyModel()); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if _, err := Energy(&flow.Result{}, -1, 0, DefaultEnergyModel()); err == nil {
+		t.Fatal("negative switches accepted")
+	}
+}
+
+func TestEnergyFromSimulation(t *testing.T) {
+	tor, err := torus.New(grid.Shape{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &flow.Spec{}
+	spec.Add(0, 2, 1e9) // 2 hops
+	spec.Add(0, 1, 1e9) // 1 hop
+	res, err := flow.Simulate(tor, spec, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HopBytes != 3e9 {
+		t.Fatalf("HopBytes = %g, want 3e9", res.HopBytes)
+	}
+	e, err := Energy(res, 0, tor.NumLinks(), DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DynamicJoules != 3e9*1e-10 {
+		t.Fatalf("dynamic = %g", e.DynamicJoules)
+	}
+	if e.StaticJoules <= 0 || e.TotalJoules != e.StaticJoules+e.DynamicJoules {
+		t.Fatalf("bad estimate %+v", e)
+	}
+	if e.DynamicFraction <= 0 || e.DynamicFraction >= 1 {
+		t.Fatalf("fraction = %g", e.DynamicFraction)
+	}
+}
+
+func TestEnergyLongerPathsCostMore(t *testing.T) {
+	tor, err := torus.New(grid.Shape{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dst int) float64 {
+		spec := &flow.Spec{}
+		spec.Add(0, dst, 1e9)
+		res, err := flow.Simulate(tor, spec, flow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Energy(res, 0, tor.NumLinks(), DefaultEnergyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.DynamicJoules
+	}
+	if run(8) <= run(1) {
+		t.Fatal("longer route should burn more dynamic energy")
+	}
+}

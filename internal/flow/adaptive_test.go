@@ -1,0 +1,136 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo/torus"
+	"mtier/internal/xrand"
+)
+
+func grid4x4(t testing.TB) *torus.Torus {
+	t.Helper()
+	tor, err := torus.New(grid.Shape{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor
+}
+
+func TestAdaptiveSpreadsDisjointPaths(t *testing.T) {
+	tor := grid4x4(t)
+	dst := 5 // coords (1,1): reachable x-first or y-first from 0
+	mk := func(adaptive bool) float64 {
+		spec := &Spec{}
+		spec.Add(0, dst, 1e9)
+		spec.Add(0, dst, 1e9)
+		res, err := Simulate(tor, spec, Options{DisablePorts: true, AdaptiveRouting: adaptive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	static := mk(false)
+	adaptive := mk(true)
+	wantStatic := 2 * 1e9 / DefaultBandwidth
+	wantAdaptive := 1e9 / DefaultBandwidth
+	if math.Abs(static-wantStatic) > 1e-9 {
+		t.Fatalf("static makespan = %g, want %g", static, wantStatic)
+	}
+	if math.Abs(adaptive-wantAdaptive) > 1e-9 {
+		t.Fatalf("adaptive makespan = %g, want %g (disjoint dimension orders)", adaptive, wantAdaptive)
+	}
+}
+
+func TestAdaptiveNeverWorseOnUniform(t *testing.T) {
+	tor := grid4x4(t)
+	rng := xrand.New(17)
+	spec := &Spec{}
+	for i := 0; i < 200; i++ {
+		spec.Add(rng.Intn(16), rng.IntnExcept(16, rng.Intn(16)), 1e6)
+	}
+	st, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Simulate(tor, spec, Options{AdaptiveRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Makespan > st.Makespan*1.05 {
+		t.Fatalf("adaptive %g notably worse than static %g", ad.Makespan, st.Makespan)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	tor := grid4x4(t)
+	rng := xrand.New(23)
+	spec := &Spec{}
+	for i := 0; i < 100; i++ {
+		var deps []int32
+		if i > 2 && rng.Float64() < 0.3 {
+			deps = []int32{int32(rng.Intn(i))}
+		}
+		spec.Add(rng.Intn(16), rng.IntnExcept(16, rng.Intn(16)), 1e6, deps...)
+	}
+	opt := Options{AdaptiveRouting: true, LatencyPerHop: 1e-6, RelEpsilon: 0.01}
+	a, err := Simulate(tor, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tor, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.HopBytes != b.HopBytes {
+		t.Fatal("adaptive routing broke determinism")
+	}
+}
+
+func TestAdaptiveIgnoredWithoutMultiRouter(t *testing.T) {
+	// A 1D ring exposes choices == dims == 1; adaptive must behave as
+	// static.
+	tor := ring(t, 8)
+	spec := &Spec{}
+	spec.Add(0, 2, 1e9)
+	a, err := Simulate(tor, spec, Options{AdaptiveRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("degenerate adaptive differs from static")
+	}
+}
+
+func TestAdaptiveSelfFlowAndZeroByte(t *testing.T) {
+	tor := grid4x4(t)
+	spec := &Spec{}
+	z := spec.Add(3, 3, 1e6) // self flow, ports disabled -> instant
+	spec.Add(0, 5, 0, z)     // zero bytes
+	res, err := Simulate(tor, spec, Options{DisablePorts: true, AdaptiveRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Fatalf("makespan = %g, want 0", res.Makespan)
+	}
+}
+
+func TestAdaptiveWithLatencyAssignsPerRouteLatency(t *testing.T) {
+	tor := grid4x4(t)
+	spec := &Spec{}
+	spec.Add(0, 5, 1e3)
+	res, err := Simulate(tor, spec, Options{AdaptiveRouting: true, LatencyPerHop: 1e-3, RecordFlowEnds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 network hops -> at least 2 ms of latency.
+	if res.Makespan < 2e-3 {
+		t.Fatalf("latency not applied to adaptive route: %g", res.Makespan)
+	}
+}

@@ -1,0 +1,135 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtier/internal/xrand"
+)
+
+// lowerBound computes the provable makespan floor for a dependency-free
+// workload on a ported network: every endpoint's inbound and outbound
+// volume serialises on its ports, and the network cannot beat the busiest
+// port.
+func lowerBound(spec *Spec) float64 {
+	in := map[int32]float64{}
+	out := map[int32]float64{}
+	for i := range spec.Flows {
+		f := &spec.Flows[i]
+		out[f.Src] += f.Bytes
+		in[f.Dst] += f.Bytes
+	}
+	max := 0.0
+	for _, v := range in {
+		if v > max {
+			max = v
+		}
+	}
+	for _, v := range out {
+		if v > max {
+			max = v
+		}
+	}
+	return max / DefaultBandwidth
+}
+
+// TestMakespanRespectsPortBound: the simulated makespan can never beat the
+// injection/ejection serialisation bound (quick-checked over random
+// dependency-free workloads).
+func TestMakespanRespectsPortBound(t *testing.T) {
+	tor := cube(t, 4)
+	n := tor.NumEndpoints()
+	f := func(seed int64, count uint8) bool {
+		rng := xrand.New(seed)
+		spec := &Spec{}
+		for i := 0; i < int(count)+2; i++ {
+			spec.Add(rng.Intn(n), rng.IntnExcept(n, rng.Intn(n)), 1e5*float64(1+rng.Intn(50)))
+		}
+		res, err := Simulate(tor, spec, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= lowerBound(spec)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMakespanMonotoneInVolume: scaling every flow up cannot reduce the
+// makespan.
+func TestMakespanMonotoneInVolume(t *testing.T) {
+	tor := cube(t, 4)
+	n := tor.NumEndpoints()
+	rng := xrand.New(31)
+	base := &Spec{}
+	for i := 0; i < 150; i++ {
+		base.Add(rng.Intn(n), rng.IntnExcept(n, rng.Intn(n)), 1e5*float64(1+rng.Intn(9)))
+	}
+	scaled := &Spec{Flows: make([]Flow, len(base.Flows))}
+	copy(scaled.Flows, base.Flows)
+	for i := range scaled.Flows {
+		scaled.Flows[i].Bytes *= 2
+	}
+	a, err := Simulate(tor, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tor, scaled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Makespan < a.Makespan {
+		t.Fatalf("doubling volume reduced makespan: %g -> %g", a.Makespan, b.Makespan)
+	}
+	// With flow-count-invariant routing, doubling sizes exactly doubles
+	// the bandwidth-dominated makespan.
+	ratio := b.Makespan / a.Makespan
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("expected ~2x makespan, got %gx", ratio)
+	}
+}
+
+// TestAddingFlowNeverSpeedsUp: appending an independent flow cannot lower
+// the completion time of the workload.
+func TestAddingFlowNeverSpeedsUp(t *testing.T) {
+	tor := cube(t, 3)
+	n := tor.NumEndpoints()
+	rng := xrand.New(41)
+	spec := &Spec{}
+	for i := 0; i < 60; i++ {
+		spec.Add(rng.Intn(n), rng.IntnExcept(n, rng.Intn(n)), 1e6)
+	}
+	before, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Add(0, n-1, 5e6)
+	after, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Makespan < before.Makespan*(1-1e-9) {
+		t.Fatalf("extra flow reduced makespan: %g -> %g", before.Makespan, after.Makespan)
+	}
+}
+
+// TestAggregateBandwidthBound: makespan must also respect the whole-network
+// capacity: total bytes x hops cannot exceed links x capacity x time.
+func TestAggregateBandwidthBound(t *testing.T) {
+	tor := cube(t, 4)
+	n := tor.NumEndpoints()
+	rng := xrand.New(51)
+	spec := &Spec{}
+	for i := 0; i < 500; i++ {
+		spec.Add(rng.Intn(n), rng.IntnExcept(n, rng.Intn(n)), 2e6)
+	}
+	res, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggBound := res.HopBytes / (float64(tor.NumLinks()) * DefaultBandwidth)
+	if res.Makespan < aggBound*(1-1e-9) {
+		t.Fatalf("makespan %g beats aggregate capacity bound %g", res.Makespan, aggBound)
+	}
+}

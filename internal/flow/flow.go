@@ -1,0 +1,727 @@
+// Package flow implements the flow-level network simulation engine, the
+// Go equivalent of the INRFlow framework the paper's evaluation runs on.
+//
+// The model: every link has a capacity; a workload is a DAG of flows
+// (source endpoint, destination endpoint, size in bytes) whose edges are
+// causal dependencies — a flow is injected only once all its prerequisites
+// have completed. Active flows share link bandwidth max-min fairly
+// (progressive filling). Time advances from completion epoch to completion
+// epoch; the simulation output is the completion time of the whole DAG,
+// the figure of merit of the paper's Figures 4 and 5.
+//
+// Endpoint injection and ejection ports are modelled as dedicated virtual
+// links (one in, one out per endpoint) with the same capacity as network
+// links, which reproduces the serialisation at the consumption port that
+// dominates the paper's Reduce workload.
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+
+	"mtier/internal/topo"
+)
+
+// DefaultBandwidth is the default link capacity in bytes/second: the
+// 10 Gbps transceivers of the QFDBs.
+const DefaultBandwidth = 1.25e9
+
+// Flow is one message transfer between two endpoints.
+type Flow struct {
+	Src, Dst int32
+	Bytes    float64
+	// Deps lists the flow ids that must complete before this flow is
+	// injected.
+	Deps []int32
+}
+
+// Spec is a workload: a DAG of flows.
+type Spec struct {
+	Flows []Flow
+}
+
+// Add appends a flow and returns its id, for use as a dependency of later
+// flows.
+func (s *Spec) Add(src, dst int, bytes float64, deps ...int32) int32 {
+	id := int32(len(s.Flows))
+	s.Flows = append(s.Flows, Flow{Src: int32(src), Dst: int32(dst), Bytes: bytes, Deps: deps})
+	return id
+}
+
+// TotalBytes sums the sizes of all flows.
+func (s *Spec) TotalBytes() float64 {
+	t := 0.0
+	for i := range s.Flows {
+		t += s.Flows[i].Bytes
+	}
+	return t
+}
+
+// Options tunes a simulation run. The zero value is ready to use.
+type Options struct {
+	// LinkBandwidth is the capacity of every link in bytes/second.
+	// 0 means DefaultBandwidth.
+	LinkBandwidth float64
+	// RelEpsilon batches flow completions that fall within a relative
+	// window of the earliest one, trading a bounded (~RelEpsilon) error in
+	// the makespan for far fewer rate recomputations. 0 means exact
+	// simulation; the experiment presets use 0.01.
+	RelEpsilon float64
+	// LatencyBase is a fixed startup delay (seconds) added to every flow
+	// before its data starts moving (NIC/protocol overhead). Default 0.
+	LatencyBase float64
+	// LatencyPerHop adds a delay proportional to the route's network hop
+	// count (switch/router traversal). Together with LatencyBase it makes
+	// path length matter for fine-grained, causality-bound workloads such
+	// as Sweep3D, as in the paper. Default 0 (pure bandwidth model).
+	LatencyPerHop float64
+	// RefreshFraction defers the max-min rate recomputation until at least
+	// this fraction of the active flows has completed since the last one
+	// (recomputation always happens when new flows activate). Between
+	// refreshes the previous rates are kept — they remain feasible when
+	// flows leave, merely conceding the freed bandwidth until the next
+	// refresh, so the result is a slight, bounded over-estimate of the
+	// makespan. 0 recomputes every epoch (exact); the experiment presets
+	// use 1/16.
+	RefreshFraction float64
+	// AdaptiveRouting picks, for each flow at injection time, the
+	// least-loaded of the topology's candidate routes (topologies
+	// implementing topo.MultiRouter; ignored otherwise). Load is the
+	// current number of active flows on the candidate's busiest link.
+	AdaptiveRouting bool
+	// DisablePorts turns off the injection/ejection port model, leaving
+	// only topology links as shared resources.
+	DisablePorts bool
+	// RecordFlowEnds retains each flow's completion time in the result.
+	RecordFlowEnds bool
+	// Trace, when non-nil, receives one CSV record per completed flow:
+	// id,src,dst,bytes,start,end (start is the activation instant, after
+	// dependencies and latency). Records are emitted in completion order.
+	Trace io.Writer
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	// Makespan is the completion time of the whole workload, in seconds.
+	Makespan float64
+	// FlowEnds holds per-flow completion times when requested.
+	FlowEnds []float64
+	// Epochs is the number of rate recomputations performed.
+	Epochs int
+	// BytesDelivered is the total traffic volume.
+	BytesDelivered float64
+	// HopBytes is the sum over flows of bytes × network hops traversed —
+	// the raw input of dynamic-energy estimation (ports excluded).
+	HopBytes float64
+	// MaxLinkUtilization is the busiest topology link's delivered bytes
+	// divided by its capacity × makespan (ports excluded).
+	MaxLinkUtilization float64
+	// MeanLinkUtilization averages utilisation over topology links that
+	// carried any traffic.
+	MeanLinkUtilization float64
+	// MaxPortUtilization is the busiest injection/ejection port's
+	// utilisation (0 when ports are disabled).
+	MaxPortUtilization float64
+}
+
+// shareHeap is a specialised min-heap of (share, link) pairs for
+// progressive filling. It avoids container/heap's interface boxing, which
+// dominates the profile on large active sets.
+type shareHeap struct {
+	share []float64
+	link  []int32
+}
+
+func (h *shareHeap) reset() {
+	h.share = h.share[:0]
+	h.link = h.link[:0]
+}
+
+// push appends and sifts up.
+func (h *shareHeap) push(share float64, link int32) {
+	h.share = append(h.share, share)
+	h.link = append(h.link, link)
+	i := len(h.link) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.share[parent] <= h.share[i] {
+			break
+		}
+		h.share[parent], h.share[i] = h.share[i], h.share[parent]
+		h.link[parent], h.link[i] = h.link[i], h.link[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum entry.
+func (h *shareHeap) pop() (float64, int32) {
+	top, lnk := h.share[0], h.link[0]
+	n := len(h.link) - 1
+	h.share[0], h.link[0] = h.share[n], h.link[n]
+	h.share, h.link = h.share[:n], h.link[:n]
+	h.siftDown(0)
+	return top, lnk
+}
+
+func (h *shareHeap) siftDown(i int) {
+	n := len(h.link)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.share[r] < h.share[l] {
+			m = r
+		}
+		if h.share[i] <= h.share[m] {
+			return
+		}
+		h.share[i], h.share[m] = h.share[m], h.share[i]
+		h.link[i], h.link[m] = h.link[m], h.link[i]
+		i = m
+	}
+}
+
+// init heapifies the current contents.
+func (h *shareHeap) init() {
+	for i := len(h.link)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// pendHeap is a min-heap of (activation time, flow id) used by the latency
+// model.
+type pendHeap struct {
+	at []float64
+	id []int32
+}
+
+func (h *pendHeap) Len() int           { return len(h.id) }
+func (h *pendHeap) Less(i, j int) bool { return h.at[i] < h.at[j] }
+func (h *pendHeap) Swap(i, j int) {
+	h.at[i], h.at[j] = h.at[j], h.at[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+func (h *pendHeap) Push(x any) {
+	p := x.(pendEntry)
+	h.at = append(h.at, p.at)
+	h.id = append(h.id, p.id)
+}
+func (h *pendHeap) Pop() any {
+	n := len(h.id) - 1
+	e := pendEntry{h.at[n], h.id[n]}
+	h.at = h.at[:n]
+	h.id = h.id[:n]
+	return e
+}
+
+type pendEntry struct {
+	at float64
+	id int32
+}
+
+// sim is the mutable state of one simulation run.
+type sim struct {
+	t   topo.Topology
+	opt Options
+	cap float64
+
+	numEndpoints int
+	numTopoLinks int
+	numLinks     int // topology links + virtual ports
+
+	routes [][]int32
+	flows  []Flow
+
+	indeg      []int32
+	childStart []int32
+	childList  []int32
+
+	remaining []float64
+	rate      []float64
+	starts    []float64 // activation instants (trace mode only)
+	frozenAt  []int64   // epoch at which the flow's rate was frozen
+	ends      []float64
+
+	latency []float64 // per-flow injection latency
+	pending pendHeap  // flows waiting out their latency phase
+
+	active    []int32
+	activePos []int32
+
+	residual  []float64
+	count     []int32
+	stamp     []int64
+	linkFlows [][]int32
+	touched   []int32
+	epoch     int64
+
+	linkBytes []float64
+	heap      shareHeap
+	dirty     bool // active set gained flows since the last waterfill
+
+	// Adaptive routing state.
+	mrouter      topo.MultiRouter
+	numChoices   int
+	activeOnLink []int32 // persistent per-link active-flow counts
+	routeScratch []int32
+}
+
+// Simulate runs the workload on the topology and returns the result.
+func Simulate(t topo.Topology, spec *Spec, opt Options) (*Result, error) {
+	if opt.LinkBandwidth == 0 {
+		opt.LinkBandwidth = DefaultBandwidth
+	}
+	if opt.LinkBandwidth < 0 || math.IsNaN(opt.LinkBandwidth) {
+		return nil, fmt.Errorf("flow: invalid bandwidth %g", opt.LinkBandwidth)
+	}
+	if opt.RelEpsilon < 0 {
+		return nil, fmt.Errorf("flow: negative RelEpsilon %g", opt.RelEpsilon)
+	}
+	if opt.RefreshFraction < 0 || opt.RefreshFraction > 1 {
+		return nil, fmt.Errorf("flow: RefreshFraction %g out of [0,1]", opt.RefreshFraction)
+	}
+	if opt.LatencyBase < 0 || opt.LatencyPerHop < 0 {
+		return nil, fmt.Errorf("flow: negative latency")
+	}
+	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows}
+	if err := s.prepare(spec); err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+func (s *sim) injectionLink(ep int32) int32 { return int32(s.numTopoLinks) + ep }
+func (s *sim) ejectionLink(ep int32) int32 {
+	return int32(s.numTopoLinks+s.numEndpoints) + ep
+}
+
+func (s *sim) prepare(spec *Spec) error {
+	s.numEndpoints = s.t.NumEndpoints()
+	s.numTopoLinks = s.t.NumLinks()
+	s.numLinks = s.numTopoLinks
+	if !s.opt.DisablePorts {
+		s.numLinks += 2 * s.numEndpoints
+	}
+	f := len(spec.Flows)
+
+	s.indeg = make([]int32, f)
+	childCount := make([]int32, f)
+	for i := range spec.Flows {
+		fl := &spec.Flows[i]
+		if fl.Src < 0 || int(fl.Src) >= s.numEndpoints || fl.Dst < 0 || int(fl.Dst) >= s.numEndpoints {
+			return fmt.Errorf("flow %d: endpoint out of range (%d -> %d)", i, fl.Src, fl.Dst)
+		}
+		if fl.Bytes < 0 || math.IsNaN(fl.Bytes) || math.IsInf(fl.Bytes, 0) {
+			return fmt.Errorf("flow %d: invalid size %g", i, fl.Bytes)
+		}
+		for _, d := range fl.Deps {
+			if d < 0 || int(d) >= f {
+				return fmt.Errorf("flow %d: dependency %d out of range", i, d)
+			}
+			if d == int32(i) {
+				return fmt.Errorf("flow %d depends on itself", i)
+			}
+			s.indeg[i]++
+			childCount[d]++
+		}
+	}
+	// CSR adjacency for dependents.
+	s.childStart = make([]int32, f+1)
+	for i := 0; i < f; i++ {
+		s.childStart[i+1] = s.childStart[i] + childCount[i]
+	}
+	s.childList = make([]int32, s.childStart[f])
+	fill := make([]int32, f)
+	for i := range spec.Flows {
+		for _, d := range spec.Flows[i].Deps {
+			s.childList[s.childStart[d]+fill[d]] = int32(i)
+			fill[d]++
+		}
+	}
+
+	// Routes, with virtual ports prepended/appended. In adaptive mode the
+	// choice is deferred to injection time, when link loads are known.
+	s.routes = make([][]int32, f)
+	withLatency := s.opt.LatencyBase > 0 || s.opt.LatencyPerHop > 0
+	if withLatency {
+		s.latency = make([]float64, f)
+	}
+	if s.opt.AdaptiveRouting {
+		if mr, ok := s.t.(topo.MultiRouter); ok && mr.NumRouteChoices() > 1 {
+			s.mrouter = mr
+			s.numChoices = mr.NumRouteChoices()
+			s.activeOnLink = make([]int32, s.numLinks)
+			s.routeScratch = make([]int32, 0, 256)
+		}
+	}
+	scratch := make([]int32, 0, 256)
+	for i := range spec.Flows {
+		if s.mrouter != nil {
+			continue // chosen lazily by chooseRoute
+		}
+		fl := &spec.Flows[i]
+		scratch = s.t.RouteAppend(scratch[:0], int(fl.Src), int(fl.Dst))
+		if withLatency {
+			s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
+		}
+		extra := 0
+		if !s.opt.DisablePorts {
+			extra = 2
+		}
+		r := make([]int32, 0, len(scratch)+extra)
+		if !s.opt.DisablePorts {
+			r = append(r, s.injectionLink(fl.Src))
+		}
+		r = append(r, scratch...)
+		if !s.opt.DisablePorts {
+			r = append(r, s.ejectionLink(fl.Dst))
+		}
+		s.routes[i] = r
+	}
+
+	s.remaining = make([]float64, f)
+	s.rate = make([]float64, f)
+	s.frozenAt = make([]int64, f)
+	for i := range s.frozenAt {
+		s.frozenAt[i] = -1
+	}
+	s.ends = make([]float64, f)
+	if s.opt.Trace != nil {
+		s.starts = make([]float64, f)
+	}
+	s.activePos = make([]int32, f)
+	for i := range s.activePos {
+		s.activePos[i] = -1
+	}
+
+	s.residual = make([]float64, s.numLinks)
+	s.count = make([]int32, s.numLinks)
+	s.stamp = make([]int64, s.numLinks)
+	for i := range s.stamp {
+		s.stamp[i] = -1
+	}
+	s.linkFlows = make([][]int32, s.numLinks)
+	s.linkBytes = make([]float64, s.numLinks)
+	return nil
+}
+
+// activate inserts a flow into the active set and marks the allocation
+// stale: the new flow has no rate yet.
+func (s *sim) activate(id int32, now float64) {
+	s.activePos[id] = int32(len(s.active))
+	s.active = append(s.active, id)
+	s.remaining[id] = s.flows[id].Bytes
+	s.dirty = true
+	if s.starts != nil {
+		s.starts[id] = now
+	}
+	if s.activeOnLink != nil {
+		for _, l := range s.routes[id] {
+			s.activeOnLink[l]++
+		}
+	}
+}
+
+// deactivate removes a flow from the active set with swap-remove.
+func (s *sim) deactivate(id int32) {
+	pos := s.activePos[id]
+	last := int32(len(s.active) - 1)
+	moved := s.active[last]
+	s.active[pos] = moved
+	s.activePos[moved] = pos
+	s.active = s.active[:last]
+	s.activePos[id] = -1
+	if s.activeOnLink != nil {
+		for _, l := range s.routes[id] {
+			s.activeOnLink[l]--
+		}
+	}
+}
+
+// waterfill assigns max-min fair rates to all active flows using
+// progressive filling with a lazy min-heap of link fair shares.
+func (s *sim) waterfill() {
+	s.epoch++
+	s.touched = s.touched[:0]
+	for _, f := range s.active {
+		for _, l := range s.routes[f] {
+			if s.stamp[l] != s.epoch {
+				s.stamp[l] = s.epoch
+				s.residual[l] = s.cap
+				s.count[l] = 0
+				s.linkFlows[l] = s.linkFlows[l][:0]
+				s.touched = append(s.touched, l)
+			}
+			s.count[l]++
+			s.linkFlows[l] = append(s.linkFlows[l], f)
+		}
+	}
+	s.heap.reset()
+	for _, l := range s.touched {
+		s.heap.share = append(s.heap.share, s.residual[l]/float64(s.count[l]))
+		s.heap.link = append(s.heap.link, l)
+	}
+	s.heap.init()
+
+	frozen := 0
+	target := len(s.active)
+	for frozen < target && len(s.heap.link) > 0 {
+		share, l := s.heap.pop()
+		if s.count[l] == 0 {
+			continue
+		}
+		cur := s.residual[l] / float64(s.count[l])
+		if cur > share*(1+1e-12) {
+			// Stale entry: the link gained headroom when other flows froze.
+			s.heap.push(cur, l)
+			continue
+		}
+		// l is a bottleneck: freeze every unfrozen flow crossing it.
+		for _, f := range s.linkFlows[l] {
+			if s.frozenAt[f] == s.epoch {
+				continue
+			}
+			s.frozenAt[f] = s.epoch
+			s.rate[f] = cur
+			frozen++
+			for _, l2 := range s.routes[f] {
+				s.residual[l2] -= cur
+				if s.residual[l2] < 0 {
+					s.residual[l2] = 0
+				}
+				s.count[l2]--
+			}
+		}
+	}
+}
+
+// release decrements the dependency count of id's children, activating the
+// ones that become ready. Zero-byte flows complete immediately and cascade.
+func (s *sim) release(id int32, now float64, done *int) {
+	for i := s.childStart[id]; i < s.childStart[id+1]; i++ {
+		c := s.childList[i]
+		s.indeg[c]--
+		if s.indeg[c] == 0 {
+			s.inject(c, now, done)
+		}
+	}
+}
+
+// chooseRoute materialises the least-loaded candidate route for a flow in
+// adaptive mode. It is a no-op when the route is already set.
+func (s *sim) chooseRoute(id int32) {
+	if s.mrouter == nil || s.routes[id] != nil {
+		return
+	}
+	fl := &s.flows[id]
+	if fl.Src == fl.Dst && s.opt.DisablePorts {
+		s.routes[id] = []int32{}
+		return
+	}
+	bestScore := int32(1<<31 - 1)
+	var best []int32
+	for c := 0; c < s.numChoices; c++ {
+		s.routeScratch = s.mrouter.RouteChoiceAppend(s.routeScratch[:0], int(fl.Src), int(fl.Dst), c)
+		score := int32(0)
+		for _, l := range s.routeScratch {
+			if s.activeOnLink[l] > score {
+				score = s.activeOnLink[l]
+			}
+		}
+		if score < bestScore {
+			bestScore = score
+			best = append(best[:0], s.routeScratch...)
+		}
+	}
+	if s.latency != nil {
+		s.latency[id] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(best))
+	}
+	extra := 0
+	if !s.opt.DisablePorts {
+		extra = 2
+	}
+	r := make([]int32, 0, len(best)+extra)
+	if !s.opt.DisablePorts {
+		r = append(r, s.injectionLink(fl.Src))
+	}
+	r = append(r, best...)
+	if !s.opt.DisablePorts {
+		r = append(r, s.ejectionLink(fl.Dst))
+	}
+	s.routes[id] = r
+}
+
+func (s *sim) inject(id int32, now float64, done *int) {
+	s.indeg[id] = -1 // guard against double injection via release cascades
+	s.chooseRoute(id)
+	if s.flows[id].Bytes <= 0 || len(s.routes[id]) == 0 {
+		// Nothing to transmit, or a self-flow with ports disabled: the
+		// transfer never occupies a shared resource and completes at once.
+		s.ends[id] = now
+		*done++
+		if s.starts != nil {
+			s.starts[id] = now
+		}
+		s.trace(id, now)
+		s.release(id, now, done)
+		return
+	}
+	if s.latency != nil && s.latency[id] > 0 {
+		heap.Push(&s.pending, pendEntry{at: now + s.latency[id], id: id})
+		return
+	}
+	s.activate(id, now)
+}
+
+// trace writes one completion record when tracing is enabled.
+func (s *sim) trace(id int32, end float64) {
+	if s.opt.Trace == nil {
+		return
+	}
+	start := end
+	if s.starts != nil {
+		start = s.starts[id]
+	}
+	fl := &s.flows[id]
+	fmt.Fprintf(s.opt.Trace, "%d,%d,%d,%g,%.9g,%.9g\n", id, fl.Src, fl.Dst, fl.Bytes, start, end)
+}
+
+// activateDue moves every pending flow whose latency has elapsed by `now`
+// into the active set.
+func (s *sim) activateDue(now float64) {
+	for s.pending.Len() > 0 && s.pending.at[0] <= now*(1+1e-15) {
+		e := heap.Pop(&s.pending).(pendEntry)
+		s.activate(e.id, now)
+	}
+}
+
+func (s *sim) run() (*Result, error) {
+	f := len(s.flows)
+	done := 0
+	now := 0.0
+	for i := 0; i < f; i++ {
+		if s.indeg[i] == 0 {
+			s.inject(int32(i), now, &done)
+		}
+	}
+
+	res := &Result{}
+	var completed []int32
+	needRefresh := true
+	completedSince := 0
+	for len(s.active) > 0 || s.pending.Len() > 0 {
+		if len(s.active) == 0 {
+			// Nothing transmitting: jump to the next latency expiry.
+			if at := s.pending.at[0]; at > now {
+				now = at
+			}
+			s.activateDue(now)
+			needRefresh = true
+			continue
+		}
+		if needRefresh || float64(completedSince) >= s.opt.RefreshFraction*float64(len(s.active)) {
+			s.waterfill()
+			res.Epochs++
+			needRefresh = false
+			completedSince = 0
+		}
+
+		// Earliest completion among active flows.
+		tmin := math.Inf(1)
+		for _, id := range s.active {
+			if fin := s.remaining[id] / s.rate[id]; fin < tmin {
+				tmin = fin
+			}
+		}
+		if math.IsInf(tmin, 1) || tmin < 0 {
+			return nil, fmt.Errorf("flow: stalled simulation (no progress at t=%g with %d active flows)", now, len(s.active))
+		}
+		dt := tmin * (1 + s.opt.RelEpsilon)
+		// Guard against dt == 0 underflow on zero-remaining corner cases.
+		if dt <= 0 {
+			dt = tmin
+		}
+		// Never advance past the next latency expiry: a newly active flow
+		// changes the fair shares.
+		if s.pending.Len() > 0 {
+			if gap := s.pending.at[0] - now; gap < dt {
+				dt = gap
+				if dt < 0 {
+					dt = 0
+				}
+			}
+		}
+		now += dt
+		completed = completed[:0]
+		if dt > 0 {
+			for _, id := range s.active {
+				adv := s.rate[id] * dt
+				if s.remaining[id] <= adv*(1+1e-12) {
+					completed = append(completed, id)
+				} else {
+					s.remaining[id] -= adv
+				}
+			}
+		}
+		for _, id := range completed {
+			s.deactivate(id)
+			s.ends[id] = now
+			done++
+			hops := len(s.routes[id])
+			if !s.opt.DisablePorts {
+				hops -= 2
+			}
+			res.HopBytes += float64(hops) * s.flows[id].Bytes
+			for _, l := range s.routes[id] {
+				s.linkBytes[l] += s.flows[id].Bytes
+			}
+			s.trace(id, now)
+			s.release(id, now, &done)
+		}
+		completedSince += len(completed)
+		s.activateDue(now)
+		if s.dirty {
+			needRefresh = true // newly activated flows have no rate yet
+			s.dirty = false
+		}
+	}
+	if done != f {
+		return nil, fmt.Errorf("flow: %d of %d flows never ran — dependency cycle in workload", f-done, f)
+	}
+
+	res.Makespan = now
+	res.BytesDelivered = 0
+	for i := range s.flows {
+		res.BytesDelivered += s.flows[i].Bytes
+	}
+	if s.opt.RecordFlowEnds {
+		res.FlowEnds = s.ends
+	}
+	if now > 0 {
+		denom := s.cap * now
+		sum, nonzero := 0.0, 0
+		for l := 0; l < s.numTopoLinks; l++ {
+			u := s.linkBytes[l] / denom
+			if u > res.MaxLinkUtilization {
+				res.MaxLinkUtilization = u
+			}
+			if s.linkBytes[l] > 0 {
+				sum += u
+				nonzero++
+			}
+		}
+		if nonzero > 0 {
+			res.MeanLinkUtilization = sum / float64(nonzero)
+		}
+		for l := s.numTopoLinks; l < s.numLinks; l++ {
+			if u := s.linkBytes[l] / denom; u > res.MaxPortUtilization {
+				res.MaxPortUtilization = u
+			}
+		}
+	}
+	return res, nil
+}

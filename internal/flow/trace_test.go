@@ -1,0 +1,81 @@
+package flow
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecords(t *testing.T) {
+	tor := ring(t, 8)
+	spec := &Spec{}
+	a := spec.Add(0, 1, 1.25e9)
+	spec.Add(1, 2, 1.25e9, a)
+	spec.Add(3, 4, 0) // zero-byte completes at t=0
+	var sb strings.Builder
+	res, err := Simulate(tor, spec, Options{Trace: &sb, LatencyBase: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("trace lines = %d, want 3: %q", len(lines), sb.String())
+	}
+	// Completion order: zero-byte first, then the chain.
+	ends := make([]float64, 0, 3)
+	for _, ln := range lines {
+		f := strings.Split(ln, ",")
+		if len(f) != 6 {
+			t.Fatalf("bad record %q", ln)
+		}
+		start, err1 := strconv.ParseFloat(f[4], 64)
+		end, err2 := strconv.ParseFloat(f[5], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad floats in %q", ln)
+		}
+		if end < start {
+			t.Fatalf("end before start in %q", ln)
+		}
+		ends = append(ends, end)
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] < ends[i-1] {
+			t.Fatal("trace not in completion order")
+		}
+	}
+	if ends[len(ends)-1] != res.Makespan {
+		t.Fatalf("last trace end %g != makespan %g", ends[len(ends)-1], res.Makespan)
+	}
+	// Flow 1 starts only after flow 0 completes (plus latency).
+	second := strings.Split(lines[2], ",")
+	start1, _ := strconv.ParseFloat(second[4], 64)
+	if start1 < 1.0 {
+		t.Fatalf("dependent flow started at %g, before its dependency finished", start1)
+	}
+}
+
+// TestRefreshFractionEquivalence: the lazy refresh must not change
+// makespans materially on a congested random workload.
+func TestRefreshFractionEquivalence(t *testing.T) {
+	tor := cube(t, 4)
+	spec := &Spec{}
+	n := tor.NumEndpoints()
+	for i := 0; i < 600; i++ {
+		spec.Add(i%n, (i*13+5)%n, 1e6*float64(1+i%17))
+	}
+	exact, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Simulate(tor, spec, Options{RefreshFraction: 1.0 / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := lazy.Makespan / exact.Makespan
+	if ratio < 0.999 || ratio > 1.05 {
+		t.Fatalf("lazy refresh drifted: exact %g lazy %g", exact.Makespan, lazy.Makespan)
+	}
+	if lazy.Epochs >= exact.Epochs {
+		t.Fatalf("lazy refresh should reduce recomputations: %d vs %d", lazy.Epochs, exact.Epochs)
+	}
+}

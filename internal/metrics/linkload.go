@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"sync"
+
+	"mtier/internal/topo"
+	"mtier/internal/xrand"
+)
+
+// LinkLoadStats summarises the static channel-load analysis: the expected
+// number of traffic units crossing each link when every endpoint injects
+// one unit of uniform random traffic. The busiest link bounds the
+// saturation throughput of the network: Throughput = 1 / MaxLoad of each
+// endpoint's injection bandwidth.
+type LinkLoadStats struct {
+	// MaxLoad is the expected units on the busiest link.
+	MaxLoad float64
+	// MeanLoad averages over links that carry any traffic.
+	MeanLoad float64
+	// Throughput is the per-endpoint saturation throughput bound, 1/MaxLoad
+	// (capped at 1: endpoints cannot inject more than their port).
+	Throughput float64
+	// UsedLinks is the number of links that carried traffic.
+	UsedLinks int
+	// Samples is the number of pairs drawn.
+	Samples int
+}
+
+// LinkLoadOptions controls the analysis.
+type LinkLoadOptions struct {
+	// Samples is the number of random ordered pairs. Default 1,000,000.
+	Samples int
+	// Seed drives the sampling.
+	Seed int64
+	// Workers bounds concurrency. Default NumCPU.
+	Workers int
+}
+
+// LinkLoads estimates the uniform-traffic channel load of a topology by
+// sampling random source/destination pairs and accumulating route
+// crossings per link.
+func LinkLoads(t topo.Topology, opt LinkLoadOptions) LinkLoadStats {
+	if opt.Samples == 0 {
+		opt.Samples = 1_000_000
+	}
+	o := Options{Workers: opt.Workers}.withDefaults()
+	workers := o.Workers
+	n := t.NumEndpoints()
+	per := opt.Samples / workers
+	if per == 0 {
+		per = 1
+	}
+	counts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(opt.Seed).SplitN("linkload", w)
+			local := make([]int32, t.NumLinks())
+			var buf []int32
+			for i := 0; i < per; i++ {
+				src := rng.Intn(n)
+				dst := rng.IntnExcept(n, src)
+				buf = t.RouteAppend(buf[:0], src, dst)
+				for _, l := range buf {
+					local[l]++
+				}
+			}
+			counts[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	total := make([]int64, t.NumLinks())
+	for _, local := range counts {
+		for l, c := range local {
+			total[l] += int64(c)
+		}
+	}
+	samples := workers * per
+	// Normalise: with every endpoint injecting one unit, the expected
+	// crossings of link l are count[l] * n / samples.
+	scale := float64(n) / float64(samples)
+	stats := LinkLoadStats{Samples: samples}
+	sum := 0.0
+	for _, c := range total {
+		if c == 0 {
+			continue
+		}
+		load := float64(c) * scale
+		if load > stats.MaxLoad {
+			stats.MaxLoad = load
+		}
+		sum += load
+		stats.UsedLinks++
+	}
+	if stats.UsedLinks > 0 {
+		stats.MeanLoad = sum / float64(stats.UsedLinks)
+	}
+	if stats.MaxLoad > 0 {
+		stats.Throughput = 1 / stats.MaxLoad
+		if stats.Throughput > 1 {
+			stats.Throughput = 1
+		}
+	}
+	return stats
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo/fattree"
+	"mtier/internal/topo/torus"
+)
+
+func TestLinkLoadsRing(t *testing.T) {
+	// 8-ring, uniform traffic: mean distance over distinct pairs is 16/7;
+	// with 16 directed links the expected load per link is 8*(16/7)/16 = 8/7.
+	tor, err := torus.New(grid.Shape{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := LinkLoads(tor, LinkLoadOptions{Samples: 400_000, Seed: 1})
+	want := 8.0 / 7
+	if math.Abs(s.MeanLoad-want) > 0.02 {
+		t.Fatalf("mean load = %g, want ~%g", s.MeanLoad, want)
+	}
+	// DOR breaks half-way ties towards the positive direction, so the
+	// positive links carry one extra pair per node: 10/7 vs 6/7.
+	if math.Abs(s.MaxLoad-10.0/7) > 0.05 {
+		t.Fatalf("max load = %g, want ~%g (tie-broken DOR)", s.MaxLoad, 10.0/7)
+	}
+	if s.UsedLinks != 16 {
+		t.Fatalf("used links = %d, want 16", s.UsedLinks)
+	}
+}
+
+func TestLinkLoadsNonBlockingFattree(t *testing.T) {
+	// A non-blocking fattree with D-mod-k sustains uniform traffic at full
+	// rate: no link should carry much more than one unit.
+	g, err := fattree.NewKaryNTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := LinkLoads(g, LinkLoadOptions{Samples: 400_000, Seed: 2})
+	if s.MaxLoad > 1.15 {
+		t.Fatalf("max load = %g, non-blocking tree should stay ~1", s.MaxLoad)
+	}
+	if s.Throughput < 0.85 {
+		t.Fatalf("throughput bound = %g, want ~1", s.Throughput)
+	}
+}
+
+func TestLinkLoadsThinTreeDoubles(t *testing.T) {
+	// Slimming the tree 2:1 halves upper capacity: channel load on the
+	// surviving up-links roughly doubles.
+	m := []int{4, 4, 4}
+	full, err := fattree.NewNonBlocking(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin, err := fattree.NewThinTree(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := LinkLoads(full, LinkLoadOptions{Samples: 300_000, Seed: 3})
+	st := LinkLoads(thin, LinkLoadOptions{Samples: 300_000, Seed: 3})
+	// Slimming both upper levels 2:1 concentrates the busiest (top-level
+	// down) links by more than the slimming factor itself: several
+	// destinations now share each top-level down-path.
+	ratio := st.MaxLoad / sf.MaxLoad
+	if ratio < 1.8 || ratio > 3.5 {
+		t.Fatalf("thin/full load ratio = %g, want in [1.8, 3.5]", ratio)
+	}
+	if thin.NumSwitches() >= full.NumSwitches() {
+		t.Fatalf("thin tree should use fewer switches: %d vs %d", thin.NumSwitches(), full.NumSwitches())
+	}
+}
+
+func TestLinkLoadsTorusMatchesTheory(t *testing.T) {
+	// 3D torus uniform channel load ≈ N*avgdist/links.
+	tor, err := torus.New(grid.Shape{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := LinkLoads(tor, LinkLoadOptions{Samples: 500_000, Seed: 4})
+	n := float64(tor.NumEndpoints())
+	theory := n * tor.AvgDistance() * (n / (n - 1)) / float64(tor.NumLinks())
+	if math.Abs(s.MeanLoad-theory)/theory > 0.05 {
+		t.Fatalf("mean load = %g, theory %g", s.MeanLoad, theory)
+	}
+	if s.Throughput >= 1 {
+		t.Fatalf("a big torus cannot sustain full uniform injection, got throughput %g", s.Throughput)
+	}
+}
+
+func TestLinkLoadsDeterministic(t *testing.T) {
+	tor, err := torus.New(grid.Shape{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := LinkLoads(tor, LinkLoadOptions{Samples: 10_000, Seed: 5, Workers: 3})
+	b := LinkLoads(tor, LinkLoadOptions{Samples: 10_000, Seed: 5, Workers: 3})
+	if a != b {
+		t.Fatal("same seed and workers must give identical stats")
+	}
+}

@@ -1,0 +1,210 @@
+// Package metrics computes the static (application-independent) topology
+// properties the paper reports in Table 1: the distance distribution under
+// uniform traffic, its mean, and the diameter. Small systems are measured
+// exhaustively; large ones by parallel Monte-Carlo sampling of endpoint
+// pairs, with exact analytic values used wherever the topology provides
+// them.
+package metrics
+
+import (
+	"runtime"
+	"sync"
+
+	"mtier/internal/topo"
+	"mtier/internal/xrand"
+)
+
+// distancer is implemented by topologies that can report route hop counts
+// without materialising the route.
+type distancer interface {
+	Distance(src, dst int) int
+}
+
+// diametered is implemented by topologies with an exact diameter.
+type diametered interface {
+	Diameter() int
+}
+
+// avgDistancer is implemented by topologies with a closed-form average
+// distance over ordered distinct pairs.
+type avgDistancer interface {
+	AvgDistance() float64
+}
+
+// DistanceStats summarises the distance distribution of a topology.
+type DistanceStats struct {
+	// Mean is the average route length over ordered distinct pairs.
+	Mean float64
+	// Max is the largest distance seen (the exact diameter when the
+	// topology declares one, or when measured exhaustively).
+	Max int
+	// Histogram counts pairs per distance; index is the hop count.
+	Histogram []int64
+	// Pairs is the number of (src,dst) pairs measured.
+	Pairs int64
+	// ExactMean and ExactMax report whether the respective figures are
+	// exact or sampled estimates.
+	ExactMean bool
+	ExactMax  bool
+}
+
+// Options controls the measurement.
+type Options struct {
+	// ExhaustiveLimit is the endpoint count up to which all ordered pairs
+	// are enumerated. Default 2048.
+	ExhaustiveLimit int
+	// Samples is the number of random pairs drawn above the limit.
+	// Default 2,000,000.
+	Samples int
+	// Seed drives the sampling.
+	Seed int64
+	// Workers bounds the sampling goroutines. Default NumCPU.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 2048
+	}
+	if o.Samples == 0 {
+		o.Samples = 2_000_000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// distanceOf measures one pair, preferring the analytic hook.
+func distanceOf(t topo.Topology, d distancer, buf *[]int32, src, dst int) int {
+	if d != nil {
+		return d.Distance(src, dst)
+	}
+	*buf = t.RouteAppend((*buf)[:0], src, dst)
+	return len(*buf)
+}
+
+// Distances measures the distance distribution of a topology.
+func Distances(t topo.Topology, opt Options) DistanceStats {
+	opt = opt.withDefaults()
+	n := t.NumEndpoints()
+	d, _ := t.(distancer)
+
+	var stats DistanceStats
+	if n <= opt.ExhaustiveLimit {
+		stats = exhaustive(t, d, n, opt.Workers)
+		stats.ExactMean = true
+		stats.ExactMax = true
+	} else {
+		stats = sampled(t, d, n, opt)
+		if a, ok := t.(avgDistancer); ok {
+			stats.Mean = a.AvgDistance()
+			stats.ExactMean = true
+		}
+	}
+	if dm, ok := t.(diametered); ok {
+		stats.Max = dm.Diameter()
+		stats.ExactMax = true
+	}
+	return stats
+}
+
+// exhaustive enumerates all ordered distinct pairs, partitioned by source
+// across workers.
+func exhaustive(t topo.Topology, d distancer, n, workers int) DistanceStats {
+	if workers > n {
+		workers = n
+	}
+	results := make([]DistanceStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []int32
+			local := &results[w]
+			local.Histogram = make([]int64, 16)
+			sum := 0.0
+			for src := w; src < n; src += workers {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					dist := distanceOf(t, d, &buf, src, dst)
+					sum += float64(dist)
+					local.record(dist)
+				}
+			}
+			local.Mean = sum
+		}(w)
+	}
+	wg.Wait()
+	return merge(results, int64(n)*int64(n-1))
+}
+
+// sampled draws random ordered distinct pairs.
+func sampled(t topo.Topology, d distancer, n int, opt Options) DistanceStats {
+	workers := opt.Workers
+	per := opt.Samples / workers
+	if per == 0 {
+		per = 1
+	}
+	results := make([]DistanceStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(opt.Seed).SplitN("metrics", w)
+			var buf []int32
+			local := &results[w]
+			local.Histogram = make([]int64, 16)
+			sum := 0.0
+			for i := 0; i < per; i++ {
+				src := rng.Intn(n)
+				dst := rng.IntnExcept(n, src)
+				dist := distanceOf(t, d, &buf, src, dst)
+				sum += float64(dist)
+				local.record(dist)
+			}
+			local.Mean = sum
+		}(w)
+	}
+	wg.Wait()
+	return merge(results, int64(workers)*int64(per))
+}
+
+// record bumps the histogram, growing it as needed, and tracks the max.
+func (s *DistanceStats) record(dist int) {
+	for dist >= len(s.Histogram) {
+		s.Histogram = append(s.Histogram, make([]int64, len(s.Histogram))...)
+	}
+	s.Histogram[dist]++
+	if dist > s.Max {
+		s.Max = dist
+	}
+}
+
+func merge(parts []DistanceStats, pairs int64) DistanceStats {
+	out := DistanceStats{Pairs: pairs}
+	sum := 0.0
+	for _, p := range parts {
+		sum += p.Mean // partial sums
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+		for d, c := range p.Histogram {
+			if c == 0 {
+				continue
+			}
+			for d >= len(out.Histogram) {
+				out.Histogram = append(out.Histogram, make([]int64, len(out.Histogram)+1)...)
+			}
+			out.Histogram[d] += c
+		}
+	}
+	if pairs > 0 {
+		out.Mean = sum / float64(pairs)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo/fattree"
+	"mtier/internal/topo/nest"
+	"mtier/internal/topo/torus"
+)
+
+func TestExhaustiveTorus(t *testing.T) {
+	tor, err := torus.New(grid.Shape{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Distances(tor, Options{})
+	if !s.ExactMean || !s.ExactMax {
+		t.Fatal("small torus should be exact")
+	}
+	// Enumerated mean over distinct pairs: analytic mean (incl self) is 3;
+	// over distinct pairs it is 3*n²/(n(n-1)) = 3*64/63.
+	want := 3.0 * 64 / 63
+	if math.Abs(s.Mean-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", s.Mean, want)
+	}
+	if s.Max != 6 {
+		t.Fatalf("max = %d, want 6", s.Max)
+	}
+	if s.Pairs != 64*63 {
+		t.Fatalf("pairs = %d", s.Pairs)
+	}
+	var total int64
+	for _, c := range s.Histogram {
+		total += c
+	}
+	if total != s.Pairs {
+		t.Fatalf("histogram sums to %d, want %d", total, s.Pairs)
+	}
+}
+
+func TestSampledMatchesAnalytic(t *testing.T) {
+	tor, err := torus.New(grid.Shape{16, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Distances(tor, Options{ExhaustiveLimit: 64, Samples: 100_000, Seed: 4})
+	// The torus provides AvgDistance, so the mean must be exact (analytic
+	// mean includes self pairs; accept the small difference).
+	if !s.ExactMean {
+		t.Fatal("torus mean should use the analytic value")
+	}
+	if math.Abs(s.Mean-12) > 0.01 {
+		t.Fatalf("mean = %g, want 12", s.Mean)
+	}
+	if s.Max != 24 {
+		t.Fatalf("max = %d, want 24", s.Max)
+	}
+	// Sampled histogram mean should be close to analytic.
+	var total, weighted int64
+	for d, c := range s.Histogram {
+		total += c
+		weighted += int64(d) * c
+	}
+	sampleMean := float64(weighted) / float64(total)
+	if math.Abs(sampleMean-12) > 0.2 {
+		t.Fatalf("sampled mean %g too far from 12", sampleMean)
+	}
+}
+
+func TestFattreeStats(t *testing.T) {
+	g, err := fattree.NewKaryNTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Distances(g, Options{})
+	if math.Abs(s.Mean-g.AvgDistance()) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", s.Mean, g.AvgDistance())
+	}
+	if s.Max != 6 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	// Distances in a tree are even.
+	for d, c := range s.Histogram {
+		if d%2 == 1 && c > 0 {
+			t.Fatalf("odd distance %d has %d pairs", d, c)
+		}
+	}
+}
+
+func TestNestSampledDeterministic(t *testing.T) {
+	n, err := nest.BuildCube(nest.UpperGHC, 2, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Distances(n, Options{ExhaustiveLimit: 128, Samples: 50_000, Seed: 9, Workers: 4})
+	b := Distances(n, Options{ExhaustiveLimit: 128, Samples: 50_000, Seed: 9, Workers: 4})
+	for d := range a.Histogram {
+		if d < len(b.Histogram) && a.Histogram[d] != b.Histogram[d] {
+			t.Fatal("sampling not deterministic for fixed seed and workers")
+		}
+	}
+	if a.Max != n.Diameter() {
+		t.Fatalf("max %d should use declared diameter %d", a.Max, n.Diameter())
+	}
+}

@@ -1,0 +1,236 @@
+// Package report renders experiment results as aligned plain-text tables
+// and CSV, matching the rows/series layout of the paper's tables and
+// figures so that outputs can be compared side by side with the original.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a fixed header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row. Cells are stringified with %v; float64 cells are
+// formatted with 4 significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (4 significant decimals, trimmed).
+func FormatFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV with a header row. Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// Series is a named sequence of (label, value) points — one line of a
+// figure (e.g. NestGHC across the 12 (t,u) configurations).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Figure groups several series sharing x labels, mirroring one panel of
+// Figure 4/5 in the paper.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a point to the named series, creating it on first use.
+func (f *Figure) Add(series, label string, value float64) {
+	for _, s := range f.Series {
+		if s.Name == series {
+			s.Labels = append(s.Labels, label)
+			s.Values = append(s.Values, value)
+			return
+		}
+	}
+	f.Series = append(f.Series, &Series{Name: series, Labels: []string{label}, Values: []float64{value}})
+}
+
+// Get returns the value for (series, label) and whether it exists.
+func (f *Figure) Get(series, label string) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Name != series {
+			continue
+		}
+		for i, l := range s.Labels {
+			if l == label {
+				return s.Values[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Table converts the figure to a table: one row per x label, one column per
+// series, in insertion order.
+func (f *Figure) Table() *Table {
+	order := []string{}
+	seen := map[string]bool{}
+	for _, s := range f.Series {
+		for _, l := range s.Labels {
+			if !seen[l] {
+				seen[l] = true
+				order = append(order, l)
+			}
+		}
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	t := NewTable(f.Title, header...)
+	for _, l := range order {
+		row := []interface{}{l}
+		for _, s := range f.Series {
+			if v, ok := f.Get(s.Name, l); ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// String renders the figure as its table form.
+func (f *Figure) String() string { return f.Table().String() }
+
+// SortedKeys returns map keys in sorted order; a small helper for
+// deterministic iteration when reporting.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 42)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") || !strings.Contains(out, "42") {
+		t.Errorf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d: %q", len(lines), out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:     "1.5",
+		2:       "2",
+		0.12345: "0.1235",
+		0:       "0",
+		-3.25:   "-3.25",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`with "quote"`, "with,comma")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with ""quote"""`) {
+		t.Errorf("quote not escaped: %q", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Fig", "(t,u)", "norm time")
+	f.Add("NestGHC", "(2,8)", 1.2)
+	f.Add("NestGHC", "(2,4)", 1.1)
+	f.Add("NestTree", "(2,8)", 1.3)
+	if v, ok := f.Get("NestGHC", "(2,4)"); !ok || v != 1.1 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := f.Get("NestGHC", "(9,9)"); ok {
+		t.Fatal("Get should miss")
+	}
+	tab := f.Table()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// NestTree has no (2,4) point -> dash
+	if tab.Rows[1][2] != "-" {
+		t.Errorf("expected dash for missing point, got %q", tab.Rows[1][2])
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

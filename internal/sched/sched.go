@@ -1,0 +1,232 @@
+// Package sched is the job-scheduling substrate of the simulator,
+// mirroring INRFlow's "selection, allocation and mapping" policies: jobs
+// queue FCFS, an allocation policy picks the endpoints of each job, and
+// each running job's communication phase is simulated on the topology to
+// obtain its duration.
+//
+// Jobs that run concurrently occupy disjoint endpoint sets; their network
+// interference is not modelled (each job is simulated in isolation), which
+// matches the per-workload methodology of the paper's evaluation.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mtier/internal/flow"
+	"mtier/internal/topo"
+	"mtier/internal/workload"
+	"mtier/internal/xrand"
+)
+
+// AllocPolicy selects endpoints for a job.
+type AllocPolicy string
+
+const (
+	// FirstFit allocates the lowest contiguous run of free endpoints,
+	// preserving subtorus locality.
+	FirstFit AllocPolicy = "firstfit"
+	// RandomFit allocates uniformly random free endpoints, modelling a
+	// fragmented machine.
+	RandomFit AllocPolicy = "randomfit"
+)
+
+// Job is one scheduled application run.
+type Job struct {
+	// Name labels the job in the trace.
+	Name string
+	// Workload and Params define the traffic the job generates; Params.Tasks
+	// is the number of endpoints the job needs.
+	Workload workload.Kind
+	Params   workload.Params
+	// Submit is the submission time in seconds.
+	Submit float64
+}
+
+// Event records one job's lifecycle in the resulting schedule trace.
+type Event struct {
+	Name       string
+	Submit     float64
+	Start      float64
+	End        float64
+	Endpoints  []int32
+	FlowCount  int
+	WaitTime   float64
+	RunTime    float64
+	Makespan   float64 // == RunTime; the job's communication completion time
+	Stretch    float64 // (wait+run)/run
+	Allocation AllocPolicy
+}
+
+// Scheduler runs a FCFS queue over a topology.
+type Scheduler struct {
+	topo  topo.Topology
+	alloc AllocPolicy
+	opt   flow.Options
+	seed  int64
+}
+
+// New creates a scheduler over the topology with the given allocation
+// policy and simulation options.
+func New(t topo.Topology, alloc AllocPolicy, opt flow.Options, seed int64) *Scheduler {
+	return &Scheduler{topo: t, alloc: alloc, opt: opt, seed: seed}
+}
+
+type running struct {
+	end   float64
+	alloc []int32
+	idx   int
+}
+
+// Run executes the jobs FCFS and returns one Event per job, in input
+// order. Jobs wait until both all earlier jobs have started (FCFS, no
+// backfilling) and enough endpoints are free.
+func (s *Scheduler) Run(jobs []Job) ([]Event, error) {
+	n := s.topo.NumEndpoints()
+	free := n
+	used := make([]bool, n)
+	events := make([]Event, len(jobs))
+	var active []running
+
+	// Process jobs in submission order (stable for equal times).
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Submit < jobs[order[b]].Submit })
+
+	now := 0.0
+	finishOldest := func() {
+		// Pop the earliest-ending active job and free its endpoints.
+		best := 0
+		for i := 1; i < len(active); i++ {
+			if active[i].end < active[best].end {
+				best = i
+			}
+		}
+		r := active[best]
+		active = append(active[:best], active[best+1:]...)
+		if r.end > now {
+			now = r.end
+		}
+		for _, ep := range r.alloc {
+			used[ep] = false
+		}
+		free += len(r.alloc)
+	}
+
+	for _, idx := range order {
+		job := jobs[idx]
+		tasks := job.Params.Tasks
+		if tasks < 1 || tasks > n {
+			return nil, fmt.Errorf("sched: job %q needs %d endpoints, machine has %d", job.Name, tasks, n)
+		}
+		if job.Submit > now {
+			now = job.Submit
+		}
+		for free < tasks || (s.alloc == FirstFit && !hasContiguousRun(used, tasks)) {
+			if len(active) == 0 {
+				return nil, fmt.Errorf("sched: job %q cannot be allocated (%d tasks, %d free)", job.Name, tasks, free)
+			}
+			finishOldest()
+		}
+		alloc, err := s.allocate(used, tasks, idx)
+		if err != nil {
+			return nil, err
+		}
+		for _, ep := range alloc {
+			used[ep] = true
+		}
+		free -= tasks
+
+		spec, err := workload.Generate(job.Workload, job.Params)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %q: %w", job.Name, err)
+		}
+		mapped := &flow.Spec{Flows: make([]flow.Flow, len(spec.Flows))}
+		for i, f := range spec.Flows {
+			mapped.Flows[i] = flow.Flow{Src: alloc[f.Src], Dst: alloc[f.Dst], Bytes: f.Bytes, Deps: f.Deps}
+		}
+		res, err := flow.Simulate(s.topo, mapped, s.opt)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %q: %w", job.Name, err)
+		}
+		start := now
+		end := start + res.Makespan
+		active = append(active, running{end: end, alloc: alloc, idx: idx})
+		run := res.Makespan
+		wait := start - job.Submit
+		stretch := 1.0
+		if run > 0 {
+			stretch = (wait + run) / run
+		}
+		events[idx] = Event{
+			Name:       job.Name,
+			Submit:     job.Submit,
+			Start:      start,
+			End:        end,
+			Endpoints:  alloc,
+			FlowCount:  len(spec.Flows),
+			WaitTime:   wait,
+			RunTime:    run,
+			Makespan:   run,
+			Stretch:    stretch,
+			Allocation: s.alloc,
+		}
+	}
+	return events, nil
+}
+
+func hasContiguousRun(used []bool, k int) bool {
+	run := 0
+	for _, u := range used {
+		if u {
+			run = 0
+			continue
+		}
+		run++
+		if run >= k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) allocate(used []bool, k, jobIdx int) ([]int32, error) {
+	switch s.alloc {
+	case FirstFit:
+		run := 0
+		for i := range used {
+			if used[i] {
+				run = 0
+				continue
+			}
+			run++
+			if run == k {
+				out := make([]int32, k)
+				for j := 0; j < k; j++ {
+					out[j] = int32(i - k + 1 + j)
+				}
+				return out, nil
+			}
+		}
+		return nil, fmt.Errorf("sched: no contiguous run of %d endpoints", k)
+	case RandomFit:
+		var freeList []int32
+		for i, u := range used {
+			if !u {
+				freeList = append(freeList, int32(i))
+			}
+		}
+		if len(freeList) < k {
+			return nil, fmt.Errorf("sched: only %d endpoints free, need %d", len(freeList), k)
+		}
+		rng := xrand.New(s.seed).SplitN("alloc", jobIdx)
+		rng.Shuffle32(freeList)
+		out := freeList[:k]
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown allocation policy %q", s.alloc)
+	}
+}

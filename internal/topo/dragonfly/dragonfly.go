@@ -1,0 +1,186 @@
+// Package dragonfly implements the Dragonfly topology of Kim et al.
+// (ISCA 2008), the large-radix low-diameter network discussed in the
+// paper's related work: groups of routers act as virtual high-radix
+// routers, with one global cable between every pair of groups.
+//
+// The canonical balanced configuration has a routers per group, p = a/2
+// endpoints per router, h = a/2 global ports per router, and g = a·h + 1
+// groups. This package accepts any (p, a, h) with a·h + 1 groups and uses
+// the standard consecutive global-link arrangement with deterministic
+// minimal routing (local hop, global hop, local hop).
+package dragonfly
+
+import (
+	"fmt"
+
+	"mtier/internal/topo"
+)
+
+// Dragonfly is a three-level dragonfly with full global connectivity.
+type Dragonfly struct {
+	net topo.Net
+	p   int // endpoints per router
+	a   int // routers per group
+	h   int // global ports per router
+	g   int // groups = a*h + 1
+
+	numEndpoints int
+	numRouters   int
+	rBase        int // vertex id of router 0
+	name         string
+}
+
+// New builds a dragonfly with p endpoints per router, a routers per group
+// and h global ports per router, spanning the full a·h+1 groups.
+func New(p, a, h int) (*Dragonfly, error) {
+	if p < 1 || a < 1 || h < 1 {
+		return nil, fmt.Errorf("dragonfly: parameters must be positive, got p=%d a=%d h=%d", p, a, h)
+	}
+	d := &Dragonfly{p: p, a: a, h: h, g: a*h + 1}
+	d.numRouters = d.g * a
+	d.numEndpoints = d.numRouters * p
+	d.rBase = d.numEndpoints
+	d.name = fmt.Sprintf("dragonfly-p%da%dh%d(g%d)", p, a, h, d.g)
+	d.net.AddVertices(d.numEndpoints + d.numRouters)
+
+	// Host links.
+	for ep := 0; ep < d.numEndpoints; ep++ {
+		d.net.AddDuplex(ep, d.rBase+ep/p)
+	}
+	// Local links: each group is a complete graph of a routers.
+	for grp := 0; grp < d.g; grp++ {
+		base := d.rBase + grp*a
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				d.net.AddDuplex(base+i, base+j)
+			}
+		}
+	}
+	// Global links: group gi's channel c (c in [0, a*h)) connects to group
+	// gj = c if c < gi else c+1; add each cable once from the lower group.
+	for gi := 0; gi < d.g; gi++ {
+		for c := 0; c < a*h; c++ {
+			gj := c
+			if c >= gi {
+				gj = c + 1
+			}
+			if gj <= gi {
+				continue // added from the other side
+			}
+			ra := d.routerOfChannel(gi, gj)
+			rb := d.routerOfChannel(gj, gi)
+			d.net.AddDuplex(d.rBase+ra, d.rBase+rb)
+		}
+	}
+	return d, nil
+}
+
+// NewBalanced builds the canonical balanced dragonfly for a given router
+// arity a (even): p = h = a/2.
+func NewBalanced(a int) (*Dragonfly, error) {
+	if a < 2 || a%2 != 0 {
+		return nil, fmt.Errorf("dragonfly: balanced config needs even a >= 2, got %d", a)
+	}
+	return New(a/2, a, a/2)
+}
+
+// routerOfChannel returns the router index (global, not group-local) that
+// owns the global channel from group gi towards group gj.
+func (d *Dragonfly) routerOfChannel(gi, gj int) int {
+	c := gj
+	if gj > gi {
+		c = gj - 1
+	}
+	return gi*d.a + c/d.h
+}
+
+// Groups returns the group count.
+func (d *Dragonfly) Groups() int { return d.g }
+
+// Name implements topo.Topology.
+func (d *Dragonfly) Name() string { return d.name }
+
+// NumEndpoints implements topo.Topology.
+func (d *Dragonfly) NumEndpoints() int { return d.numEndpoints }
+
+// NumVertices implements topo.Topology.
+func (d *Dragonfly) NumVertices() int { return d.net.NumVertices() }
+
+// NumLinks implements topo.Topology.
+func (d *Dragonfly) NumLinks() int { return d.net.NumLinks() }
+
+// Links implements topo.Topology.
+func (d *Dragonfly) Links() []topo.Link { return d.net.Links() }
+
+// RouteAppend implements topo.Topology with deterministic minimal routing:
+// ascend to the router holding the global channel towards the destination
+// group, cross it, then descend locally.
+func (d *Dragonfly) RouteAppend(buf []int32, src, dst int) []int32 {
+	if src < 0 || src >= d.numEndpoints || dst < 0 || dst >= d.numEndpoints {
+		panic(fmt.Sprintf("dragonfly: endpoint out of range: %d -> %d", src, dst))
+	}
+	if src == dst {
+		return buf
+	}
+	r1 := src / d.p
+	r2 := dst / d.p
+	buf = d.net.AppendHop(buf, src, d.rBase+r1)
+	cur := r1
+	g1, g2 := r1/d.a, r2/d.a
+	if g1 != g2 {
+		ra := d.routerOfChannel(g1, g2)
+		if ra != cur {
+			buf = d.net.AppendHop(buf, d.rBase+cur, d.rBase+ra)
+			cur = ra
+		}
+		rb := d.routerOfChannel(g2, g1)
+		buf = d.net.AppendHop(buf, d.rBase+cur, d.rBase+rb)
+		cur = rb
+	}
+	if cur != r2 {
+		buf = d.net.AppendHop(buf, d.rBase+cur, d.rBase+r2)
+		cur = r2
+	}
+	return d.net.AppendHop(buf, d.rBase+cur, dst)
+}
+
+// Distance returns the hop count of the deterministic route.
+func (d *Dragonfly) Distance(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	r1, r2 := src/d.p, dst/d.p
+	if r1 == r2 {
+		return 2
+	}
+	g1, g2 := r1/d.a, r2/d.a
+	if g1 == g2 {
+		return 3
+	}
+	hops := 3 // host, global, host
+	if ra := d.routerOfChannel(g1, g2); ra != r1 {
+		hops++
+	}
+	if rb := d.routerOfChannel(g2, g1); rb != r2 {
+		hops++
+	}
+	return hops
+}
+
+// Diameter implements the metrics hook: host + local + global + local +
+// host when the group count allows divergence.
+func (d *Dragonfly) Diameter() int {
+	if d.g == 1 {
+		if d.a == 1 {
+			return 2
+		}
+		return 3
+	}
+	max := 3
+	if d.a > 1 {
+		max = 5
+	}
+	return max
+}
+
+var _ topo.Topology = (*Dragonfly)(nil)

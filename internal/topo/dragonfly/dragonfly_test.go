@@ -1,0 +1,124 @@
+package dragonfly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtier/internal/topo"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4, 2); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewBalanced(3); err == nil {
+		t.Fatal("odd arity accepted")
+	}
+	if _, err := NewBalanced(0); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+}
+
+func TestBalancedCounts(t *testing.T) {
+	d, err := NewBalanced(4) // p=2, a=4, h=2, g=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Groups() != 9 {
+		t.Fatalf("groups = %d, want 9", d.Groups())
+	}
+	if d.NumEndpoints() != 9*4*2 {
+		t.Fatalf("endpoints = %d, want 72", d.NumEndpoints())
+	}
+	// Cables: hosts 72, locals 9*C(4,2)=54, globals C(9,2)=36.
+	if d.NumLinks() != (72+54+36)*2 {
+		t.Fatalf("links = %d, want %d", d.NumLinks(), (72+54+36)*2)
+	}
+}
+
+func TestGlobalLinksCoverAllGroupPairs(t *testing.T) {
+	d, err := NewBalanced(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count switch-to-switch links between distinct groups: must be exactly
+	// one cable per unordered group pair.
+	pairs := map[[2]int]int{}
+	for _, l := range d.Links() {
+		if int(l.From) < d.NumEndpoints() || int(l.To) < d.NumEndpoints() {
+			continue
+		}
+		g1 := (int(l.From) - d.NumEndpoints()) / 4
+		g2 := (int(l.To) - d.NumEndpoints()) / 4
+		if g1 == g2 {
+			continue
+		}
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		pairs[[2]int{g1, g2}]++
+	}
+	if len(pairs) != 36 {
+		t.Fatalf("group pairs connected = %d, want 36", len(pairs))
+	}
+	for p, c := range pairs {
+		if c != 2 { // both directions of one cable
+			t.Fatalf("group pair %v has %d directed links, want 2", p, c)
+		}
+	}
+}
+
+func TestRoutesValidExhaustive(t *testing.T) {
+	d, err := NewBalanced(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(d, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(topo.Route(d, src, dst)), d.Distance(src, dst); got != want {
+				t.Fatalf("route %d->%d hops %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestDiameterAttained(t *testing.T) {
+	d, err := NewBalanced(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	n := d.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if dist := d.Distance(src, dst); dist > max {
+				max = dist
+			}
+		}
+	}
+	if max != d.Diameter() {
+		t.Fatalf("observed diameter %d != declared %d", max, d.Diameter())
+	}
+}
+
+func TestQuickLarger(t *testing.T) {
+	d, err := NewBalanced(8) // p=4, a=8, h=4, g=33 -> 1056 endpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEndpoints() != 33*8*4 {
+		t.Fatalf("endpoints = %d", d.NumEndpoints())
+	}
+	n := d.NumEndpoints()
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		return topo.CheckRoute(d, src, dst) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

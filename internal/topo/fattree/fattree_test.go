@@ -1,0 +1,359 @@
+package fattree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtier/internal/topo"
+)
+
+func mustKary(t testing.TB, k, n int) *GTree {
+	t.Helper()
+	g, err := NewKaryNTree(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty arities accepted")
+	}
+	if _, err := New([]int{4, 4}, []int{2, 4}); err == nil {
+		t.Fatal("w[0] != 1 accepted")
+	}
+	if _, err := New([]int{4, 0}, []int{1, 4}); err == nil {
+		t.Fatal("zero arity accepted")
+	}
+	if _, err := New([]int{4}, []int{1, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewKaryNTree(0, 3); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestKaryNTreeCounts(t *testing.T) {
+	cases := []struct {
+		k, n               int
+		endpoints, switch_ int
+	}{
+		{2, 2, 4, 4},
+		{4, 2, 16, 8},
+		{2, 3, 8, 12},
+		{4, 3, 64, 48},
+		{8, 3, 512, 192},
+	}
+	for _, c := range cases {
+		g := mustKary(t, c.k, c.n)
+		if g.NumEndpoints() != c.endpoints {
+			t.Errorf("%d-ary %d-tree endpoints = %d, want %d", c.k, c.n, g.NumEndpoints(), c.endpoints)
+		}
+		if g.NumSwitches() != c.switch_ {
+			t.Errorf("%d-ary %d-tree switches = %d, want %d", c.k, c.n, g.NumSwitches(), c.switch_)
+		}
+	}
+}
+
+func TestPortCounts(t *testing.T) {
+	// In a k-ary n-tree every non-top switch has 2k ports, top switches k.
+	g := mustKary(t, 4, 3)
+	deg := make(map[int32]int)
+	for _, l := range g.Links() {
+		deg[l.From]++
+	}
+	for v := g.NumEndpoints(); v < g.NumVertices(); v++ {
+		d := deg[int32(v)]
+		top := v >= g.NumVertices()-16 // top level of 4-ary 3-tree has 16 switches
+		if top && d != 4 {
+			t.Fatalf("top switch %d degree %d, want 4", v, d)
+		}
+		if !top && d != 8 {
+			t.Fatalf("switch %d degree %d, want 8", v, d)
+		}
+	}
+	// endpoints have exactly one port
+	for v := 0; v < g.NumEndpoints(); v++ {
+		if deg[int32(v)] != 1 {
+			t.Fatalf("endpoint %d degree %d, want 1", v, deg[int32(v)])
+		}
+	}
+}
+
+func TestRoutesValidExhaustive(t *testing.T) {
+	for _, g := range []*GTree{mustKary(t, 2, 2), mustKary(t, 2, 3), mustKary(t, 4, 2)} {
+		n := g.NumEndpoints()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if err := topo.CheckRoute(g, src, dst); err != nil {
+					t.Fatalf("%s: %v", g.Name(), err)
+				}
+				if got, want := len(topo.Route(g, src, dst)), g.Distance(src, dst); got != want {
+					t.Fatalf("%s: route %d->%d hops=%d want %d", g.Name(), src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralizedArities(t *testing.T) {
+	g, err := NewNonBlocking([]int{4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEndpoints() != 24 {
+		t.Fatalf("endpoints = %d, want 24", g.NumEndpoints())
+	}
+	// level1: 2*3 switches (w=1); level2: 3 * 4 (w2=4); level3: 4*2... counts:
+	// level1 = m2*m3*w1 = 6, level2 = m3*w1*w2 = 3*4 = 12, level3 = w1*w2*w3 = 4*2 = 8
+	if g.NumSwitches() != 6+12+8 {
+		t.Fatalf("switches = %d, want 26", g.NumSwitches())
+	}
+	n := g.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(g, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestThinTree(t *testing.T) {
+	if _, err := NewThinTree([]int{4, 4}, 0); err == nil {
+		t.Fatal("slim=0 accepted")
+	}
+	if _, err := NewThinTree([]int{4, 3, 4}, 2); err == nil {
+		t.Fatal("non-dividing slim accepted")
+	}
+	full, err := NewThinTree([]int{4, 4, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewNonBlocking([]int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumSwitches() != ref.NumSwitches() {
+		t.Fatal("slim=1 must equal the non-blocking tree")
+	}
+	thin, err := NewThinTree([]int{4, 4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thin.NumEndpoints() != 64 {
+		t.Fatalf("endpoints = %d", thin.NumEndpoints())
+	}
+	if thin.NumSwitches() >= ref.NumSwitches() {
+		t.Fatalf("thin tree should save switches: %d vs %d", thin.NumSwitches(), ref.NumSwitches())
+	}
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			if err := topo.CheckRoute(thin, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDistanceCases(t *testing.T) {
+	g := mustKary(t, 4, 3)
+	if d := g.Distance(0, 0); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if d := g.Distance(0, 1); d != 2 { // same leaf
+		t.Errorf("same-leaf distance = %d, want 2", d)
+	}
+	if d := g.Distance(0, 4); d != 4 { // same level-2 subtree, different leaf
+		t.Errorf("level-2 distance = %d, want 4", d)
+	}
+	if d := g.Distance(0, 63); d != 6 {
+		t.Errorf("cross-tree distance = %d, want 6", d)
+	}
+	if g.Diameter() != 6 {
+		t.Errorf("diameter = %d, want 6", g.Diameter())
+	}
+}
+
+func TestAvgDistanceMatchesEnumeration(t *testing.T) {
+	for _, g := range []*GTree{mustKary(t, 2, 3), mustKary(t, 4, 2)} {
+		n := g.NumEndpoints()
+		total := 0
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					total += g.Distance(a, b)
+				}
+			}
+		}
+		want := float64(total) / float64(n*(n-1))
+		if got := g.AvgDistance(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s AvgDistance = %g, enumerated %g", g.Name(), got, want)
+		}
+	}
+}
+
+func TestPaperScaleFattree(t *testing.T) {
+	// The paper's reference fattree: 3 stages, 131072 endpoints, diameter 6,
+	// average distance 5.94 (Table 1).
+	g, err := NewNonBlocking([]int{64, 64, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEndpoints() != 131072 {
+		t.Fatalf("endpoints = %d", g.NumEndpoints())
+	}
+	if g.Diameter() != 6 {
+		t.Fatalf("diameter = %d, want 6", g.Diameter())
+	}
+	avg := g.AvgDistance()
+	if avg < 5.9 || avg > 6.0 {
+		t.Fatalf("avg distance = %g, want ~5.94", avg)
+	}
+}
+
+func TestUplinkSpreading(t *testing.T) {
+	// Destination-modulo routing must use different up-ports for different
+	// destinations from the same source.
+	g := mustKary(t, 4, 3)
+	paths := map[int32]bool{}
+	for dst := 16; dst < 32; dst++ { // all outside src's level-2 subtree? 0's subtree at level 2 covers 0..15
+		p := topo.Route(g, 0, dst)
+		verts, err := topo.PathVertices(g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[verts[2]] = true // the level-2 switch chosen
+	}
+	if len(paths) < 2 {
+		t.Errorf("expected up-path diversity, got %d distinct level-2 switches", len(paths))
+	}
+}
+
+func TestFabricAttachAndPaths(t *testing.T) {
+	g := mustKary(t, 4, 3)
+	if g.NumEndpointPorts() != 64 {
+		t.Fatalf("ports = %d", g.NumEndpointPorts())
+	}
+	if g.SwitchDiameter() != 4 {
+		t.Fatalf("switch diameter = %d, want 4", g.SwitchDiameter())
+	}
+	// endpoints 0..3 share leaf 0, 4..7 leaf 1, ...
+	for ep := 0; ep < 64; ep++ {
+		if got := g.AttachSwitch(ep); got != ep/4 {
+			t.Fatalf("AttachSwitch(%d) = %d, want %d", ep, got, ep/4)
+		}
+	}
+	cables := g.SwitchCables()
+	// 4-ary 3-tree: level1-level2 cables = 16*4 = 64, level2-level3 = 16*4 = 64
+	if len(cables) != 128 {
+		t.Fatalf("switch cables = %d, want 128", len(cables))
+	}
+	// Switch paths between ports must be consistent with endpoint routes.
+	for a := 0; a < 64; a += 3 {
+		for b := 0; b < 64; b += 5 {
+			p := g.SwitchPathAppend(nil, a, b)
+			if p[0] != int32(g.AttachSwitch(a)) || p[len(p)-1] != int32(g.AttachSwitch(b)) {
+				t.Fatalf("switch path %d->%d = %v", a, b, p)
+			}
+			if g.AttachSwitch(a) == g.AttachSwitch(b) && len(p) != 1 {
+				t.Fatalf("same-leaf switch path length %d", len(p))
+			}
+			if len(p)-1 != g.SwitchDistance(a, b) {
+				t.Fatalf("switch path %d->%d hops %d, SwitchDistance %d", a, b, len(p)-1, g.SwitchDistance(a, b))
+			}
+			if a != b {
+				ep := topo.Route(g, a, b)
+				if len(p)-1 != len(ep)-2 {
+					t.Fatalf("switch path %d->%d hops %d, endpoint route interior hops %d", a, b, len(p)-1, len(ep)-2)
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchPathCablesExist(t *testing.T) {
+	g := mustKary(t, 2, 3)
+	cableSet := map[[2]int32]bool{}
+	for _, c := range g.SwitchCables() {
+		cableSet[c] = true
+	}
+	for a := 0; a < g.NumEndpoints(); a++ {
+		for b := 0; b < g.NumEndpoints(); b++ {
+			p := g.SwitchPathAppend(nil, a, b)
+			for i := 1; i < len(p); i++ {
+				x, y := p[i-1], p[i]
+				if x > y {
+					x, y = y, x
+				}
+				if !cableSet[[2]int32{x, y}] {
+					t.Fatalf("switch path %d->%d uses missing cable %d-%d", a, b, p[i-1], p[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRouteProperty(t *testing.T) {
+	g := mustKary(t, 8, 3)
+	n := g.NumEndpoints()
+	f := func(a, b uint32) bool {
+		src, dst := int(a)%n, int(b)%n
+		return topo.CheckRoute(g, src, dst) == nil &&
+			len(topo.Route(g, src, dst)) == g.Distance(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteChoicesValid(t *testing.T) {
+	g := mustKary(t, 4, 3)
+	if g.NumRouteChoices() != 4 {
+		t.Fatalf("choices = %d, want 4", g.NumRouteChoices())
+	}
+	n := g.NumEndpoints()
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst += 5 {
+			ref := topo.Route(g, src, dst)
+			distinct := map[string]bool{}
+			for c := 0; c < g.NumRouteChoices(); c++ {
+				p := g.RouteChoiceAppend(nil, src, dst, c)
+				if len(p) != len(ref) {
+					t.Fatalf("choice %d not minimal for %d->%d", c, src, dst)
+				}
+				verts, err := topo.PathVertices(g, src, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(verts) > 0 && verts[len(verts)-1] != int32(dst) && src != dst {
+					t.Fatalf("choice %d misses destination", c)
+				}
+				distinct[string(rune(len(p)))+string(fmtPath(p))] = true
+			}
+			if g.Distance(src, dst) >= 4 && len(distinct) < 2 {
+				t.Fatalf("expected path diversity for %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func fmtPath(p []int32) []byte {
+	out := make([]byte, 0, len(p)*4)
+	for _, v := range p {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+func BenchmarkRoute8ary3(b *testing.B) {
+	g := mustKary(b, 8, 3)
+	n := g.NumEndpoints()
+	buf := make([]int32, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.RouteAppend(buf[:0], i%n, (i*2654435761)%n)
+	}
+}

@@ -1,0 +1,246 @@
+// Package ghc implements the Generalised Hypercube of Bhuyan & Agrawal
+// with deterministic e-cube routing, adapted — as in the paper and in the
+// spirit of BCube — for switch-based deployment: switches sit on the points
+// of a mixed-radix grid, each dimension is a complete graph (every switch
+// is directly cabled to every other switch sharing all remaining
+// coordinates), and a fixed number of endpoints concentrate on each switch.
+package ghc
+
+import (
+	"fmt"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+)
+
+// GHC is a generalised hypercube of switches with endpoint concentration.
+type GHC struct {
+	net    topo.Net
+	dims   grid.Shape
+	stride []int // stride[d] = product of dims below d
+	conc   int   // endpoints per switch
+	name   string
+
+	numSwitches  int
+	numEndpoints int
+	swBase       int // vertex id of switch 0
+}
+
+// New builds a GHC with the given per-dimension sizes and endpoints per
+// switch. A GHC with dims {8,8,8,16} and conc 16 hosts the paper-scale
+// 131,072 endpoints on 8,192 switches.
+func New(dims grid.Shape, conc int) (*GHC, error) {
+	if err := dims.Validate(); err != nil {
+		return nil, err
+	}
+	if conc < 1 {
+		return nil, fmt.Errorf("ghc: concentration must be >= 1, got %d", conc)
+	}
+	g := &GHC{
+		dims: append(grid.Shape(nil), dims...),
+		conc: conc,
+		name: fmt.Sprintf("ghc-%s(c%d)", dims, conc),
+	}
+	g.stride = make([]int, dims.Dims())
+	st := 1
+	for d, k := range dims {
+		g.stride[d] = st
+		st *= k
+	}
+	g.numSwitches = dims.Size()
+	g.numEndpoints = conc * g.numSwitches
+	g.swBase = g.numEndpoints
+	g.net.AddVertices(g.numEndpoints + g.numSwitches)
+
+	// Host links.
+	for ep := 0; ep < g.numEndpoints; ep++ {
+		g.net.AddDuplex(ep, g.swBase+ep/conc)
+	}
+	// Dimension links: each dimension is a complete graph among switches
+	// sharing the remaining coordinates. Add each cable once (lower
+	// coordinate first).
+	coord := make([]int, dims.Dims())
+	for s := 0; s < g.numSwitches; s++ {
+		dims.CoordInto(s, coord)
+		for d, k := range dims {
+			orig := coord[d]
+			for v := orig + 1; v < k; v++ {
+				coord[d] = v
+				g.net.AddDuplex(g.swBase+s, g.swBase+dims.Rank(coord))
+			}
+			coord[d] = orig
+		}
+	}
+	return g, nil
+}
+
+// Dims returns the switch-grid shape.
+func (g *GHC) Dims() grid.Shape { return g.dims }
+
+// Concentration returns the endpoints per switch.
+func (g *GHC) Concentration() int { return g.conc }
+
+// Name implements topo.Topology.
+func (g *GHC) Name() string { return g.name }
+
+// NumEndpoints implements topo.Topology.
+func (g *GHC) NumEndpoints() int { return g.numEndpoints }
+
+// NumVertices implements topo.Topology.
+func (g *GHC) NumVertices() int { return g.net.NumVertices() }
+
+// NumLinks implements topo.Topology.
+func (g *GHC) NumLinks() int { return g.net.NumLinks() }
+
+// Links implements topo.Topology.
+func (g *GHC) Links() []topo.Link { return g.net.Links() }
+
+// RouteAppend implements topo.Topology: host link up, e-cube across the
+// switch grid (dimensions corrected in order, one hop each), host link down.
+func (g *GHC) RouteAppend(buf []int32, src, dst int) []int32 {
+	return g.RouteChoiceAppend(buf, src, dst, 0)
+}
+
+// NumRouteChoices implements topo.MultiRouter: one minimal candidate per
+// rotation of the dimension-correction order (Young & Yalamanchili-style
+// adaptivity at flow granularity).
+func (g *GHC) NumRouteChoices() int { return g.dims.Dims() }
+
+// RouteChoiceAppend implements topo.MultiRouter.
+func (g *GHC) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
+	if src < 0 || src >= g.numEndpoints || dst < 0 || dst >= g.numEndpoints {
+		panic(fmt.Sprintf("ghc: endpoint out of range: %d -> %d", src, dst))
+	}
+	if src == dst {
+		return buf
+	}
+	s1, s2 := src/g.conc, dst/g.conc
+	buf = g.net.AppendHop(buf, src, g.swBase+s1)
+	cur := s1
+	dims := g.dims.Dims()
+	for i := 0; i < dims; i++ {
+		d := (i + choice) % dims
+		k := g.dims[d]
+		stride := g.stride[d]
+		ca := (s1 / stride) % k
+		cb := (s2 / stride) % k
+		if ca != cb {
+			next := cur + (cb-ca)*stride
+			buf = g.net.AppendHop(buf, g.swBase+cur, g.swBase+next)
+			cur = next
+		}
+	}
+	return g.net.AppendHop(buf, g.swBase+cur, dst)
+}
+
+// Distance returns the hop count of the deterministic route.
+func (g *GHC) Distance(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 2 + g.hamming(src/g.conc, dst/g.conc)
+}
+
+func (g *GHC) hamming(s1, s2 int) int {
+	h := 0
+	for _, k := range g.dims {
+		if s1%k != s2%k {
+			h++
+		}
+		s1 /= k
+		s2 /= k
+	}
+	return h
+}
+
+// Diameter returns the maximum endpoint-to-endpoint route length.
+func (g *GHC) Diameter() int { return 2 + g.SwitchDiameter() }
+
+// AvgDistance returns the exact mean route length over ordered distinct
+// endpoint pairs.
+func (g *GHC) AvgDistance() float64 {
+	n := float64(g.numEndpoints)
+	s := float64(g.numSwitches)
+	c := float64(g.conc)
+	// Same-switch distinct pairs travel 2 hops.
+	total := n * (c - 1) * 2
+	// Different-switch pairs: 2 + expected hamming distance.
+	hamSum := 0.0 // sum of hamming over all ordered switch pairs
+	for _, k := range g.dims {
+		hamSum += s * s * (1 - 1/float64(k))
+	}
+	total += c * c * (2*s*(s-1) + hamSum)
+	return total / (n * (n - 1))
+}
+
+// --- topo.Fabric implementation ---
+
+// NumSwitches implements topo.Fabric.
+func (g *GHC) NumSwitches() int { return g.numSwitches }
+
+// NumEndpointPorts implements topo.Fabric.
+func (g *GHC) NumEndpointPorts() int { return g.numEndpoints }
+
+// AttachSwitch implements topo.Fabric.
+func (g *GHC) AttachSwitch(ep int) int { return ep / g.conc }
+
+// SwitchCables implements topo.Fabric.
+func (g *GHC) SwitchCables() [][2]int32 {
+	var out [][2]int32
+	base := int32(g.swBase)
+	for i, l := range g.Links() {
+		if i%2 != 0 { // AddDuplex emits forward then reverse; keep forward
+			continue
+		}
+		if l.From < base || l.To < base {
+			continue
+		}
+		out = append(out, [2]int32{l.From - base, l.To - base})
+	}
+	return out
+}
+
+// SwitchPathAppend implements topo.Fabric with e-cube order between the
+// ports' switches.
+func (g *GHC) SwitchPathAppend(buf []int32, srcPort, dstPort int) []int32 {
+	a, b := srcPort/g.conc, dstPort/g.conc
+	buf = append(buf, int32(a))
+	cur := a
+	x, y := a, b
+	stride := 1
+	for _, k := range g.dims {
+		cx, cy := x%k, y%k
+		if cx != cy {
+			cur += (cy - cx) * stride
+			buf = append(buf, int32(cur))
+		}
+		x /= k
+		y /= k
+		stride *= k
+	}
+	return buf
+}
+
+// SwitchDistance implements topo.Fabric: the hamming distance between the
+// ports' switch coordinates.
+func (g *GHC) SwitchDistance(srcPort, dstPort int) int {
+	return g.hamming(srcPort/g.conc, dstPort/g.conc)
+}
+
+// SwitchDiameter implements topo.Fabric: the number of non-degenerate
+// dimensions.
+func (g *GHC) SwitchDiameter() int {
+	d := 0
+	for _, k := range g.dims {
+		if k > 1 {
+			d++
+		}
+	}
+	return d
+}
+
+var (
+	_ topo.Topology    = (*GHC)(nil)
+	_ topo.Fabric      = (*GHC)(nil)
+	_ topo.MultiRouter = (*GHC)(nil)
+)

@@ -1,0 +1,220 @@
+package ghc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+)
+
+func mustNew(t testing.TB, dims grid.Shape, conc int) *GHC {
+	t.Helper()
+	g, err := New(dims, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(grid.Shape{}, 1); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := New(grid.Shape{4, 4}, 0); err == nil {
+		t.Fatal("zero concentration accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := mustNew(t, grid.Shape{4, 4}, 2)
+	if g.NumSwitches() != 16 {
+		t.Fatalf("switches = %d", g.NumSwitches())
+	}
+	if g.NumEndpoints() != 32 {
+		t.Fatalf("endpoints = %d", g.NumEndpoints())
+	}
+	// Cables: hosts 32 + per dim 4 rows... each dimension: for each of the 4
+	// lines of 4 switches, C(4,2)=6 cables -> 24 per dim, 48 total.
+	wantCables := 32 + 48
+	if g.NumLinks() != wantCables*2 {
+		t.Fatalf("links = %d, want %d", g.NumLinks(), wantCables*2)
+	}
+}
+
+func TestSwitchDegree(t *testing.T) {
+	g := mustNew(t, grid.Shape{3, 5}, 4)
+	deg := make(map[int32]int)
+	for _, l := range g.Links() {
+		deg[l.From]++
+	}
+	for s := 0; s < g.NumSwitches(); s++ {
+		v := int32(g.NumEndpoints() + s)
+		want := 4 + (3 - 1) + (5 - 1)
+		if deg[v] != want {
+			t.Fatalf("switch %d degree %d, want %d", s, deg[v], want)
+		}
+	}
+}
+
+func TestRoutesValidExhaustive(t *testing.T) {
+	g := mustNew(t, grid.Shape{3, 4}, 2)
+	n := g.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(g, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(topo.Route(g, src, dst)), g.Distance(src, dst); got != want {
+				t.Fatalf("route %d->%d hops %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := mustNew(t, grid.Shape{4, 4, 4}, 2)
+	if g.Distance(0, 0) != 0 {
+		t.Error("self distance")
+	}
+	if g.Distance(0, 1) != 2 { // same switch
+		t.Errorf("same-switch distance = %d", g.Distance(0, 1))
+	}
+	// switch 0 -> switch at coords (3,3,3): hamming 3 -> 5 hops.
+	far := g.Dims().Rank([]int{3, 3, 3}) * 2
+	if g.Distance(0, far) != 5 {
+		t.Errorf("far distance = %d, want 5", g.Distance(0, far))
+	}
+	if g.Diameter() != 5 {
+		t.Errorf("diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestAvgDistanceMatchesEnumeration(t *testing.T) {
+	for _, g := range []*GHC{
+		mustNew(t, grid.Shape{3, 4}, 2),
+		mustNew(t, grid.Shape{2, 2, 3}, 3),
+		mustNew(t, grid.Shape{5}, 1),
+	} {
+		n := g.NumEndpoints()
+		total := 0
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					total += g.Distance(a, b)
+				}
+			}
+		}
+		want := float64(total) / float64(n*(n-1))
+		if got := g.AvgDistance(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s AvgDistance = %g, enumerated %g", g.Name(), got, want)
+		}
+	}
+}
+
+func TestPaperScaleGHC(t *testing.T) {
+	// A paper-scale upper tier: 8x8x8x16 switches, 16 endpoints each =
+	// 131,072 endpoint ports on 8,192 switches (Table 2's u=1 row).
+	g := mustNew(t, grid.Shape{8, 8, 8, 16}, 16)
+	if g.NumEndpoints() != 131072 {
+		t.Fatalf("endpoints = %d", g.NumEndpoints())
+	}
+	if g.NumSwitches() != 8192 {
+		t.Fatalf("switches = %d", g.NumSwitches())
+	}
+	if g.Diameter() != 6 {
+		t.Fatalf("diameter = %d, want 6", g.Diameter())
+	}
+}
+
+func TestFabric(t *testing.T) {
+	g := mustNew(t, grid.Shape{4, 4}, 4)
+	if g.NumEndpointPorts() != 64 {
+		t.Fatal("ports")
+	}
+	for ep := 0; ep < 64; ep++ {
+		if g.AttachSwitch(ep) != ep/4 {
+			t.Fatalf("AttachSwitch(%d) = %d", ep, g.AttachSwitch(ep))
+		}
+	}
+	cables := g.SwitchCables()
+	if len(cables) != 48 {
+		t.Fatalf("switch cables = %d, want 48", len(cables))
+	}
+	cableSet := map[[2]int32]bool{}
+	for _, c := range cables {
+		a, b := c[0], c[1]
+		if a > b {
+			a, b = b, a
+		}
+		cableSet[[2]int32{a, b}] = true
+	}
+	for a := 0; a < 64; a += 3 {
+		for b := 0; b < 64; b += 5 {
+			p := g.SwitchPathAppend(nil, a, b)
+			if p[0] != int32(a/4) || p[len(p)-1] != int32(b/4) {
+				t.Fatalf("switch path %d->%d = %v", a, b, p)
+			}
+			if len(p)-1 != g.SwitchDistance(a, b) {
+				t.Fatalf("switch path %d->%d hops %d, SwitchDistance %d", a, b, len(p)-1, g.SwitchDistance(a, b))
+			}
+			for i := 1; i < len(p); i++ {
+				x, y := p[i-1], p[i]
+				if x > y {
+					x, y = y, x
+				}
+				if !cableSet[[2]int32{x, y}] {
+					t.Fatalf("path %d->%d uses missing cable %v-%v", a, b, p[i-1], p[i])
+				}
+			}
+		}
+	}
+	if g.SwitchDiameter() != 2 {
+		t.Fatalf("switch diameter = %d", g.SwitchDiameter())
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	g := mustNew(t, grid.Shape{4, 3, 5}, 3)
+	n := g.NumEndpoints()
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		return topo.CheckRoute(g, src, dst) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteChoicesValid(t *testing.T) {
+	g := mustNew(t, grid.Shape{3, 4, 2}, 2)
+	n := g.NumEndpoints()
+	if g.NumRouteChoices() != 3 {
+		t.Fatalf("choices = %d", g.NumRouteChoices())
+	}
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst += 5 {
+			ref := topo.Route(g, src, dst)
+			for c := 0; c < g.NumRouteChoices(); c++ {
+				p := g.RouteChoiceAppend(nil, src, dst, c)
+				if len(p) != len(ref) {
+					t.Fatalf("choice %d not minimal for %d->%d", c, src, dst)
+				}
+				if _, err := topo.PathVertices(g, src, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkRoutePaperScale(b *testing.B) {
+	g := mustNew(b, grid.Shape{8, 8, 8, 16}, 16)
+	n := g.NumEndpoints()
+	buf := make([]int32, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.RouteAppend(buf[:0], i%n, (i*2654435761)%n)
+	}
+}

@@ -1,0 +1,317 @@
+// Package jellyfish implements the Jellyfish topology of Singla et al.
+// (NSDI 2012), the random-graph datacentre network from the paper's
+// related work: switches form a random r-regular graph, each hosting a
+// fixed number of endpoints. Routing is deterministic shortest-path
+// (BFS next-hop tables with lowest-id tie-breaking).
+//
+// Because it has no structure, Jellyfish also serves as the simulator's
+// fault-tolerance testbed: FailLink removes a cable and reroutes.
+package jellyfish
+
+import (
+	"fmt"
+
+	"mtier/internal/topo"
+	"mtier/internal/xrand"
+)
+
+// Jellyfish is a random regular graph of switches with endpoint
+// concentration.
+type Jellyfish struct {
+	net      topo.Net
+	switches int
+	degree   int
+	conc     int
+	name     string
+
+	numEndpoints int
+	swBase       int
+	adj          [][]int32 // switch-level adjacency (switch-local ids)
+	next         []int32   // next[s*switches+d] = next switch towards d (-1 unreachable)
+	dist         []int16   // switch-level distances
+	failed       map[[2]int32]bool
+}
+
+// New builds a jellyfish of `switches` switches of network degree `degree`
+// with `conc` endpoints each, wired by the classic random pairing with the
+// given seed. switches*degree must be even.
+func New(switches, degree, conc int, seed int64) (*Jellyfish, error) {
+	if switches < 2 || degree < 1 || conc < 1 {
+		return nil, fmt.Errorf("jellyfish: invalid parameters switches=%d degree=%d conc=%d", switches, degree, conc)
+	}
+	if degree >= switches {
+		return nil, fmt.Errorf("jellyfish: degree %d must be below switch count %d", degree, switches)
+	}
+	if switches*degree%2 != 0 {
+		return nil, fmt.Errorf("jellyfish: switches*degree must be even, got %d*%d", switches, degree)
+	}
+	j := &Jellyfish{
+		switches:     switches,
+		degree:       degree,
+		conc:         conc,
+		numEndpoints: switches * conc,
+		name:         fmt.Sprintf("jellyfish-s%dd%dc%d", switches, degree, conc),
+		failed:       make(map[[2]int32]bool),
+	}
+	j.swBase = j.numEndpoints
+	j.net.AddVertices(j.numEndpoints + switches)
+	for ep := 0; ep < j.numEndpoints; ep++ {
+		j.net.AddDuplex(ep, j.swBase+ep/conc)
+	}
+
+	// Random regular graph by repeated pairing of port stubs; restart on a
+	// clash (self-loop or duplicate edge). Deterministic in the seed.
+	rng := xrand.New(seed).Split("jellyfish")
+	edges, err := randomRegular(switches, degree, rng)
+	if err != nil {
+		return nil, err
+	}
+	j.adj = make([][]int32, switches)
+	for _, e := range edges {
+		j.adj[e[0]] = append(j.adj[e[0]], e[1])
+		j.adj[e[1]] = append(j.adj[e[1]], e[0])
+		j.net.AddDuplex(j.swBase+int(e[0]), j.swBase+int(e[1]))
+	}
+	j.rebuildTables()
+	return j, nil
+}
+
+// randomRegular wires a random simple d-regular graph using the
+// incremental construction of the Jellyfish paper: connect random
+// non-adjacent switches with free ports; when stuck, break a random
+// existing edge to free ports elsewhere and continue.
+func randomRegular(n, d int, rng *xrand.Source) ([][2]int32, error) {
+	adj := make([]map[int32]bool, n)
+	freePorts := make([]int, n)
+	for v := range adj {
+		adj[v] = make(map[int32]bool, d)
+		freePorts[v] = d
+	}
+	addEdge := func(a, b int32) {
+		adj[a][b] = true
+		adj[b][a] = true
+		freePorts[a]--
+		freePorts[b]--
+	}
+	removeEdge := func(a, b int32) {
+		delete(adj[a], b)
+		delete(adj[b], a)
+		freePorts[a]++
+		freePorts[b]++
+	}
+	totalFree := n * d
+	for guard := 0; totalFree > 0; guard++ {
+		if guard > 50*n*d {
+			return nil, fmt.Errorf("jellyfish: could not wire a simple %d-regular graph over %d switches", d, n)
+		}
+		var open []int32
+		for v := 0; v < n; v++ {
+			if freePorts[v] > 0 {
+				open = append(open, int32(v))
+			}
+		}
+		linked := false
+		for try := 0; try < 4*len(open)+8; try++ {
+			a := open[rng.Intn(len(open))]
+			b := open[rng.Intn(len(open))]
+			if a == b || adj[a][b] {
+				continue
+			}
+			addEdge(a, b)
+			totalFree -= 2
+			linked = true
+			break
+		}
+		if linked {
+			continue
+		}
+		// Stuck: the remaining free ports are mutually adjacent (or on one
+		// switch). Break a random edge not touching an open switch pair.
+		x := int32(rng.Intn(n))
+		for len(adj[x]) == 0 {
+			x = int32(rng.Intn(n))
+		}
+		var peers []int32
+		for w := range adj[x] {
+			peers = append(peers, w)
+		}
+		// Deterministic order before random pick (map iteration is not).
+		for i := 1; i < len(peers); i++ {
+			for j := i; j > 0 && peers[j] < peers[j-1]; j-- {
+				peers[j], peers[j-1] = peers[j-1], peers[j]
+			}
+		}
+		y := peers[rng.Intn(len(peers))]
+		removeEdge(x, y)
+		totalFree += 2
+	}
+	var edges [][2]int32
+	for v := 0; v < n; v++ {
+		for w := range adj[v] {
+			if int32(v) < w {
+				edges = append(edges, [2]int32{int32(v), w})
+			}
+		}
+	}
+	// Sort for deterministic link ids regardless of map iteration.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && less(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	return edges, nil
+}
+
+func less(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// rebuildTables recomputes BFS next-hop tables, honouring failed links.
+func (j *Jellyfish) rebuildTables() {
+	s := j.switches
+	j.next = make([]int32, s*s)
+	j.dist = make([]int16, s*s)
+	for i := range j.next {
+		j.next[i] = -1
+		j.dist[i] = -1
+	}
+	queue := make([]int32, 0, s)
+	for root := 0; root < s; root++ {
+		base := root * s
+		j.dist[base+root] = 0
+		j.next[base+root] = int32(root)
+		queue = queue[:0]
+		queue = append(queue, int32(root))
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, w := range j.adj[v] {
+				if j.isFailed(v, w) {
+					continue
+				}
+				if j.dist[base+int(w)] >= 0 {
+					continue
+				}
+				j.dist[base+int(w)] = j.dist[base+int(v)] + 1
+				queue = append(queue, w)
+			}
+		}
+		// next hop towards root: reverse BFS parents. Compute per
+		// destination root: for each v, pick the lowest-id neighbour one
+		// step closer to root.
+		for v := 0; v < s; v++ {
+			if v == root || j.dist[base+v] < 0 {
+				continue
+			}
+			for _, w := range j.adj[int32(v)] {
+				if j.isFailed(int32(v), w) {
+					continue
+				}
+				if j.dist[base+int(w)] == j.dist[base+v]-1 {
+					if j.next[base+v] == -1 || w < j.next[base+v] {
+						j.next[base+v] = w
+					}
+				}
+			}
+		}
+	}
+}
+
+func (j *Jellyfish) isFailed(a, b int32) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return j.failed[[2]int32{a, b}]
+}
+
+// FailLink marks the switch-to-switch cable between switches a and b as
+// failed and reroutes around it. It returns an error if no such cable
+// exists. Traffic simulated afterwards avoids the cable; flows between
+// disconnected endpoints make RouteAppend panic, which CheckConnectivity
+// can detect in advance.
+func (j *Jellyfish) FailLink(a, b int) error {
+	if a == b || a < 0 || b < 0 || a >= j.switches || b >= j.switches {
+		return fmt.Errorf("jellyfish: bad switch pair (%d, %d)", a, b)
+	}
+	found := false
+	for _, w := range j.adj[a] {
+		if int(w) == b {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("jellyfish: no cable between switches %d and %d", a, b)
+	}
+	x, y := int32(a), int32(b)
+	if x > y {
+		x, y = y, x
+	}
+	j.failed[[2]int32{x, y}] = true
+	j.rebuildTables()
+	return nil
+}
+
+// CheckConnectivity reports whether every switch pair remains mutually
+// reachable under the current failure set.
+func (j *Jellyfish) CheckConnectivity() bool {
+	for i := 0; i < j.switches*j.switches; i++ {
+		if j.dist[i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements topo.Topology.
+func (j *Jellyfish) Name() string { return j.name }
+
+// NumEndpoints implements topo.Topology.
+func (j *Jellyfish) NumEndpoints() int { return j.numEndpoints }
+
+// NumVertices implements topo.Topology.
+func (j *Jellyfish) NumVertices() int { return j.net.NumVertices() }
+
+// NumLinks implements topo.Topology.
+func (j *Jellyfish) NumLinks() int { return j.net.NumLinks() }
+
+// Links implements topo.Topology.
+func (j *Jellyfish) Links() []topo.Link { return j.net.Links() }
+
+// RouteAppend implements topo.Topology by walking the BFS next-hop table.
+func (j *Jellyfish) RouteAppend(buf []int32, src, dst int) []int32 {
+	if src < 0 || src >= j.numEndpoints || dst < 0 || dst >= j.numEndpoints {
+		panic(fmt.Sprintf("jellyfish: endpoint out of range: %d -> %d", src, dst))
+	}
+	if src == dst {
+		return buf
+	}
+	s1, s2 := src/j.conc, dst/j.conc
+	buf = j.net.AppendHop(buf, src, j.swBase+s1)
+	cur := s1
+	for cur != s2 {
+		nxt := j.next[s2*j.switches+cur]
+		if nxt < 0 {
+			panic(fmt.Sprintf("jellyfish: switches %d and %d disconnected by failures", s1, s2))
+		}
+		buf = j.net.AppendHop(buf, j.swBase+cur, j.swBase+int(nxt))
+		cur = int(nxt)
+	}
+	return j.net.AppendHop(buf, j.swBase+cur, dst)
+}
+
+// Distance returns the hop count of the deterministic route.
+func (j *Jellyfish) Distance(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	s1, s2 := src/j.conc, dst/j.conc
+	d := j.dist[s2*j.switches+s1]
+	if d < 0 {
+		return -1
+	}
+	return int(d) + 2
+}
+
+var _ topo.Topology = (*Jellyfish)(nil)

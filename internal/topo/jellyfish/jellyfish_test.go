@@ -1,0 +1,172 @@
+package jellyfish
+
+import (
+	"testing"
+
+	"mtier/internal/topo"
+)
+
+func mustNew(t testing.TB, s, d, c int, seed int64) *Jellyfish {
+	t.Helper()
+	j, err := New(s, d, c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1, 1, 1, 0); err == nil {
+		t.Fatal("single switch accepted")
+	}
+	if _, err := New(8, 8, 1, 0); err == nil {
+		t.Fatal("degree >= switches accepted")
+	}
+	if _, err := New(5, 3, 1, 0); err == nil {
+		t.Fatal("odd stub count accepted")
+	}
+}
+
+func TestRegularDegree(t *testing.T) {
+	j := mustNew(t, 20, 4, 2, 7)
+	deg := make(map[int32]int)
+	for _, l := range j.Links() {
+		if int(l.From) >= j.NumEndpoints() && int(l.To) >= j.NumEndpoints() {
+			deg[l.From]++
+		}
+	}
+	for s := 0; s < 20; s++ {
+		if deg[int32(j.NumEndpoints()+s)] != 4 {
+			t.Fatalf("switch %d network degree %d, want 4", s, deg[int32(j.NumEndpoints()+s)])
+		}
+	}
+}
+
+func TestRoutesValid(t *testing.T) {
+	j := mustNew(t, 16, 3, 2, 3)
+	n := j.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(j, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(topo.Route(j, src, dst)), j.Distance(src, dst); got != want {
+				t.Fatalf("route %d->%d hops %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicWiring(t *testing.T) {
+	a := mustNew(t, 16, 3, 1, 5)
+	b := mustNew(t, 16, 3, 1, 5)
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("wiring differs for same seed")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("wiring differs for same seed")
+		}
+	}
+	c := mustNew(t, 16, 3, 1, 6)
+	same := true
+	lc := c.Links()
+	for i := range la {
+		if la[i] != lc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical wiring")
+	}
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	j := mustNew(t, 16, 4, 1, 9)
+	// Fail one cable of switch 0 and verify routes avoid it but still work.
+	var peer int32 = -1
+	for _, l := range j.Links() {
+		if int(l.From) == j.NumEndpoints() && int(l.To) >= j.NumEndpoints() {
+			peer = l.To - int32(j.NumEndpoints())
+			break
+		}
+	}
+	if peer < 0 {
+		t.Fatal("switch 0 has no network link")
+	}
+	if err := j.FailLink(0, int(peer)); err != nil {
+		t.Fatal(err)
+	}
+	if !j.CheckConnectivity() {
+		t.Skip("failure disconnected the graph (rare at degree 4)")
+	}
+	n := j.NumEndpoints()
+	sw0, swPeer := j.NumEndpoints()+0, j.NumEndpoints()+int(peer)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(j, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			path := topo.Route(j, src, dst)
+			verts, err := topo.PathVertices(j, src, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(verts); i++ {
+				a, b := int(verts[i-1]), int(verts[i])
+				if (a == sw0 && b == swPeer) || (a == swPeer && b == sw0) {
+					t.Fatalf("route %d->%d uses failed cable", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestFailLinkErrors(t *testing.T) {
+	j := mustNew(t, 16, 3, 1, 2)
+	if err := j.FailLink(0, 0); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if err := j.FailLink(0, 99); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+	// A pair that is (almost surely) not adjacent in a degree-3 graph of 16
+	// switches: find one explicitly.
+	adj := map[int]bool{}
+	for _, l := range j.Links() {
+		if int(l.From) == j.NumEndpoints() {
+			adj[int(l.To)-j.NumEndpoints()] = true
+		}
+	}
+	for s := 1; s < 16; s++ {
+		if !adj[s] {
+			if err := j.FailLink(0, s); err == nil {
+				t.Fatal("nonexistent cable accepted")
+			}
+			return
+		}
+	}
+}
+
+func TestLowDiameterVsTorus(t *testing.T) {
+	// Jellyfish's selling point: shorter average paths than structured
+	// networks of the same size/degree.
+	j := mustNew(t, 64, 6, 2, 4)
+	total, pairs := 0, 0
+	n := j.NumEndpoints()
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			total += j.Distance(src, dst)
+			pairs++
+		}
+	}
+	mean := float64(total) / float64(pairs)
+	if mean > 5.5 { // 2 host hops + ~2.5-3 switch hops expected
+		t.Fatalf("mean distance %g too large for a random graph", mean)
+	}
+}

@@ -1,0 +1,329 @@
+// Package nest implements the paper's hybrid multi-tier topologies:
+// a population of disjoint 3D subtori (the hardware-imposed ExaNeSt lower
+// tier) nested under an upper-tier switch fabric — a fattree (NestTree) or
+// a generalised hypercube (NestGHC).
+//
+// Two parameters govern the hybrid, exactly as in the paper:
+//
+//   - t: nodes per dimension of each subtorus (subtori are t×t×t islands,
+//     arbitrary shapes are also supported),
+//
+//   - u: uplink density — one uplink for every u QFDBs, u ∈ {1, 2, 4, 8},
+//     following the connection rules of Fig. 3:
+//
+//     u=1: every QFDB has an uplink.
+//     u=2: QFDBs with even X coordinate have uplinks; odd-X QFDBs reach
+//     theirs with a single -X hop.
+//     u=4: the two opposite vertices of every 2×2×2 subgrid are uplinked;
+//     every other node is one hop from one of them.
+//     u=8: the root (origin) of every 2×2×2 subgrid is uplinked.
+//
+// Routing is the paper's three-phase hierarchical scheme: traffic within a
+// subtorus stays inside it (dimension-order routing); traffic between
+// subtori goes source → nearest uplinked node (DOR) → upper fabric
+// (minimal fabric routing) → uplinked node nearest the destination → DOR to
+// the destination.
+package nest
+
+import (
+	"fmt"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+)
+
+// Nest is a hybrid two-tier topology.
+type Nest struct {
+	net topo.Net
+
+	sub     grid.Shape // subtorus shape
+	numSub  int
+	u       int
+	fabric  topo.Fabric
+	name    string
+	nodes   int     // QFDBs = numSub * sub.Size()
+	swBase  int     // vertex id of fabric switch 0
+	localN  int     // sub.Size()
+	upLocal []int32 // local ranks that carry an uplink, ascending
+	// portOf[localRank] = index of that rank within upLocal, or -1.
+	portOf []int32
+	// nearest[localRank] = local rank of the designated uplinked node.
+	nearest []int32
+	// maxToUp = max hops from any local rank to its designated uplink.
+	maxToUp int
+}
+
+// New builds a hybrid topology of numSub subtori of the given shape, with
+// one uplink per u QFDBs, attached to the supplied upper-tier fabric. The
+// fabric must offer at least numSub*sub.Size()/u endpoint ports.
+func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sub) != 3 {
+		return nil, fmt.Errorf("nest: subtorus must be 3-dimensional, got %v", sub)
+	}
+	if numSub < 1 {
+		return nil, fmt.Errorf("nest: need at least one subtorus, got %d", numSub)
+	}
+	switch u {
+	case 1:
+	case 2, 4, 8:
+		for d, k := range sub {
+			if k%2 != 0 {
+				return nil, fmt.Errorf("nest: u=%d needs even subtorus dimensions, dimension %d is %d", u, d, k)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("nest: unsupported uplink density u=%d (want 1, 2, 4 or 8)", u)
+	}
+	n := &Nest{
+		sub:    append(grid.Shape(nil), sub...),
+		numSub: numSub,
+		u:      u,
+		fabric: fabric,
+		localN: sub.Size(),
+	}
+	n.nodes = numSub * n.localN
+	uplinks := n.nodes / u
+	if fabric.NumEndpointPorts() < uplinks {
+		return nil, fmt.Errorf("nest: fabric %s offers %d ports, need %d", fabric.Name(), fabric.NumEndpointPorts(), uplinks)
+	}
+	n.name = fmt.Sprintf("nest[%s x%d,u=%d]+%s", sub, numSub, u, fabric.Name())
+
+	n.computeUplinkPlan()
+	if len(n.upLocal)*numSub != uplinks {
+		return nil, fmt.Errorf("nest: internal error: %d uplinked ranks per subtorus, want %d", len(n.upLocal), n.localN/u)
+	}
+
+	n.swBase = n.nodes
+	n.net.AddVertices(n.nodes + fabric.NumSwitches())
+
+	// Lower tier: torus links inside every subtorus.
+	coord := make([]int, 3)
+	for s := 0; s < numSub; s++ {
+		base := s * n.localN
+		for v := 0; v < n.localN; v++ {
+			sub.CoordInto(v, coord)
+			for d, k := range sub {
+				if k == 1 {
+					continue
+				}
+				if k == 2 && coord[d] == 1 {
+					continue
+				}
+				orig := coord[d]
+				coord[d] = (orig + 1) % k
+				n.net.AddDuplex(base+v, base+sub.Rank(coord))
+				coord[d] = orig
+			}
+		}
+	}
+	// Uplinks: QFDB -> hosting switch.
+	for s := 0; s < numSub; s++ {
+		for i, lr := range n.upLocal {
+			port := s*len(n.upLocal) + i
+			sw := fabric.AttachSwitch(port)
+			n.net.AddDuplex(s*n.localN+int(lr), n.swBase+sw)
+		}
+	}
+	// Upper tier switch cables.
+	for _, c := range fabric.SwitchCables() {
+		n.net.AddDuplex(n.swBase+int(c[0]), n.swBase+int(c[1]))
+	}
+	return n, nil
+}
+
+// computeUplinkPlan fills upLocal, portOf, nearest and maxToUp according to
+// the Fig. 3 connection rules.
+func (n *Nest) computeUplinkPlan() {
+	n.portOf = make([]int32, n.localN)
+	n.nearest = make([]int32, n.localN)
+	isUp := func(x, y, z int) bool {
+		switch n.u {
+		case 1:
+			return true
+		case 2:
+			return x%2 == 0
+		case 4:
+			ox, oy, oz := x%2, y%2, z%2
+			return (ox == 0 && oy == 0 && oz == 0) || (ox == 1 && oy == 1 && oz == 1)
+		default: // 8
+			return x%2 == 0 && y%2 == 0 && z%2 == 0
+		}
+	}
+	designated := func(x, y, z int) (int, int, int) {
+		switch n.u {
+		case 1:
+			return x, y, z
+		case 2:
+			return x - x%2, y, z
+		case 4:
+			ox, oy, oz := x%2, y%2, z%2
+			if ox+oy+oz <= 1 {
+				return x - ox, y - oy, z - oz // subgrid root
+			}
+			return x - ox + 1, y - oy + 1, z - oz + 1 // opposite vertex
+		default: // 8
+			return x - x%2, y - y%2, z - z%2
+		}
+	}
+	coord := make([]int, 3)
+	for v := 0; v < n.localN; v++ {
+		n.sub.CoordInto(v, coord)
+		x, y, z := coord[0], coord[1], coord[2]
+		if isUp(x, y, z) {
+			n.portOf[v] = int32(len(n.upLocal))
+			n.upLocal = append(n.upLocal, int32(v))
+		} else {
+			n.portOf[v] = -1
+		}
+		dx, dy, dz := designated(x, y, z)
+		dr := n.sub.Rank([]int{dx, dy, dz})
+		n.nearest[v] = int32(dr)
+		if d := n.sub.TorusDist(v, dr); d > n.maxToUp {
+			n.maxToUp = d
+		}
+	}
+}
+
+// SubShape returns the subtorus shape.
+func (n *Nest) SubShape() grid.Shape { return n.sub }
+
+// NumSubtori returns the number of subtorus islands.
+func (n *Nest) NumSubtori() int { return n.numSub }
+
+// U returns the uplink thinning factor.
+func (n *Nest) U() int { return n.u }
+
+// Fabric returns the upper-tier fabric.
+func (n *Nest) Fabric() topo.Fabric { return n.fabric }
+
+// NumUplinks returns the total number of QFDB uplinks in use.
+func (n *Nest) NumUplinks() int { return n.numSub * len(n.upLocal) }
+
+// Name implements topo.Topology.
+func (n *Nest) Name() string { return n.name }
+
+// NumEndpoints implements topo.Topology.
+func (n *Nest) NumEndpoints() int { return n.nodes }
+
+// NumVertices implements topo.Topology.
+func (n *Nest) NumVertices() int { return n.net.NumVertices() }
+
+// NumLinks implements topo.Topology.
+func (n *Nest) NumLinks() int { return n.net.NumLinks() }
+
+// Links implements topo.Topology.
+func (n *Nest) Links() []topo.Link { return n.net.Links() }
+
+// dorAppend appends the dimension-order route between two local ranks of
+// subtorus s onto buf.
+func (n *Nest) dorAppend(buf []int32, s, fromLocal, toLocal int) []int32 {
+	base := s * n.localN
+	cur := base + fromLocal
+	a, b := fromLocal, toLocal
+	stride := 1
+	for _, k := range n.sub {
+		ca, cb := a%k, b%k
+		delta := grid.WrapDelta(ca, cb, k)
+		step := stride
+		if delta < 0 {
+			step, delta = -stride, -delta
+		}
+		for i := 0; i < delta; i++ {
+			c := ((cur - base) / stride) % k
+			next := cur + step
+			if step > 0 && c == k-1 {
+				next = cur - (k-1)*stride
+			} else if step < 0 && c == 0 {
+				next = cur + (k-1)*stride
+			}
+			buf = n.net.AppendHop(buf, cur, next)
+			cur = next
+		}
+		a /= k
+		b /= k
+		stride *= k
+	}
+	return buf
+}
+
+// RouteAppend implements topo.Topology with the paper's three-phase
+// hierarchical routing.
+func (n *Nest) RouteAppend(buf []int32, src, dst int) []int32 {
+	if src < 0 || src >= n.nodes || dst < 0 || dst >= n.nodes {
+		panic(fmt.Sprintf("nest: endpoint out of range: %d -> %d", src, dst))
+	}
+	if src == dst {
+		return buf
+	}
+	sSub, sLoc := src/n.localN, src%n.localN
+	dSub, dLoc := dst/n.localN, dst%n.localN
+	if sSub == dSub {
+		// Intra-subtorus traffic never leaves the island.
+		return n.dorAppend(buf, sSub, sLoc, dLoc)
+	}
+	aLoc := int(n.nearest[sLoc])
+	bLoc := int(n.nearest[dLoc])
+	buf = n.dorAppend(buf, sSub, sLoc, aLoc)
+	aPort := sSub*len(n.upLocal) + int(n.portOf[aLoc])
+	bPort := dSub*len(n.upLocal) + int(n.portOf[bLoc])
+	aSw := n.fabric.AttachSwitch(aPort)
+	bSw := n.fabric.AttachSwitch(bPort)
+	buf = n.net.AppendHop(buf, sSub*n.localN+aLoc, n.swBase+aSw)
+	// Fabric switch path (fabric-local ids, first element == aSw).
+	var spBuf [16]int32
+	sp := n.fabric.SwitchPathAppend(spBuf[:0], aPort, bPort)
+	for i := 1; i < len(sp); i++ {
+		buf = n.net.AppendHop(buf, n.swBase+int(sp[i-1]), n.swBase+int(sp[i]))
+	}
+	buf = n.net.AppendHop(buf, n.swBase+bSw, dSub*n.localN+bLoc)
+	if bLoc != dLoc {
+		buf = n.dorAppend(buf, dSub, bLoc, dLoc)
+	}
+	return buf
+}
+
+// Distance returns the hop count of the deterministic route without
+// materialising it.
+func (n *Nest) Distance(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	sSub, sLoc := src/n.localN, src%n.localN
+	dSub, dLoc := dst/n.localN, dst%n.localN
+	if sSub == dSub {
+		return n.sub.TorusDist(sLoc, dLoc)
+	}
+	aLoc := int(n.nearest[sLoc])
+	bLoc := int(n.nearest[dLoc])
+	aPort := sSub*len(n.upLocal) + int(n.portOf[aLoc])
+	bPort := dSub*len(n.upLocal) + int(n.portOf[bLoc])
+	d := n.sub.TorusDist(sLoc, aLoc) + 1 +
+		n.fabric.SwitchDistance(aPort, bPort) +
+		1 + n.sub.TorusDist(bLoc, dLoc)
+	return d
+}
+
+// Diameter returns the maximum route length between endpoints, composed
+// from the lower-tier and fabric diameters. With more than one subtorus the
+// worst case is inter-subtorus; with a single subtorus it is the torus
+// diameter.
+func (n *Nest) Diameter() int {
+	intra := n.sub.TorusDiameter()
+	if n.numSub == 1 {
+		return intra
+	}
+	inter := n.maxToUp + 1 + n.fabric.SwitchDiameter() + 1 + n.maxToUp
+	if intra > inter {
+		return intra
+	}
+	return inter
+}
+
+// MaxHopsToUplink returns the worst-case lower-tier hops from a QFDB to its
+// designated uplinked node (0 for u=1, 1 for u=2 and u=4, 3 for u=8).
+func (n *Nest) MaxHopsToUplink() int { return n.maxToUp }
+
+var _ topo.Topology = (*Nest)(nil)

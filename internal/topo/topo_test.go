@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// line builds a tiny 3-vertex path topology 0-1-2 with deliberate routing
+// quirks injectable for the validators.
+type line struct {
+	net   Net
+	route func(n *Net, buf []int32, src, dst int) []int32
+}
+
+func newLine(route func(n *Net, buf []int32, src, dst int) []int32) *line {
+	l := &line{route: route}
+	l.net.AddVertices(3)
+	l.net.AddDuplex(0, 1)
+	l.net.AddDuplex(1, 2)
+	return l
+}
+
+func (l *line) Name() string      { return "line" }
+func (l *line) NumEndpoints() int { return 3 }
+func (l *line) NumVertices() int  { return 3 }
+func (l *line) NumLinks() int     { return l.net.NumLinks() }
+func (l *line) Links() []Link     { return l.net.Links() }
+func (l *line) RouteAppend(buf []int32, src, dst int) []int32 {
+	return l.route(&l.net, buf, src, dst)
+}
+
+func goodRoute(n *Net, buf []int32, src, dst int) []int32 {
+	for src != dst {
+		step := 1
+		if dst < src {
+			step = -1
+		}
+		buf = n.AppendHop(buf, src, src+step)
+		src += step
+	}
+	return buf
+}
+
+func TestCheckRouteAcceptsGood(t *testing.T) {
+	l := newLine(goodRoute)
+	for s := 0; s < 3; s++ {
+		for d := 0; d < 3; d++ {
+			if err := CheckRoute(l, s, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCheckRouteRejectsShortRoute(t *testing.T) {
+	l := newLine(func(n *Net, buf []int32, src, dst int) []int32 {
+		return buf // never moves
+	})
+	err := CheckRoute(l, 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "ends at") {
+		t.Fatalf("expected 'ends at' error, got %v", err)
+	}
+}
+
+func TestCheckRouteRejectsDiscontinuous(t *testing.T) {
+	l := newLine(func(n *Net, buf []int32, src, dst int) []int32 {
+		// Jump straight to the 1->2 link from vertex 0.
+		id, _ := n.LinkBetween(1, 2)
+		return append(buf, id)
+	})
+	err := CheckRoute(l, 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "discontinuous") {
+		t.Fatalf("expected discontinuity error, got %v", err)
+	}
+}
+
+func TestCheckRouteRejectsRevisit(t *testing.T) {
+	l := newLine(func(n *Net, buf []int32, src, dst int) []int32 {
+		buf = n.AppendHop(buf, 0, 1)
+		buf = n.AppendHop(buf, 1, 0)
+		buf = n.AppendHop(buf, 0, 1)
+		buf = n.AppendHop(buf, 1, 2)
+		return buf
+	})
+	err := CheckRoute(l, 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "revisits") {
+		t.Fatalf("expected revisit error, got %v", err)
+	}
+}
+
+func TestPathVerticesBadLinkID(t *testing.T) {
+	l := newLine(goodRoute)
+	if _, err := PathVertices(l, 0, []int32{99}); err == nil {
+		t.Fatal("bad link id accepted")
+	}
+	if _, err := PathVertices(l, 0, []int32{-1}); err == nil {
+		t.Fatal("negative link id accepted")
+	}
+}
+
+func TestNetBasics(t *testing.T) {
+	var n Net
+	first := n.AddVertices(3)
+	if first != 0 || n.NumVertices() != 3 {
+		t.Fatal("AddVertices")
+	}
+	n.AddDuplex(0, 1)
+	if n.NumLinks() != 2 {
+		t.Fatal("duplex adds two directed links")
+	}
+	if _, ok := n.LinkBetween(0, 2); ok {
+		t.Fatal("phantom link")
+	}
+	id, ok := n.LinkBetween(1, 0)
+	if !ok || n.Links()[id].From != 1 {
+		t.Fatal("reverse link lookup")
+	}
+	if n.Degree(0) != 1 || len(n.Neighbors(0)) != 1 {
+		t.Fatal("degree")
+	}
+}
+
+func TestNetPanics(t *testing.T) {
+	var n Net
+	n.AddVertices(2)
+	n.AddDuplex(0, 1)
+	mustPanic(t, func() { n.AddDuplex(1, 1) })
+	mustPanic(t, func() { n.AppendHop(nil, 1, 1) })
+}
+
+func TestAppendVertexPath(t *testing.T) {
+	var n Net
+	n.AddVertices(3)
+	n.AddDuplex(0, 1)
+	n.AddDuplex(1, 2)
+	path := n.AppendVertexPath(nil, 0, 1, 2)
+	if len(path) != 2 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,141 @@
+// Package torus implements the d-dimensional torus topology with
+// deterministic dimension-order routing (DOR), the topology historically
+// used by massively parallel processors (Blue Gene, Cray, Tofu) and the
+// hard-wired lower tier of the ExaNeSt architecture.
+//
+// Every vertex is both an endpoint and a router: a QFDB forwards transit
+// traffic through its backplane ports. Rings of size 2 get a single cable
+// (the +1 and -1 neighbours coincide); rings of size 1 get none.
+package torus
+
+import (
+	"fmt"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+)
+
+// Torus is a wrap-around mesh over an arbitrary mixed-radix shape.
+type Torus struct {
+	net    topo.Net
+	shape  grid.Shape
+	stride []int // stride[d] = product of dims below d
+	name   string
+}
+
+// New builds a torus over the given shape, e.g. grid.Shape{64, 64, 32} for
+// the paper's 131,072-QFDB reference system.
+func New(shape grid.Shape) (*Torus, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Torus{
+		shape: append(grid.Shape(nil), shape...),
+		name:  fmt.Sprintf("torus-%s", shape),
+	}
+	t.stride = make([]int, shape.Dims())
+	s := 1
+	for d, k := range shape {
+		t.stride[d] = s
+		s *= k
+	}
+	n := shape.Size()
+	t.net.AddVertices(n)
+	coord := make([]int, shape.Dims())
+	for v := 0; v < n; v++ {
+		shape.CoordInto(v, coord)
+		for d, k := range shape {
+			if k == 1 {
+				continue
+			}
+			// Add the +1 cable of each ring once, from its lower end.
+			if k == 2 && coord[d] == 1 {
+				continue // the 0->1 cable was already added from vertex 0
+			}
+			orig := coord[d]
+			coord[d] = (orig + 1) % k
+			t.net.AddDuplex(v, shape.Rank(coord))
+			coord[d] = orig
+		}
+	}
+	return t, nil
+}
+
+// Shape returns the torus dimensions.
+func (t *Torus) Shape() grid.Shape { return t.shape }
+
+// Name implements topo.Topology.
+func (t *Torus) Name() string { return t.name }
+
+// NumEndpoints implements topo.Topology.
+func (t *Torus) NumEndpoints() int { return t.shape.Size() }
+
+// NumVertices implements topo.Topology.
+func (t *Torus) NumVertices() int { return t.net.NumVertices() }
+
+// NumLinks implements topo.Topology.
+func (t *Torus) NumLinks() int { return t.net.NumLinks() }
+
+// Links implements topo.Topology.
+func (t *Torus) Links() []topo.Link { return t.net.Links() }
+
+// RouteAppend implements topo.Topology using dimension-order routing:
+// dimension 0 is fully corrected first, then dimension 1, and so on, always
+// travelling the shorter way around each ring (ties go the positive way).
+func (t *Torus) RouteAppend(buf []int32, src, dst int) []int32 {
+	return t.RouteChoiceAppend(buf, src, dst, 0)
+}
+
+// NumRouteChoices implements topo.MultiRouter: one candidate per rotation
+// of the dimension-correction order.
+func (t *Torus) NumRouteChoices() int { return t.shape.Dims() }
+
+// RouteChoiceAppend implements topo.MultiRouter: candidate `choice`
+// corrects dimensions starting at dimension choice mod d, wrapping — all
+// candidates are minimal.
+func (t *Torus) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
+	if src < 0 || src >= t.NumEndpoints() || dst < 0 || dst >= t.NumEndpoints() {
+		panic(fmt.Sprintf("torus: endpoint out of range: %d -> %d", src, dst))
+	}
+	dims := t.shape.Dims()
+	cur := src
+	for i := 0; i < dims; i++ {
+		d := (i + choice) % dims
+		k := t.shape[d]
+		stride := t.stride[d]
+		ca := (src / stride) % k
+		cb := (dst / stride) % k
+		delta := grid.WrapDelta(ca, cb, k)
+		step := stride
+		if delta < 0 {
+			step, delta = -stride, -delta
+		}
+		for h := 0; h < delta; h++ {
+			c := (cur / stride) % k
+			next := cur + step
+			if step > 0 && c == k-1 {
+				next = cur - (k-1)*stride
+			} else if step < 0 && c == 0 {
+				next = cur + (k-1)*stride
+			}
+			buf = t.net.AppendHop(buf, cur, next)
+			cur = next
+		}
+	}
+	return buf
+}
+
+// Distance returns the hop count of the DOR route, which equals the wrapped
+// Manhattan distance.
+func (t *Torus) Distance(src, dst int) int { return t.shape.TorusDist(src, dst) }
+
+// Diameter returns the maximum route length between endpoints.
+func (t *Torus) Diameter() int { return t.shape.TorusDiameter() }
+
+// AvgDistance returns the exact mean route length over all ordered pairs.
+func (t *Torus) AvgDistance() float64 { return t.shape.TorusAvgDist() }
+
+var (
+	_ topo.Topology    = (*Torus)(nil)
+	_ topo.MultiRouter = (*Torus)(nil)
+)

@@ -1,0 +1,218 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+)
+
+func mustNew(t *testing.T, shape grid.Shape) *Torus {
+	t.Helper()
+	tor, err := New(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor
+}
+
+func TestNewRejectsBadShape(t *testing.T) {
+	if _, err := New(grid.Shape{}); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+	if _, err := New(grid.Shape{4, 0}); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+func TestLinkCount(t *testing.T) {
+	cases := []struct {
+		shape grid.Shape
+		want  int // directed links
+	}{
+		{grid.Shape{4}, 4 * 2},          // ring of 4: 4 cables
+		{grid.Shape{2}, 1 * 2},          // ring of 2: single cable
+		{grid.Shape{1}, 0},              // degenerate
+		{grid.Shape{4, 4}, 32 * 2},      // 2 dims x 16 cables
+		{grid.Shape{2, 2, 2}, 12 * 2},   // 3 cables per vertex pair layout: 12 cables
+		{grid.Shape{4, 2, 2}, 32 * 2},   // per dim: d0 16, d1 8, d2 8 cables
+		{grid.Shape{8, 8, 8}, 1536 * 2}, // 3*512 cables
+	}
+	for _, c := range cases {
+		tor := mustNew(t, c.shape)
+		if got := tor.NumLinks(); got != c.want {
+			t.Errorf("NumLinks(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestDegreeUniform(t *testing.T) {
+	tor := mustNew(t, grid.Shape{4, 4, 4})
+	links := tor.Links()
+	deg := make([]int, tor.NumVertices())
+	for _, l := range links {
+		deg[l.From]++
+	}
+	for v, d := range deg {
+		if d != 6 {
+			t.Fatalf("vertex %d degree %d, want 6", v, d)
+		}
+	}
+}
+
+func TestDegreeSize2Rings(t *testing.T) {
+	// ExaNeSt blade shape: 4x2x2 mesh extended to torus. Size-2 rings must
+	// contribute one port, not two.
+	tor := mustNew(t, grid.Shape{4, 2, 2})
+	deg := make([]int, tor.NumVertices())
+	for _, l := range tor.Links() {
+		deg[l.From]++
+	}
+	for v, d := range deg {
+		if d != 4 { // 2 (dim0) + 1 + 1
+			t.Fatalf("vertex %d degree %d, want 4", v, d)
+		}
+	}
+}
+
+func TestRouteLengthMatchesDistance(t *testing.T) {
+	tor := mustNew(t, grid.Shape{5, 4, 3})
+	n := tor.NumEndpoints()
+	for src := 0; src < n; src += 7 {
+		for dst := 0; dst < n; dst++ {
+			path := topo.Route(tor, src, dst)
+			if len(path) != tor.Distance(src, dst) {
+				t.Fatalf("route %d->%d has %d hops, want %d", src, dst, len(path), tor.Distance(src, dst))
+			}
+		}
+	}
+}
+
+func TestRoutesValid(t *testing.T) {
+	tor := mustNew(t, grid.Shape{4, 3, 2})
+	n := tor.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if err := topo.CheckRoute(tor, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRouteSelfEmpty(t *testing.T) {
+	tor := mustNew(t, grid.Shape{4, 4})
+	if p := topo.Route(tor, 5, 5); len(p) != 0 {
+		t.Fatalf("self route has %d hops", len(p))
+	}
+}
+
+func TestRoutePropertyQuick(t *testing.T) {
+	tor := mustNew(t, grid.Shape{8, 8, 4})
+	n := tor.NumEndpoints()
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		path := topo.Route(tor, src, dst)
+		if len(path) != tor.Distance(src, dst) {
+			return false
+		}
+		return topo.CheckRoute(tor, src, dst) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterAndAvg(t *testing.T) {
+	// The paper's full-scale reference torus: 64x64x32 has diameter 80 and
+	// average distance 40 (Table 1).
+	tor := mustNew(t, grid.Shape{64, 64, 32})
+	if got := tor.Diameter(); got != 80 {
+		t.Errorf("diameter = %d, want 80", got)
+	}
+	if got := tor.AvgDistance(); got != 40 {
+		t.Errorf("avg distance = %g, want 40", got)
+	}
+	if tor.NumEndpoints() != 131072 {
+		t.Errorf("endpoints = %d, want 131072", tor.NumEndpoints())
+	}
+}
+
+func TestDORNeverBacktracks(t *testing.T) {
+	tor := mustNew(t, grid.Shape{6, 6})
+	// A DOR route visits at most Distance+1 distinct vertices; CheckRoute
+	// already rejects revisits, so spot-check a wrap-heavy pair.
+	src := tor.Shape().Rank([]int{5, 5})
+	dst := tor.Shape().Rank([]int{0, 0})
+	path := topo.Route(tor, src, dst)
+	if len(path) != 2 {
+		t.Fatalf("wrap route should be 2 hops, got %d", len(path))
+	}
+}
+
+func TestRouteChoicesAllMinimalAndValid(t *testing.T) {
+	tor := mustNew(t, grid.Shape{4, 3, 5})
+	n := tor.NumEndpoints()
+	if tor.NumRouteChoices() != 3 {
+		t.Fatalf("choices = %d, want 3", tor.NumRouteChoices())
+	}
+	for src := 0; src < n; src += 5 {
+		for dst := 0; dst < n; dst += 3 {
+			ref := topo.Route(tor, src, dst)
+			for c := 0; c < tor.NumRouteChoices(); c++ {
+				p := tor.RouteChoiceAppend(nil, src, dst, c)
+				if len(p) != len(ref) {
+					t.Fatalf("choice %d for %d->%d is not minimal: %d vs %d hops", c, src, dst, len(p), len(ref))
+				}
+				verts, err := topo.PathVertices(tor, src, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if verts[len(verts)-1] != int32(dst) {
+					t.Fatalf("choice %d for %d->%d misses destination", c, src, dst)
+				}
+				if c == 0 {
+					for i := range p {
+						if p[i] != ref[i] {
+							t.Fatal("choice 0 must equal RouteAppend")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteChoicesDiverge(t *testing.T) {
+	tor := mustNew(t, grid.Shape{4, 4})
+	// 0 -> (1,1): x-first and y-first should differ.
+	dst := tor.Shape().Rank([]int{1, 1})
+	a := tor.RouteChoiceAppend(nil, 0, dst, 0)
+	b := tor.RouteChoiceAppend(nil, 0, dst, 1)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("rotated dimension orders should produce distinct paths")
+	}
+}
+
+func BenchmarkRoute64x64x32(b *testing.B) {
+	tor, err := New(grid.Shape{64, 64, 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]int32, 0, 128)
+	n := tor.NumEndpoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tor.RouteAppend(buf[:0], i%n, (i*2654435761)%n)
+	}
+}

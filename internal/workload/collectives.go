@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"mtier/internal/flow"
+)
+
+// Extension workloads beyond the paper's eleven: classic MPI collective
+// algorithm variants, so algorithm × topology studies can be run on the
+// same engine (e.g. ring vs recursive-doubling AllReduce on a torus vs a
+// fattree). They are not part of Kinds()/Figure sweeps.
+const (
+	// AllReduceRing is the bandwidth-optimal ring AllReduce:
+	// reduce-scatter then allgather, 2(T-1) rounds of size/T chunks.
+	AllReduceRing Kind = "allreduce-ring"
+	// ReduceTree is the binomial-tree Reduce (the "optimised, logarithmic
+	// implementation" the paper contrasts its pathological Reduce with).
+	ReduceTree Kind = "reduce-tree"
+	// BroadcastTree is the binomial-tree Broadcast.
+	BroadcastTree Kind = "broadcast-tree"
+	// AllToAll is the full personalised exchange, all rounds concurrent.
+	AllToAll Kind = "alltoall"
+)
+
+// ExtendedKinds lists the collective-algorithm extension workloads.
+func ExtendedKinds() []Kind {
+	return []Kind{AllReduceRing, ReduceTree, BroadcastTree, AllToAll}
+}
+
+// generateExtended dispatches the extension kinds; it returns nil if k is
+// not an extension kind.
+func generateExtended(k Kind, p Params) (*flow.Spec, error) {
+	switch k {
+	case AllReduceRing:
+		return genAllReduceRing(p), nil
+	case ReduceTree:
+		return genReduceTree(p), nil
+	case BroadcastTree:
+		return genBroadcastTree(p), nil
+	case AllToAll:
+		return genAllToAll(p), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", k)
+	}
+}
+
+// genAllReduceRing builds the ring AllReduce: in each of the 2(T-1)
+// rounds, every task passes a size/T chunk to its successor, gated on the
+// chunk it received in the previous round.
+func genAllReduceRing(p Params) *flow.Spec {
+	s := &flow.Spec{}
+	chunk := p.MsgBytes / float64(p.Tasks)
+	lastRecv := make([]int32, p.Tasks)
+	for i := range lastRecv {
+		lastRecv[i] = -1
+	}
+	rounds := 2 * (p.Tasks - 1)
+	for r := 0; r < rounds; r++ {
+		newRecv := make([]int32, p.Tasks)
+		for i := 0; i < p.Tasks; i++ {
+			next := (i + 1) % p.Tasks
+			var deps []int32
+			if lastRecv[i] >= 0 {
+				deps = []int32{lastRecv[i]}
+			}
+			newRecv[next] = s.Add(i, next, chunk, deps...)
+		}
+		lastRecv = newRecv
+	}
+	return s
+}
+
+// genReduceTree builds the binomial-tree reduction to task 0: in round r,
+// every task whose low bits match 2^r forwards its partial result, gated on
+// everything it has received so far.
+func genReduceTree(p Params) *flow.Spec {
+	s := &flow.Spec{}
+	recvs := make([][]int32, p.Tasks)
+	for bit := 1; bit < p.Tasks; bit <<= 1 {
+		for i := 0; i < p.Tasks; i++ {
+			if i&(2*bit-1) == bit { // i sends to i-bit in this round
+				dst := i - bit
+				id := s.Add(i, dst, p.MsgBytes, recvs[i]...)
+				recvs[dst] = append(recvs[dst], id)
+			}
+		}
+	}
+	return s
+}
+
+// genBroadcastTree builds the binomial-tree broadcast from task 0: in
+// round r, every task that already holds the data and has a partner
+// forwards it.
+func genBroadcastTree(p Params) *flow.Spec {
+	s := &flow.Spec{}
+	recv := make([]int32, p.Tasks)
+	for i := range recv {
+		recv[i] = -1
+	}
+	has := make([]bool, p.Tasks)
+	has[0] = true
+	for bit := 1; bit < p.Tasks; bit <<= 1 {
+		for i := 0; i < p.Tasks; i++ {
+			if !has[i] || i+bit >= p.Tasks || has[i+bit] {
+				continue
+			}
+			var deps []int32
+			if recv[i] >= 0 {
+				deps = []int32{recv[i]}
+			}
+			recv[i+bit] = s.Add(i, i+bit, p.MsgBytes, deps...)
+		}
+		// Mark receivers after the round so a round's senders are exactly
+		// the holders at its start.
+		for i := 0; i < p.Tasks; i++ {
+			if recv[i] >= 0 {
+				has[i] = true
+			}
+		}
+	}
+	return s
+}
+
+// genAllToAll builds the full personalised exchange: T(T-1) concurrent
+// flows of size/T.
+func genAllToAll(p Params) *flow.Spec {
+	s := &flow.Spec{}
+	chunk := p.MsgBytes / float64(p.Tasks)
+	for i := 0; i < p.Tasks; i++ {
+		for j := 0; j < p.Tasks; j++ {
+			if i != j {
+				s.Add(i, j, chunk)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"mtier/internal/flow"
+	"mtier/internal/grid"
+	"mtier/internal/topo/torus"
+)
+
+func TestExtendedKindsGenerateValidDAGs(t *testing.T) {
+	for _, k := range ExtendedKinds() {
+		for _, tasks := range []int{2, 16, 64, 100} {
+			s := gen(t, k, Params{Tasks: tasks, Seed: 1})
+			if len(s.Flows) == 0 {
+				t.Errorf("%s tasks=%d: no flows", k, tasks)
+			}
+			for i, f := range s.Flows {
+				if f.Src < 0 || int(f.Src) >= tasks || f.Dst < 0 || int(f.Dst) >= tasks {
+					t.Fatalf("%s: flow %d endpoints out of range", k, i)
+				}
+			}
+			checkDAG(t, s)
+		}
+	}
+}
+
+func TestRingAllReduceStructure(t *testing.T) {
+	T := 8
+	s := gen(t, AllReduceRing, Params{Tasks: T, MsgBytes: 800})
+	if len(s.Flows) != 2*(T-1)*T {
+		t.Fatalf("flows = %d, want %d", len(s.Flows), 2*(T-1)*T)
+	}
+	for _, f := range s.Flows {
+		if int(f.Dst) != (int(f.Src)+1)%T {
+			t.Fatalf("ring flow %d->%d is not to the successor", f.Src, f.Dst)
+		}
+		if f.Bytes != 100 {
+			t.Fatalf("chunk size = %g, want 100", f.Bytes)
+		}
+	}
+	st, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 2*(T-1) {
+		t.Fatalf("depth = %d, want %d rounds", st.Depth, 2*(T-1))
+	}
+}
+
+func TestReduceTreeStructure(t *testing.T) {
+	s := gen(t, ReduceTree, Params{Tasks: 16})
+	// Binomial reduce moves T-1 partial results.
+	if len(s.Flows) != 15 {
+		t.Fatalf("flows = %d, want 15", len(s.Flows))
+	}
+	inbound := 0
+	for _, f := range s.Flows {
+		if f.Dst == 0 {
+			inbound++
+		}
+	}
+	if inbound != 4 { // log2(16) messages reach the root
+		t.Fatalf("root receives %d messages, want 4", inbound)
+	}
+	st, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 4 {
+		t.Fatalf("depth = %d, want log2(16)", st.Depth)
+	}
+}
+
+func TestBroadcastReachesEveryone(t *testing.T) {
+	for _, T := range []int{2, 7, 16, 33} {
+		s := gen(t, BroadcastTree, Params{Tasks: T})
+		if len(s.Flows) != T-1 {
+			t.Fatalf("T=%d: flows = %d, want %d", T, len(s.Flows), T-1)
+		}
+		got := map[int32]bool{0: true}
+		for _, f := range s.Flows {
+			if !got[f.Src] {
+				// Senders must already hold the data; dependency order is
+				// validated by checkDAG + per-flow deps below.
+				t.Fatalf("T=%d: task %d sends before receiving", T, f.Src)
+			}
+			got[f.Dst] = true
+		}
+		if len(got) != T {
+			t.Fatalf("T=%d: broadcast reached %d tasks", T, len(got))
+		}
+	}
+}
+
+func TestAllToAllCount(t *testing.T) {
+	s := gen(t, AllToAll, Params{Tasks: 12, MsgBytes: 1200})
+	if len(s.Flows) != 12*11 {
+		t.Fatalf("flows = %d", len(s.Flows))
+	}
+	if s.Flows[0].Bytes != 100 {
+		t.Fatalf("chunk = %g", s.Flows[0].Bytes)
+	}
+}
+
+func TestTreeReduceBeatsNaiveReduce(t *testing.T) {
+	// The paper's point about its pathological Reduce: the logarithmic
+	// algorithm avoids the root hotspot. On a torus the binomial tree must
+	// finish much faster than the N-to-1 version.
+	tor, err := torus.New(grid.Shape{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k Kind) float64 {
+		s := gen(t, k, Params{Tasks: 64, MsgBytes: 1e6})
+		res, err := flow.Simulate(tor, s, flow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	naive := run(Reduce)
+	tree := run(ReduceTree)
+	if tree >= naive/2 {
+		t.Fatalf("binomial reduce (%g) should clearly beat naive reduce (%g)", tree, naive)
+	}
+}
+
+func TestRingVsDoublingAllReduceOnRing(t *testing.T) {
+	// On a 1D ring topology, the ring algorithm's neighbour-only traffic
+	// should beat recursive doubling's long-distance exchanges.
+	tor, err := torus.New(grid.Shape{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k Kind) float64 {
+		s := gen(t, k, Params{Tasks: 64, MsgBytes: 1e6})
+		res, err := flow.Simulate(tor, s, flow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	ring := run(AllReduceRing)
+	doubling := run(AllReduce)
+	if ring >= doubling {
+		t.Fatalf("ring allreduce (%g) should beat recursive doubling (%g) on a physical ring", ring, doubling)
+	}
+}

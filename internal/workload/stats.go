@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"mtier/internal/flow"
+)
+
+// Stats summarises the structural properties of a workload DAG — the
+// knobs that decide whether a workload is "heavy" (wide, concurrent) or
+// "light" (deep, causality-bound) in the paper's classification.
+type Stats struct {
+	// Flows is the number of flows in the DAG.
+	Flows int
+	// TotalBytes is the traffic volume.
+	TotalBytes float64
+	// Depth is the length of the longest dependency chain (1 for
+	// dependency-free workloads).
+	Depth int
+	// MaxWidth is the largest number of flows at any single depth level —
+	// an upper bound on concurrency.
+	MaxWidth int
+	// Roots is the number of dependency-free flows (initial concurrency).
+	Roots int
+	// MeanFanIn is the average dependency count per flow.
+	MeanFanIn float64
+}
+
+// Analyze computes DAG statistics. It returns an error on cyclic or
+// malformed dependency structure.
+func Analyze(s *flow.Spec) (Stats, error) {
+	n := len(s.Flows)
+	st := Stats{Flows: n}
+	if n == 0 {
+		return st, nil
+	}
+	indeg := make([]int, n)
+	children := make([][]int32, n)
+	deps := 0
+	for i := range s.Flows {
+		st.TotalBytes += s.Flows[i].Bytes
+		for _, d := range s.Flows[i].Deps {
+			if d < 0 || int(d) >= n {
+				return st, fmt.Errorf("workload: flow %d has out-of-range dependency %d", i, d)
+			}
+			indeg[i]++
+			children[d] = append(children[d], int32(i))
+			deps++
+		}
+	}
+	st.MeanFanIn = float64(deps) / float64(n)
+
+	// Level-order traversal: depth of a flow = 1 + max depth of its deps.
+	level := make([]int, n)
+	queue := make([]int32, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, int32(i))
+			level[i] = 1
+			st.Roots++
+		}
+	}
+	widths := map[int]int{}
+	seen := 0
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		seen++
+		widths[level[v]]++
+		if level[v] > st.Depth {
+			st.Depth = level[v]
+		}
+		for _, c := range children[v] {
+			indeg[c]--
+			if level[v]+1 > level[c] {
+				level[c] = level[v] + 1
+			}
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if seen != n {
+		return st, fmt.Errorf("workload: dependency cycle (%d of %d flows reachable)", seen, n)
+	}
+	for _, w := range widths {
+		if w > st.MaxWidth {
+			st.MaxWidth = w
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"mtier/internal/flow"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st, err := Analyze(&flow.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flows != 0 || st.Depth != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	s := &flow.Spec{}
+	a := s.Add(0, 1, 10)
+	b := s.Add(1, 2, 10, a)
+	s.Add(2, 3, 10, b)
+	st, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 3 || st.MaxWidth != 1 || st.Roots != 1 {
+		t.Fatalf("chain stats = %+v", st)
+	}
+	if st.TotalBytes != 30 {
+		t.Fatalf("bytes = %g", st.TotalBytes)
+	}
+}
+
+func TestAnalyzeDetectsCycle(t *testing.T) {
+	s := &flow.Spec{Flows: []flow.Flow{
+		{Src: 0, Dst: 1, Bytes: 1, Deps: []int32{1}},
+		{Src: 1, Dst: 2, Bytes: 1, Deps: []int32{0}},
+	}}
+	if _, err := Analyze(s); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	s2 := &flow.Spec{Flows: []flow.Flow{{Src: 0, Dst: 1, Bytes: 1, Deps: []int32{9}}}}
+	if _, err := Analyze(s2); err == nil {
+		t.Fatal("bad dep not detected")
+	}
+}
+
+func TestHeavyWorkloadsAreWide(t *testing.T) {
+	// The paper's classification: heavy workloads have high concurrency
+	// relative to their depth; light ones are causality-bound. Check the
+	// starkest representatives.
+	p := Params{Tasks: 64, Seed: 1}
+	heavy, err := Generate(UnstructuredApp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Analyze(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Depth != 1 || hs.MaxWidth != hs.Flows {
+		t.Fatalf("unstructuredapp should be all-concurrent: %+v", hs)
+	}
+
+	light, err := Generate(Sweep3D, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := Analyze(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep on a 4x4x4 grid: wavefront depth ~ 3*(4-1)+1 levels.
+	if ls.Depth < 8 {
+		t.Fatalf("sweep3d should be deep, got depth %d", ls.Depth)
+	}
+	if ls.MaxWidth >= ls.Flows/2 {
+		t.Fatalf("sweep3d should be narrow: %+v", ls)
+	}
+}
+
+func TestAnalyzeAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		s := gen(t, k, Params{Tasks: 64, Seed: 2})
+		st, err := Analyze(s)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if st.Flows != len(s.Flows) || st.Roots < 1 {
+			t.Fatalf("%s: %+v", k, st)
+		}
+	}
+}

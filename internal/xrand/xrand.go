@@ -1,0 +1,134 @@
+// Package xrand provides deterministic, splittable random number utilities
+// for the simulator. Every stochastic component (workload generators,
+// random placement, jellyfish wiring, ...) draws from an xrand.Source seeded
+// from a single experiment seed, so that entire parameter sweeps are
+// reproducible and sub-streams are independent of evaluation order.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source wraps math/rand with named sub-stream derivation.
+type Source struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// New returns a Source for the given seed.
+func New(seed int64) *Source {
+	return &Source{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent sub-stream identified by a label. The same
+// (seed, label) pair always yields the same stream regardless of how many
+// draws were made from the parent.
+func (s *Source) Split(label string) *Source {
+	return New(s.seed ^ int64(hash64(label)))
+}
+
+// SplitN derives an independent sub-stream identified by a label and index.
+func (s *Source) SplitN(label string, n int) *Source {
+	const golden = int64(-7046029254386353131) // 0x9e3779b97f4a7c15 as int64
+	return New(s.seed ^ int64(hash64(label)) ^ (int64(n)+1)*golden)
+}
+
+// hash64 is FNV-1a over the label bytes.
+func hash64(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// Intn returns a uniform int in [0, n).
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle permutes a slice of ints in place.
+func (s *Source) Shuffle(xs []int) {
+	s.rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Shuffle32 permutes a slice of int32 in place.
+func (s *Source) Shuffle32(xs []int32) {
+	s.rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// IntnExcept returns a uniform int in [0, n) different from except.
+// n must be at least 2.
+func (s *Source) IntnExcept(n, except int) int {
+	v := s.rng.Intn(n - 1)
+	if v >= except {
+		v++
+	}
+	return v
+}
+
+// LogNormal samples a log-normal distribution with the given parameters of
+// the underlying normal (mu, sigma).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.rng.NormFloat64()*sigma + mu)
+}
+
+// Zipf samples from a bounded zipf-like distribution over [0, n) with
+// exponent alpha > 0 using inverse-CDF on a precomputed table when
+// repeatedly needed; this one-shot version is O(n) and intended for
+// small n or setup-time use. For hot paths use NewZipf.
+func (s *Source) Zipf(n int, alpha float64) int {
+	z := NewZipf(s, n, alpha)
+	return z.Next()
+}
+
+// Zipfian is a reusable bounded Zipf sampler over [0, n).
+type Zipfian struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf builds a Zipfian sampler with exponent alpha over [0, n).
+func NewZipf(src *Source, n int, alpha float64) *Zipfian {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipfian{src: src, cdf: cdf}
+}
+
+// Next draws the next sample.
+func (z *Zipfian) Next() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

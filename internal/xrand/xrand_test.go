@@ -1,0 +1,140 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSplitIndependentOfDrawCount(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 17; i++ {
+		a.Intn(10) // advance a only
+	}
+	sa := a.Split("workload")
+	sb := b.Split("workload")
+	for i := 0; i < 50; i++ {
+		if sa.Intn(1000) != sb.Intn(1000) {
+			t.Fatal("Split must not depend on parent draw count")
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	s := New(7)
+	a := s.Split("a")
+	b := s.Split("b")
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Intn(1<<30) != b.Intn(1<<30) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct labels should give distinct streams")
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	s := New(7)
+	a := s.SplitN("x", 0)
+	b := s.SplitN("x", 1)
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Intn(1<<30) != b.Intn(1<<30) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct indices should give distinct streams")
+	}
+}
+
+func TestIntnExcept(t *testing.T) {
+	s := New(3)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := s.IntnExcept(5, 2)
+		if v == 2 {
+			t.Fatal("IntnExcept returned excluded value")
+		}
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntnExcept out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if i == 2 {
+			continue
+		}
+		if c < 1000 || c > 1500 {
+			t.Errorf("IntnExcept not roughly uniform: counts=%v", counts)
+			break
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(7, 2); v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("LogNormal gave %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(11)
+	z := NewZipf(s, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("zipf should be head-heavy: head=%d mid=%d", counts[0], counts[50])
+	}
+	if counts[0] <= counts[99] {
+		t.Errorf("zipf should be head-heavy: head=%d tail=%d", counts[0], counts[99])
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	p := s.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(6)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	s.Shuffle(xs)
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"mtier/internal/core"
 	"mtier/internal/cost"
+	"mtier/internal/obs"
 )
 
 func main() {
@@ -29,9 +30,16 @@ func main() {
 	flag.Float64Var(&m.NodePower, "nodepower", m.NodePower, "power of one QFDB (W)")
 	flag.Float64Var(&m.SwitchPower, "switchpower", m.SwitchPower, "power of one switch (W)")
 	flag.Float64Var(&m.CablePower, "cablepower", m.CablePower, "power of one cable (W)")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
+	stop, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "mtcost:", perr)
+		os.Exit(1)
+	}
 	tab, err := core.Table2(*n, m)
+	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mtcost:", err)
 		os.Exit(1)

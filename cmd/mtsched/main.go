@@ -16,6 +16,7 @@ import (
 
 	"mtier/internal/core"
 	"mtier/internal/flow"
+	"mtier/internal/obs"
 	"mtier/internal/sched"
 	"mtier/internal/workload"
 	"mtier/internal/xrand"
@@ -31,9 +32,21 @@ func main() {
 		alloc    = flag.String("alloc", "firstfit", "allocation policy: firstfit|randomfit")
 		seed     = flag.Int64("seed", 1, "job stream seed")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	top, err := core.BuildTopology(core.TopoKind(*topoName), *n, *tFlag, *uFlag)
+	kind, err := core.ParseTopoKind(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsched:", err)
+		os.Exit(1)
+	}
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsched:", err)
+		os.Exit(1)
+	}
+	defer stop()
+	top, err := core.BuildTopology(kind, *n, *tFlag, *uFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mtsched:", err)
 		os.Exit(1)
@@ -74,6 +87,7 @@ func main() {
 	}, *seed)
 	events, err := s.Run(list)
 	if err != nil {
+		stop()
 		fmt.Fprintln(os.Stderr, "mtsched:", err)
 		os.Exit(1)
 	}

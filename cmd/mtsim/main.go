@@ -7,6 +7,9 @@
 //	mtsim -topo nestghc -t 2 -u 4 -n 8192 -workload unstructuredapp
 //	mtsim -topo torus -n 4096 -workload sweep3d -msg 262144
 //	mtsim -topo fattree -n 4096 -workload mapreduce -tasks 256 -place strided
+//	mtsim -topo nestghc -n 2048 -workload allreduce -json        # run record
+//	mtsim -topo nestghc -n 2048 -workload reduce -epochcsv e.csv # congestion series
+//	mtsim -topo torus -n 4096 -workload bisection -cpuprofile cpu.pprof
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"mtier/internal/core"
 	"mtier/internal/cost"
 	"mtier/internal/flow"
+	"mtier/internal/obs"
 	"mtier/internal/place"
 	"mtier/internal/workload"
 )
@@ -41,21 +45,43 @@ func main() {
 		noPorts  = flag.Bool("noports", false, "disable injection/ejection port model")
 		adaptive = flag.Bool("adaptive", false, "least-loaded adaptive routing (multi-path topologies)")
 		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
+		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
+		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := core.Config{
-		Kind:      core.TopoKind(*topoName),
+	// Validate the enumerated flags up front so typos fail with the list
+	// of valid values instead of an error from deep inside the run.
+	kind, err := core.ParseTopoKind(*topoName)
+	if err != nil {
+		die(err)
+	}
+	wkind, err := workload.ParseKind(*wName)
+	if err != nil {
+		die(err)
+	}
+	pol, err := place.ParsePolicy(*placePol)
+	if err != nil {
+		die(err)
+	}
+
+	stop, err := prof.Start()
+	if err != nil {
+		die(err)
+	}
+	err = run(core.Config{
+		Kind:      kind,
 		Endpoints: *n,
 		T:         *tFlag,
 		U:         *uFlag,
-		Workload:  workload.Kind(*wName),
+		Workload:  wkind,
 		Params: workload.Params{
 			Tasks:    *tasks,
 			MsgBytes: *msg,
 			Seed:     *seed,
 		},
-		Placement: place.Policy(*placePol),
+		Placement: pol,
 		Sim: flow.Options{
 			LinkBandwidth:   *bw,
 			RelEpsilon:      *eps,
@@ -64,27 +90,66 @@ func main() {
 			DisablePorts:    *noPorts,
 			AdaptiveRouting: *adaptive,
 		},
+	}, *traceOut, *epochCSV, *jsonOut)
+	stop()
+	if err != nil {
+		die(err)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mtsim:", err)
+	os.Exit(1)
+}
+
+func run(cfg core.Config, traceOut, epochCSV string, jsonOut bool) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mtsim:", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
 		w := bufio.NewWriter(f)
-		defer w.Flush()
 		fmt.Fprintln(w, "flow,src,dst,bytes,start,end")
 		cfg.Sim.Trace = w
+		defer func() {
+			// Simulate reports mid-run write errors; the final flush error
+			// still needs its own check.
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtsim: flushing trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtsim: closing trace:", err)
+			}
+		}()
+	}
+	var rec *obs.EpochRecorder
+	if epochCSV != "" {
+		rec = obs.NewEpochRecorder(nil)
+		cfg.Sim.Probe = rec
 	}
 	start := time.Now()
 	res, err := core.Run(cfg, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtsim:", err)
-		os.Exit(1)
+		return err
+	}
+	if rec != nil {
+		f, err := os.Create(epochCSV)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing epoch series: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing epoch series: %w", err)
+		}
+	}
+	if jsonOut {
+		return res.Record().WriteJSON(os.Stdout)
 	}
 	fmt.Printf("topology:            %s\n", res.Topology)
-	fmt.Printf("workload:            %s (%d flows, %.3g bytes)\n", *wName, res.Flows, res.Result.BytesDelivered)
+	fmt.Printf("workload:            %s (%d flows, %.3g bytes)\n", cfg.Workload, res.Flows, res.Result.BytesDelivered)
 	fmt.Printf("makespan:            %.6f s\n", res.Result.Makespan)
 	fmt.Printf("epochs:              %d\n", res.Result.Epochs)
 	fmt.Printf("max link util:       %.3f\n", res.Result.MaxLinkUtilization)
@@ -93,5 +158,8 @@ func main() {
 	if e, eerr := cost.Energy(res.Result, res.Switches, res.Links, cost.DefaultEnergyModel()); eerr == nil {
 		fmt.Printf("network energy:      %.3f J (%.0f%% dynamic)\n", e.TotalJoules, 100*e.DynamicFraction)
 	}
+	fmt.Printf("phases:              build %.3fs  workload %.3fs  simulate %.3fs\n",
+		res.Phases.BuildSeconds, res.Phases.WorkloadSeconds, res.Phases.SimulateSeconds)
 	fmt.Printf("wall time:           %v\n", time.Since(start))
+	return nil
 }

@@ -3,43 +3,58 @@
 // NestTree plus the fattree and torus references, and prints the
 // normalised execution time panel (fattree = 1).
 //
+// Tables and CSV go to stdout; a live progress line (cells done/total,
+// current cell, ETA) is rendered on stderr so redirected output stays
+// clean.
+//
 // Usage:
 //
-//	mtsweep -set heavy -n 2048          # Figure 4
-//	mtsweep -set light -n 2048          # Figure 5
-//	mtsweep -workload bisection -csv    # one panel, CSV
+//	mtsweep -set heavy -n 2048               # Figure 4
+//	mtsweep -set light -n 2048               # Figure 5
+//	mtsweep -workload bisection -csv         # one panel, CSV
+//	mtsweep -set light -records cells.jsonl  # per-cell run records
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"mtier/internal/core"
 	"mtier/internal/flow"
+	"mtier/internal/obs"
 	"mtier/internal/report"
 	"mtier/internal/workload"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 2048, "total number of QFDBs (endpoints)")
-		setName = flag.String("set", "", "workload set: heavy (Fig 4) | light (Fig 5) | all")
-		wName   = flag.String("workload", "", "single workload to sweep")
-		tasks   = flag.Int("tasks", 0, "task count (0 = workload default)")
-		msg     = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		eps     = flag.Float64("eps", 0.01, "completion batching window")
-		workers = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		n        = flag.Int("n", 2048, "total number of QFDBs (endpoints)")
+		setName  = flag.String("set", "", "workload set: heavy (Fig 4) | light (Fig 5) | all")
+		wName    = flag.String("workload", "", "single workload to sweep")
+		tasks    = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg      = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		eps      = flag.Float64("eps", 0.01, "completion batching window")
+		workers  = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		progress = flag.Bool("progress", true, "render a live progress line on stderr")
+		records  = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	var kinds []workload.Kind
 	switch {
 	case *wName != "":
-		kinds = []workload.Kind{workload.Kind(*wName)}
+		k, err := workload.ParseKind(*wName)
+		if err != nil {
+			die(err)
+		}
+		kinds = []workload.Kind{k}
 	case *setName == "heavy":
 		kinds = workload.HeavyKinds()
 	case *setName == "light":
@@ -47,35 +62,96 @@ func main() {
 	case *setName == "all" || *setName == "":
 		kinds = workload.Kinds()
 	default:
-		fmt.Fprintf(os.Stderr, "mtsweep: unknown set %q\n", *setName)
-		os.Exit(1)
+		die(fmt.Errorf("unknown set %q (valid: heavy, light, all)", *setName))
 	}
 
-	start := time.Now()
-	set, err := core.BuildSet(*n, *workers)
+	stop, err := prof.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtsweep:", err)
-		os.Exit(1)
+		die(err)
 	}
-	fmt.Fprintf(os.Stderr, "mtsweep: built %d-endpoint topology set in %v\n", *n, time.Since(start))
-
-	opt := core.PanelOptions{
+	err = sweep(kinds, *n, *workers, *csv, *progress, *records, core.PanelOptions{
 		Seed:     *seed,
 		Tasks:    *tasks,
 		MsgBytes: *msg,
 		Workers:  *workers,
 		Sim:      flow.Options{RelEpsilon: *eps},
+	})
+	stop()
+	if err != nil {
+		die(err)
 	}
-	for _, k := range kinds {
-		t0 := time.Now()
-		fig, err := core.Panel(set, k, opt)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mtsweep:", err)
+	os.Exit(1)
+}
+
+func sweep(kinds []workload.Kind, n, workers int, csv, progress bool, records string, opt core.PanelOptions) error {
+	start := time.Now()
+	set, err := core.BuildSet(n, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mtsweep: built %d-endpoint topology set in %v\n", n, time.Since(start))
+
+	// One meter spans the whole sweep so the ETA covers all panels.
+	var meter *obs.ProgressMeter
+	if progress {
+		meter = obs.NewProgressMeter(os.Stderr, len(kinds)*core.PanelCells(set))
+	}
+
+	var recMu sync.Mutex
+	var recW *bufio.Writer
+	if records != "" {
+		f, err := os.Create(records)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mtsweep: %s: %v\n", k, err)
-			os.Exit(1)
+			return err
 		}
-		emit(fig, *csv)
-		fmt.Fprintf(os.Stderr, "mtsweep: %s done in %v\n", k, time.Since(t0))
+		recW = bufio.NewWriter(f)
+		defer func() {
+			if err := recW.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtsweep: flushing records:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtsweep: closing records:", err)
+			}
+		}()
 	}
+
+	for _, k := range kinds {
+		w := k
+		opt.OnCell = func(kind core.TopoKind, pt core.Point, res *core.RunResult) {
+			label := fmt.Sprintf("%s %s", w, kind)
+			if pt != (core.Point{}) {
+				label += " " + pt.Label()
+			}
+			meter.Step(label)
+			if recW != nil {
+				line, err := res.Record().MarshalLine()
+				recMu.Lock()
+				defer recMu.Unlock()
+				if err == nil {
+					_, err = recW.Write(line)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "\nmtsweep: writing record:", err)
+				}
+			}
+		}
+		fig, err := core.Panel(set, w, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w, err)
+		}
+		if meter != nil {
+			// Clear the live line before the table lands on stdout, in case
+			// both streams share a terminal.
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		emit(fig, csv)
+	}
+	meter.Finish()
+	return nil
 }
 
 func emit(fig *report.Figure, csv bool) {

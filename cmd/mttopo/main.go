@@ -18,6 +18,7 @@ import (
 
 	"mtier/internal/core"
 	"mtier/internal/metrics"
+	"mtier/internal/obs"
 	"mtier/internal/report"
 )
 
@@ -31,27 +32,42 @@ func main() {
 		uFlag   = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
 		csv     = flag.Bool("csv", false, "emit CSV")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *one != "" {
-		if err := analyseOne(core.TopoKind(*one), *n, *tFlag, *uFlag, *samples, *seed, *csv); err != nil {
-			fmt.Fprintln(os.Stderr, "mttopo:", err)
-			os.Exit(1)
-		}
-		return
+	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "mttopo:", err)
+		os.Exit(1)
 	}
+}
 
-	set, err := core.BuildSet(*n, 0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mttopo:", err)
-		os.Exit(1)
+func run(prof *obs.ProfileFlags, one string, n, t, u, samples int, seed int64, csv bool) error {
+	var kind core.TopoKind
+	if one != "" {
+		var err error
+		if kind, err = core.ParseTopoKind(one); err != nil {
+			return err
+		}
 	}
-	tab, err := core.Table1(set, *samples, *seed)
+	stop, err := prof.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mttopo:", err)
-		os.Exit(1)
+		return err
 	}
-	emit(tab, *csv)
+	defer stop()
+
+	if one != "" {
+		return analyseOne(kind, n, t, u, samples, seed, csv)
+	}
+	set, err := core.BuildSet(n, 0)
+	if err != nil {
+		return err
+	}
+	tab, err := core.Table1(set, samples, seed)
+	if err != nil {
+		return err
+	}
+	emit(tab, csv)
+	return nil
 }
 
 func analyseOne(kind core.TopoKind, n, t, u, samples int, seed int64, csv bool) error {

@@ -8,10 +8,14 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"mtier/internal/flow"
 	"mtier/internal/grid"
+	"mtier/internal/obs"
 	"mtier/internal/place"
 	"mtier/internal/topo"
 	"mtier/internal/topo/dragonfly"
@@ -51,6 +55,32 @@ const (
 
 // TopoKinds lists the four families in the paper's legend order.
 func TopoKinds() []TopoKind { return []TopoKind{NestGHC, NestTree, Fattree, Torus3D} }
+
+// AllTopoKinds lists every buildable topology kind: the paper's four
+// families followed by the related-work baselines, sorted within each
+// group.
+func AllTopoKinds() []TopoKind {
+	extras := []TopoKind{Thintree, GHCFlat, Dragonfly, Jellyfish}
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	return append(TopoKinds(), extras...)
+}
+
+// ParseTopoKind validates a user-supplied topology name (as given to the
+// -topo flags). The error lists every valid kind, so misspellings fail
+// fast at the flag layer instead of deep inside Run.
+func ParseTopoKind(s string) (TopoKind, error) {
+	k := TopoKind(strings.ToLower(strings.TrimSpace(s)))
+	for _, valid := range AllTopoKinds() {
+		if k == valid {
+			return k, nil
+		}
+	}
+	names := make([]string, 0, len(AllTopoKinds()))
+	for _, valid := range AllTopoKinds() {
+		names = append(names, string(valid))
+	}
+	return "", fmt.Errorf("core: unknown topology kind %q (valid: %s)", s, strings.Join(names, ", "))
+}
 
 // Point is one (t, u) cell of the paper's design grid.
 type Point struct {
@@ -139,23 +169,25 @@ func BuildTopology(kind TopoKind, n, t, u int) (topo.Topology, error) {
 	}
 }
 
-// Config describes a single simulation cell.
+// Config describes a single simulation cell. The JSON tags define the
+// config section of a run record, so a record's config can be replayed.
 type Config struct {
 	// Topology family and size.
-	Kind      TopoKind
-	Endpoints int
+	Kind      TopoKind `json:"kind"`
+	Endpoints int      `json:"endpoints"`
 	// Hybrid parameters (ignored by Torus3D/Fattree).
-	T, U int
+	T int `json:"t,omitempty"`
+	U int `json:"u,omitempty"`
 	// Workload and its parameters. Params.Tasks defaults to the workload's
 	// DefaultTasks for the system size.
-	Workload workload.Kind
-	Params   workload.Params
+	Workload workload.Kind   `json:"workload"`
+	Params   workload.Params `json:"params"`
 	// Placement maps tasks to endpoints. Default: Linear when tasks fill
 	// the machine, Strided otherwise (so reduced-task workloads still
 	// exercise the whole system).
-	Placement place.Policy
+	Placement place.Policy `json:"placement,omitempty"`
 	// Sim options; RelEpsilon defaults to 0.01.
-	Sim flow.Options
+	Sim flow.Options `json:"sim"`
 }
 
 // DefaultTasks caps the task count of the quadratic-flow-count workloads
@@ -197,24 +229,57 @@ const (
 type RunResult struct {
 	Config   Config
 	Topology string
-	// Switches and Links describe the topology instance (for energy and
-	// cost accounting without rebuilding it).
-	Switches int
-	Links    int
-	Flows    int
-	Result   *flow.Result
+	// Endpoints, Vertices, Switches and Links describe the topology
+	// instance (for energy and cost accounting without rebuilding it).
+	// Endpoints is the instance's actual endpoint count, which may exceed
+	// Config.Endpoints for families that round up.
+	Endpoints int
+	Vertices  int
+	Switches  int
+	Links     int
+	Flows     int
+	Result    *flow.Result
+	// Phases records the wall-clock cost of each stage of the cell.
+	Phases obs.PhaseTimings
+}
+
+// Record converts the result into the self-describing run-record document
+// (see obs.RunRecord). The record marshals deterministically: two runs of
+// the same config and seed differ only in the phase timings, which
+// RunRecord.Fingerprint strips.
+func (r *RunResult) Record() *obs.RunRecord {
+	return &obs.RunRecord{
+		Schema: obs.RunRecordSchema,
+		Config: r.Config,
+		Topology: obs.TopologyInfo{
+			Name:      r.Topology,
+			Endpoints: r.Endpoints,
+			Vertices:  r.Vertices,
+			Switches:  r.Switches,
+			Links:     r.Links,
+		},
+		Flows:  r.Flows,
+		Seed:   r.Config.Params.Seed,
+		Result: r.Result,
+		Phases: r.Phases,
+		Env:    obs.CaptureEnvironment(),
+	}
 }
 
 // Run executes one simulation cell. If top is non-nil it is used instead
 // of building a fresh topology (so sweeps can share instances).
 func Run(cfg Config, top topo.Topology) (*RunResult, error) {
 	var err error
+	var phases obs.PhaseTimings
 	if top == nil {
+		t0 := time.Now()
 		top, err = BuildTopology(cfg.Kind, cfg.Endpoints, cfg.T, cfg.U)
 		if err != nil {
 			return nil, err
 		}
+		phases.BuildSeconds = time.Since(t0).Seconds()
 	}
+	genStart := time.Now()
 	p := cfg.Params
 	if p.Tasks == 0 {
 		p.Tasks = DefaultTasks(cfg.Workload, top.NumEndpoints())
@@ -256,17 +321,28 @@ func Run(cfg Config, top topo.Topology) (*RunResult, error) {
 	if sim.RefreshFraction == 0 {
 		sim.RefreshFraction = 1.0 / 16
 	}
+	phases.WorkloadSeconds = time.Since(genStart).Seconds()
+	simStart := time.Now()
 	res, err := flow.Simulate(top, mapped, sim)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", cfg.Kind, cfg.Workload, err)
 	}
+	phases.SimulateSeconds = time.Since(simStart).Seconds()
+	// Report the effective configuration — defaults resolved — so run
+	// records are self-describing and replayable verbatim.
+	cfg.Params = p
+	cfg.Placement = pol
+	cfg.Sim = sim
 	return &RunResult{
-		Config:   cfg,
-		Topology: top.Name(),
-		Switches: top.NumVertices() - top.NumEndpoints(),
-		Links:    top.NumLinks(),
-		Flows:    len(spec.Flows),
-		Result:   res,
+		Config:    cfg,
+		Topology:  top.Name(),
+		Endpoints: top.NumEndpoints(),
+		Vertices:  top.NumVertices(),
+		Switches:  top.NumVertices() - top.NumEndpoints(),
+		Links:     top.NumLinks(),
+		Flows:     len(spec.Flows),
+		Result:    res,
+		Phases:    phases,
 	}, nil
 }
 

@@ -166,7 +166,19 @@ type PanelOptions struct {
 	Workers int
 	// Sim tunes the engine (RelEpsilon defaults to 0.01).
 	Sim flow.Options
+	// OnCell, when non-nil, is invoked once per finished cell with the
+	// cell's identity and full result — the hook behind sweep progress
+	// reporting and per-cell run records. It may be called concurrently
+	// from the sweep's worker goroutines; implementations must be
+	// goroutine-safe.
+	OnCell func(kind TopoKind, pt Point, res *RunResult)
 }
+
+// PanelCells returns the number of cells one panel simulates: two hybrid
+// series over the design points plus the two references. Multiply by the
+// workload count for a whole sweep's total (progress meters need it up
+// front).
+func PanelCells(set *TopoSet) int { return 2*len(set.Points) + 2 }
 
 // Panel runs one workload over every topology of the set and returns the
 // figure panel: normalised execution time (fattree = 1) per (t,u) point,
@@ -199,6 +211,9 @@ func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, err
 			return err
 		}
 		makespans[i] = res.Result.Makespan
+		if opt.OnCell != nil {
+			opt.OnCell(c.kind, c.pt, res)
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"mtier/internal/obs"
+	"mtier/internal/workload"
+)
+
+func runOnce(t *testing.T) *RunResult {
+	t.Helper()
+	res, err := Run(Config{
+		Kind:      NestGHC,
+		Endpoints: 512,
+		T:         2,
+		U:         4,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 7, MsgBytes: 1e5},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunRecordDeterminism: two runs with identical config and seed must
+// produce byte-identical run records modulo the timing fields — the
+// reproducibility guarantee that keeps records diffable as the
+// instrumentation grows.
+func TestRunRecordDeterminism(t *testing.T) {
+	a, err := runOnce(t).Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOnce(t).Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical config+seed produced different records:\n%s\n%s", a, b)
+	}
+	// A seed change must produce a different record.
+	res, err := Run(Config{
+		Kind:      NestGHC,
+		Endpoints: 512,
+		T:         2,
+		U:         4,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 8, MsgBytes: 1e5},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := res.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("record fingerprint blind to seed change")
+	}
+}
+
+// TestRunRecordContents: the record must round-trip through encoding/json
+// and carry config, topology, result, phases and environment.
+func TestRunRecordContents(t *testing.T) {
+	res := runOnce(t)
+	rec := res.Record()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("record does not round-trip: %v", err)
+	}
+	if back["schema"] != obs.RunRecordSchema {
+		t.Fatalf("schema = %v", back["schema"])
+	}
+	cfg := back["config"].(map[string]any)
+	if cfg["kind"] != "nestghc" || cfg["workload"] != "allreduce" {
+		t.Fatalf("config section = %v", cfg)
+	}
+	// The effective config must show the resolved defaults, not zeros.
+	params := cfg["params"].(map[string]any)
+	if params["tasks"].(float64) != 512 || params["msg_bytes"].(float64) != 1e5 {
+		t.Fatalf("effective params missing: %v", params)
+	}
+	topoInfo := back["topology"].(map[string]any)
+	if topoInfo["endpoints"].(float64) != 512 || topoInfo["switches"].(float64) <= 0 {
+		t.Fatalf("topology section = %v", topoInfo)
+	}
+	result := back["result"].(map[string]any)
+	if result["makespan"].(float64) <= 0 || result["epochs"].(float64) <= 0 {
+		t.Fatalf("result section = %v", result)
+	}
+	phases := back["phases"].(map[string]any)
+	if phases["build_seconds"].(float64) <= 0 || phases["simulate_seconds"].(float64) <= 0 {
+		t.Fatalf("phase timings missing: %v", phases)
+	}
+	env := back["environment"].(map[string]any)
+	if !strings.HasPrefix(env["go_version"].(string), "go") || env["gomaxprocs"].(float64) < 1 {
+		t.Fatalf("environment section = %v", env)
+	}
+	if back["seed"].(float64) != 7 {
+		t.Fatalf("seed = %v", back["seed"])
+	}
+}
+
+// TestRunPhasesPrebuilt: sweeps supply prebuilt topologies, so the build
+// phase must read zero while the others are populated.
+func TestRunPhasesPrebuilt(t *testing.T) {
+	top, err := BuildTopology(Torus3D, 64, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Kind: Torus3D, Endpoints: 64, Workload: workload.Reduce}, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.BuildSeconds != 0 {
+		t.Fatalf("prebuilt topology should record zero build time, got %g", res.Phases.BuildSeconds)
+	}
+	if res.Phases.SimulateSeconds <= 0 {
+		t.Fatalf("simulate phase not timed: %+v", res.Phases)
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatalf("total = %g", res.Phases.Total())
+	}
+}
+
+// TestPanelOnCell: the per-cell hook must fire exactly once per cell with
+// usable results, from concurrent workers.
+func TestPanelOnCell(t *testing.T) {
+	set, err := BuildSet(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var labels []string
+	_, err = Panel(set, workload.Reduce, PanelOptions{
+		Seed: 2,
+		OnCell: func(kind TopoKind, pt Point, res *RunResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			if res == nil || res.Result.Makespan <= 0 {
+				t.Errorf("OnCell got empty result for %s %s", kind, pt.Label())
+			}
+			labels = append(labels, string(kind)+pt.Label())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != PanelCells(set) {
+		t.Fatalf("OnCell fired %d times, want %d", len(labels), PanelCells(set))
+	}
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("cell %s reported twice", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestParseTopoKind(t *testing.T) {
+	k, err := ParseTopoKind("NestGHC")
+	if err != nil || k != NestGHC {
+		t.Fatalf("ParseTopoKind(NestGHC) = %v, %v", k, err)
+	}
+	if _, err := ParseTopoKind("nosuchtopo"); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else {
+		msg := err.Error()
+		for _, valid := range AllTopoKinds() {
+			if !strings.Contains(msg, string(valid)) {
+				t.Fatalf("error %q does not list %q", msg, valid)
+			}
+		}
+	}
+}

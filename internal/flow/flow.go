@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
+	"mtier/internal/obs"
 	"mtier/internal/topo"
 )
 
@@ -59,24 +61,26 @@ func (s *Spec) TotalBytes() float64 {
 	return t
 }
 
-// Options tunes a simulation run. The zero value is ready to use.
+// Options tunes a simulation run. The zero value is ready to use. The
+// JSON tags define how the options appear inside a run record; the
+// attached writers and probes are process-local and excluded.
 type Options struct {
 	// LinkBandwidth is the capacity of every link in bytes/second.
 	// 0 means DefaultBandwidth.
-	LinkBandwidth float64
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
 	// RelEpsilon batches flow completions that fall within a relative
 	// window of the earliest one, trading a bounded (~RelEpsilon) error in
 	// the makespan for far fewer rate recomputations. 0 means exact
 	// simulation; the experiment presets use 0.01.
-	RelEpsilon float64
+	RelEpsilon float64 `json:"rel_epsilon,omitempty"`
 	// LatencyBase is a fixed startup delay (seconds) added to every flow
 	// before its data starts moving (NIC/protocol overhead). Default 0.
-	LatencyBase float64
+	LatencyBase float64 `json:"latency_base,omitempty"`
 	// LatencyPerHop adds a delay proportional to the route's network hop
 	// count (switch/router traversal). Together with LatencyBase it makes
 	// path length matter for fine-grained, causality-bound workloads such
 	// as Sweep3D, as in the paper. Default 0 (pure bandwidth model).
-	LatencyPerHop float64
+	LatencyPerHop float64 `json:"latency_per_hop,omitempty"`
 	// RefreshFraction defers the max-min rate recomputation until at least
 	// this fraction of the active flows has completed since the last one
 	// (recomputation always happens when new flows activate). Between
@@ -85,45 +89,54 @@ type Options struct {
 	// refresh, so the result is a slight, bounded over-estimate of the
 	// makespan. 0 recomputes every epoch (exact); the experiment presets
 	// use 1/16.
-	RefreshFraction float64
+	RefreshFraction float64 `json:"refresh_fraction,omitempty"`
 	// AdaptiveRouting picks, for each flow at injection time, the
 	// least-loaded of the topology's candidate routes (topologies
 	// implementing topo.MultiRouter; ignored otherwise). Load is the
 	// current number of active flows on the candidate's busiest link.
-	AdaptiveRouting bool
+	AdaptiveRouting bool `json:"adaptive_routing,omitempty"`
 	// DisablePorts turns off the injection/ejection port model, leaving
 	// only topology links as shared resources.
-	DisablePorts bool
+	DisablePorts bool `json:"disable_ports,omitempty"`
 	// RecordFlowEnds retains each flow's completion time in the result.
-	RecordFlowEnds bool
+	RecordFlowEnds bool `json:"record_flow_ends,omitempty"`
 	// Trace, when non-nil, receives one CSV record per completed flow:
 	// id,src,dst,bytes,start,end (start is the activation instant, after
 	// dependencies and latency). Records are emitted in completion order.
-	Trace io.Writer
+	// The first write error aborts further records and is returned by
+	// Simulate, so a full disk cannot silently truncate a trace.
+	Trace io.Writer `json:"-"`
+	// Probe, when non-nil, receives one obs.EpochSnapshot per rate
+	// recomputation: the simulated time, active-flow count, tightest
+	// bottleneck link with its fair share, and the recomputation's
+	// wall-clock cost. With a nil probe the instrumentation costs a single
+	// branch per epoch.
+	Probe obs.Probe `json:"-"`
 }
 
-// Result reports the outcome of a simulation.
+// Result reports the outcome of a simulation. The JSON tags define the
+// result section of a run record.
 type Result struct {
 	// Makespan is the completion time of the whole workload, in seconds.
-	Makespan float64
+	Makespan float64 `json:"makespan"`
 	// FlowEnds holds per-flow completion times when requested.
-	FlowEnds []float64
+	FlowEnds []float64 `json:"flow_ends,omitempty"`
 	// Epochs is the number of rate recomputations performed.
-	Epochs int
+	Epochs int `json:"epochs"`
 	// BytesDelivered is the total traffic volume.
-	BytesDelivered float64
+	BytesDelivered float64 `json:"bytes_delivered"`
 	// HopBytes is the sum over flows of bytes × network hops traversed —
 	// the raw input of dynamic-energy estimation (ports excluded).
-	HopBytes float64
+	HopBytes float64 `json:"hop_bytes"`
 	// MaxLinkUtilization is the busiest topology link's delivered bytes
 	// divided by its capacity × makespan (ports excluded).
-	MaxLinkUtilization float64
+	MaxLinkUtilization float64 `json:"max_link_utilization"`
 	// MeanLinkUtilization averages utilisation over topology links that
 	// carried any traffic.
-	MeanLinkUtilization float64
+	MeanLinkUtilization float64 `json:"mean_link_utilization"`
 	// MaxPortUtilization is the busiest injection/ejection port's
 	// utilisation (0 when ports are disabled).
-	MaxPortUtilization float64
+	MaxPortUtilization float64 `json:"max_port_utilization"`
 }
 
 // shareHeap is a specialised min-heap of (share, link) pairs for
@@ -263,6 +276,13 @@ type sim struct {
 	heap      shareHeap
 	dirty     bool // active set gained flows since the last waterfill
 
+	// Probe state (tracked only when opt.Probe is attached).
+	probing  bool
+	btlLink  int32   // tightest bottleneck link of the last waterfill
+	btlShare float64 // its per-flow fair share
+
+	traceErr error // first Trace write failure; surfaced by run
+
 	// Adaptive routing state.
 	mrouter      topo.MultiRouter
 	numChoices   int
@@ -287,7 +307,7 @@ func Simulate(t topo.Topology, spec *Spec, opt Options) (*Result, error) {
 	if opt.LatencyBase < 0 || opt.LatencyPerHop < 0 {
 		return nil, fmt.Errorf("flow: negative latency")
 	}
-	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows}
+	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil}
 	if err := s.prepare(spec); err != nil {
 		return nil, err
 	}
@@ -469,6 +489,9 @@ func (s *sim) waterfill() {
 
 	frozen := 0
 	target := len(s.active)
+	if s.probing {
+		s.btlLink, s.btlShare = -1, 0
+	}
 	for frozen < target && len(s.heap.link) > 0 {
 		share, l := s.heap.pop()
 		if s.count[l] == 0 {
@@ -479,6 +502,11 @@ func (s *sim) waterfill() {
 			// Stale entry: the link gained headroom when other flows froze.
 			s.heap.push(cur, l)
 			continue
+		}
+		if s.probing && s.btlLink < 0 {
+			// Progressive filling freezes bottlenecks in increasing share
+			// order, so the first one is the tightest of this epoch.
+			s.btlLink, s.btlShare = l, cur
 		}
 		// l is a bottleneck: freeze every unfrozen flow crossing it.
 		for _, f := range s.linkFlows[l] {
@@ -577,9 +605,11 @@ func (s *sim) inject(id int32, now float64, done *int) {
 	s.activate(id, now)
 }
 
-// trace writes one completion record when tracing is enabled.
+// trace writes one completion record when tracing is enabled. The first
+// write failure is remembered (and stops further writes); run surfaces it
+// so a full disk cannot masquerade as a successful, complete trace.
 func (s *sim) trace(id int32, end float64) {
-	if s.opt.Trace == nil {
+	if s.opt.Trace == nil || s.traceErr != nil {
 		return
 	}
 	start := end
@@ -587,7 +617,9 @@ func (s *sim) trace(id int32, end float64) {
 		start = s.starts[id]
 	}
 	fl := &s.flows[id]
-	fmt.Fprintf(s.opt.Trace, "%d,%d,%d,%g,%.9g,%.9g\n", id, fl.Src, fl.Dst, fl.Bytes, start, end)
+	if _, err := fmt.Fprintf(s.opt.Trace, "%d,%d,%d,%g,%.9g,%.9g\n", id, fl.Src, fl.Dst, fl.Bytes, start, end); err != nil {
+		s.traceErr = err
+	}
 }
 
 // activateDue moves every pending flow whose latency has elapsed by `now`
@@ -624,10 +656,24 @@ func (s *sim) run() (*Result, error) {
 			continue
 		}
 		if needRefresh || float64(completedSince) >= s.opt.RefreshFraction*float64(len(s.active)) {
+			var wallStart time.Time
+			if s.probing {
+				wallStart = time.Now()
+			}
 			s.waterfill()
 			res.Epochs++
 			needRefresh = false
 			completedSince = 0
+			if s.probing {
+				s.opt.Probe.OnEpoch(obs.EpochSnapshot{
+					Epoch:           res.Epochs,
+					SimTime:         now,
+					ActiveFlows:     len(s.active),
+					BottleneckLink:  s.btlLink,
+					BottleneckShare: s.btlShare,
+					WallTime:        time.Since(wallStart),
+				})
+			}
 		}
 
 		// Earliest completion among active flows.
@@ -691,6 +737,9 @@ func (s *sim) run() (*Result, error) {
 	}
 	if done != f {
 		return nil, fmt.Errorf("flow: %d of %d flows never ran — dependency cycle in workload", f-done, f)
+	}
+	if s.traceErr != nil {
+		return nil, fmt.Errorf("flow: writing trace: %w", s.traceErr)
 	}
 
 	res.Makespan = now

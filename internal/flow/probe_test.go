@@ -1,0 +1,136 @@
+package flow
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+
+	"mtier/internal/obs"
+)
+
+// TestProbeSnapshots: an attached probe must see exactly one snapshot per
+// rate-recomputation epoch, with a valid bottleneck and monotone times.
+func TestProbeSnapshots(t *testing.T) {
+	tor := cube(t, 4)
+	n := tor.NumEndpoints()
+	spec := &Spec{}
+	for i := 0; i < 200; i++ {
+		spec.Add(i%n, (i*7+3)%n, 1e6*float64(1+i%5))
+	}
+	rec := obs.NewEpochRecorder(nil)
+	res, err := Simulate(tor, spec, Options{Probe: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := rec.Snapshots()
+	if len(snaps) != res.Epochs {
+		t.Fatalf("probe saw %d snapshots, result reports %d epochs", len(snaps), res.Epochs)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+	maxLink := int32(tor.NumLinks() + 2*n) // topology links + virtual ports
+	lastSim := -1.0
+	for i, s := range snaps {
+		if s.Epoch != i+1 {
+			t.Fatalf("epoch ordinal %d at index %d", s.Epoch, i)
+		}
+		if s.SimTime < lastSim {
+			t.Fatalf("sim time went backwards: %g after %g", s.SimTime, lastSim)
+		}
+		lastSim = s.SimTime
+		if s.ActiveFlows <= 0 {
+			t.Fatalf("epoch %d recorded %d active flows", s.Epoch, s.ActiveFlows)
+		}
+		if s.BottleneckLink < 0 || s.BottleneckLink >= maxLink {
+			t.Fatalf("epoch %d bottleneck link %d out of range [0,%d)", s.Epoch, s.BottleneckLink, maxLink)
+		}
+		if s.BottleneckShare <= 0 || s.BottleneckShare > DefaultBandwidth*(1+1e-9) {
+			t.Fatalf("epoch %d bottleneck share %g outside (0, capacity]", s.Epoch, s.BottleneckShare)
+		}
+	}
+	// The congested start must leave each flow less than full line rate.
+	if snaps[0].BottleneckShare >= DefaultBandwidth {
+		t.Fatalf("first epoch share %g, expected congestion below %g", snaps[0].BottleneckShare, float64(DefaultBandwidth))
+	}
+
+	// The exported CSV is one header plus one row per epoch.
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("probe CSV does not parse: %v", err)
+	}
+	if len(rows) != res.Epochs+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(rows), res.Epochs+1)
+	}
+}
+
+// TestProbeDoesNotChangeResult: attaching a probe must be purely
+// observational.
+func TestProbeDoesNotChangeResult(t *testing.T) {
+	tor := cube(t, 4)
+	n := tor.NumEndpoints()
+	spec := &Spec{}
+	for i := 0; i < 300; i++ {
+		spec.Add(i%n, (i*11+1)%n, 5e5*float64(1+i%7))
+	}
+	opt := Options{RelEpsilon: 0.01, RefreshFraction: 1.0 / 16, LatencyBase: 5e-7, LatencyPerHop: 1e-6}
+	plain, err := Simulate(tor, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Probe = obs.NewEpochRecorder(nil)
+	probed, err := Simulate(tor, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != probed.Makespan || plain.Epochs != probed.Epochs {
+		t.Fatalf("probe perturbed the simulation: %+v vs %+v", plain, probed)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestTraceWriteErrorSurfaces: a failing trace writer must fail the
+// simulation instead of silently truncating the CSV.
+func TestTraceWriteErrorSurfaces(t *testing.T) {
+	tor := ring(t, 8)
+	spec := &Spec{}
+	prev := int32(-1)
+	for i := 0; i < 16; i++ {
+		if prev < 0 {
+			prev = spec.Add(0, 1, 1e6)
+		} else {
+			prev = spec.Add(i%8, (i+1)%8, 1e6, prev)
+		}
+	}
+	_, err := Simulate(tor, spec, Options{Trace: &failWriter{n: 40}})
+	if err == nil {
+		t.Fatal("Simulate succeeded despite trace write failure")
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("error does not wrap the write failure: %v", err)
+	}
+	// A writer with room for everything still succeeds.
+	if _, err := Simulate(tor, spec, Options{Trace: &failWriter{n: 1 << 20}}); err != nil {
+		t.Fatalf("unexpected error with working writer: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// EpochSnapshot describes one rate-recomputation epoch of the flow engine:
+// the moment max-min fair shares were recomputed. A sequence of snapshots
+// is a time series of the network's congestion state — which link is the
+// bottleneck, how tight it is, and how much the recomputation itself cost.
+type EpochSnapshot struct {
+	// Epoch is the 1-based ordinal of the recomputation.
+	Epoch int `json:"epoch"`
+	// SimTime is the simulated time (seconds) at which rates were
+	// recomputed.
+	SimTime float64 `json:"sim_time"`
+	// ActiveFlows is the number of flows transmitting in this epoch.
+	ActiveFlows int `json:"active_flows"`
+	// BottleneckLink is the id of the link with the smallest fair share —
+	// the first bottleneck frozen by progressive filling. Ids below the
+	// topology's NumLinks() are network links; higher ids are the virtual
+	// injection/ejection ports. -1 when the epoch had no active flows.
+	BottleneckLink int32 `json:"bottleneck_link"`
+	// BottleneckShare is the per-flow fair share (bytes/second) on the
+	// bottleneck link.
+	BottleneckShare float64 `json:"bottleneck_share"`
+	// WallTime is the wall-clock cost of the rate recomputation.
+	WallTime time.Duration `json:"wall_ns"`
+}
+
+// Probe receives one snapshot per rate-recomputation epoch. Implementations
+// are called synchronously from the simulation loop (single-goroutine per
+// run) and should be cheap; attach one only when the time series is wanted
+// — a nil probe costs a single branch per epoch.
+type Probe interface {
+	OnEpoch(EpochSnapshot)
+}
+
+// ProbeFunc adapts a function to the Probe interface.
+type ProbeFunc func(EpochSnapshot)
+
+// OnEpoch calls f.
+func (f ProbeFunc) OnEpoch(s EpochSnapshot) { f(s) }
+
+// EpochRecorder is a Probe that retains every snapshot and can export the
+// series as CSV or JSON. When constructed with a Registry it also feeds
+// aggregate metrics (epoch count, active-flow gauge, wall-time histogram).
+// It is safe for concurrent use, so one recorder may aggregate the epochs
+// of several simulations (e.g. all cells of a sweep).
+type EpochRecorder struct {
+	mu        sync.Mutex
+	snapshots []EpochSnapshot
+
+	epochs *Counter
+	active *Gauge
+	wall   *Histogram
+}
+
+// NewEpochRecorder creates a recorder. reg may be nil; when set, the
+// recorder maintains "flow.epochs" (counter), "flow.active_flows" (gauge)
+// and "flow.epoch_wall_seconds" (histogram) in it.
+func NewEpochRecorder(reg *Registry) *EpochRecorder {
+	r := &EpochRecorder{}
+	if reg != nil {
+		r.epochs = reg.Counter("flow.epochs")
+		r.active = reg.Gauge("flow.active_flows")
+		r.wall = reg.Histogram("flow.epoch_wall_seconds")
+	}
+	return r
+}
+
+// OnEpoch implements Probe.
+func (r *EpochRecorder) OnEpoch(s EpochSnapshot) {
+	r.mu.Lock()
+	r.snapshots = append(r.snapshots, s)
+	r.mu.Unlock()
+	if r.epochs != nil {
+		r.epochs.Inc()
+		r.active.Set(float64(s.ActiveFlows))
+		r.wall.Observe(s.WallTime.Seconds())
+	}
+}
+
+// Snapshots returns a copy of the recorded series.
+func (r *EpochRecorder) Snapshots() []EpochSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochSnapshot, len(r.snapshots))
+	copy(out, r.snapshots)
+	return out
+}
+
+// Len returns the number of recorded epochs.
+func (r *EpochRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.snapshots)
+}
+
+// WriteCSV exports the series with the header
+// epoch,sim_time,active_flows,bottleneck_link,bottleneck_share,wall_ns.
+func (r *EpochRecorder) WriteCSV(w io.Writer) error {
+	snaps := r.Snapshots()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "wall_ns"}); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		rec := []string{
+			strconv.Itoa(s.Epoch),
+			strconv.FormatFloat(s.SimTime, 'g', 9, 64),
+			strconv.Itoa(s.ActiveFlows),
+			strconv.FormatInt(int64(s.BottleneckLink), 10),
+			strconv.FormatFloat(s.BottleneckShare, 'g', 9, 64),
+			strconv.FormatInt(s.WallTime.Nanoseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports the series as a JSON array.
+func (r *EpochRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshots())
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func sampleSnapshots() []EpochSnapshot {
+	return []EpochSnapshot{
+		{Epoch: 1, SimTime: 0, ActiveFlows: 12, BottleneckLink: 7, BottleneckShare: 1.25e9 / 12, WallTime: 1500 * time.Nanosecond},
+		{Epoch: 2, SimTime: 0.004, ActiveFlows: 8, BottleneckLink: 7, BottleneckShare: 1.25e9 / 8, WallTime: 900 * time.Nanosecond},
+		{Epoch: 3, SimTime: 0.01, ActiveFlows: 1, BottleneckLink: 42, BottleneckShare: 1.25e9, WallTime: 200 * time.Nanosecond},
+	}
+}
+
+func TestEpochRecorderCSV(t *testing.T) {
+	rec := NewEpochRecorder(nil)
+	for _, s := range sampleSnapshots() {
+		rec.OnEpoch(s)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", rec.Len())
+	}
+	var b bytes.Buffer
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	wantHeader := []string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "wall_ns"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Fatalf("header = %v, want %v", rows[0], wantHeader)
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Spot-check the second record numerically.
+	if rows[2][0] != "2" || rows[2][2] != "8" || rows[2][3] != "7" {
+		t.Fatalf("row 2 = %v", rows[2])
+	}
+	simt, err := strconv.ParseFloat(rows[2][1], 64)
+	if err != nil || simt != 0.004 {
+		t.Fatalf("sim_time = %v (%v)", rows[2][1], err)
+	}
+	if rows[2][5] != "900" {
+		t.Fatalf("wall_ns = %v, want 900", rows[2][5])
+	}
+}
+
+func TestEpochRecorderJSON(t *testing.T) {
+	rec := NewEpochRecorder(nil)
+	for _, s := range sampleSnapshots() {
+		rec.OnEpoch(s)
+	}
+	var b bytes.Buffer
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back []EpochSnapshot
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back) != 3 || back[1] != sampleSnapshots()[1] {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestEpochRecorderRegistry(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewEpochRecorder(reg)
+	for _, s := range sampleSnapshots() {
+		rec.OnEpoch(s)
+	}
+	if got := reg.Counter("flow.epochs").Value(); got != 3 {
+		t.Fatalf("flow.epochs = %d, want 3", got)
+	}
+	if got := reg.Gauge("flow.active_flows").Value(); got != 1 {
+		t.Fatalf("flow.active_flows = %g, want 1 (last epoch)", got)
+	}
+	h := reg.Histogram("flow.epoch_wall_seconds").Snapshot()
+	if h.Count != 3 {
+		t.Fatalf("wall histogram count = %d, want 3", h.Count)
+	}
+	if h.Max < 1.4e-6 || h.Max > 1.6e-6 {
+		t.Fatalf("wall histogram max = %g, want ~1.5e-6", h.Max)
+	}
+}
+
+func TestProbeFunc(t *testing.T) {
+	var got []int
+	var p Probe = ProbeFunc(func(s EpochSnapshot) { got = append(got, s.Epoch) })
+	p.OnEpoch(EpochSnapshot{Epoch: 9})
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("ProbeFunc not invoked: %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileFlags holds the standard profiling outputs every binary of the
+// module exposes. Register the flags with AddProfileFlags, then bracket
+// main's work with Start and the returned stop function:
+//
+//	prof := obs.AddProfileFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// The resulting files feed `go tool pprof` (cpu, mem) and
+// `go tool trace` (trace).
+type ProfileFlags struct {
+	// CPUProfile is the path for a pprof CPU profile ("" disables).
+	CPUProfile string
+	// MemProfile is the path for a pprof heap profile written at stop.
+	MemProfile string
+	// TraceOut is the path for a runtime execution trace.
+	TraceOut string
+}
+
+// AddProfileFlags registers -cpuprofile, -memprofile and -traceout on fs
+// and returns the struct the parsed values land in.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&p.TraceOut, "traceout", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Enabled reports whether any profiling output was requested.
+func (p *ProfileFlags) Enabled() bool {
+	return p.CPUProfile != "" || p.MemProfile != "" || p.TraceOut != ""
+}
+
+// Start begins the requested profiles and returns the function that stops
+// them and writes the deferred outputs. stop is safe to call when nothing
+// was enabled, and must run before process exit for the profiles to be
+// valid. Errors encountered while stopping are reported on stderr (the
+// primary computation has already succeeded by then).
+func (p *ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if p.TraceOut != "" {
+		traceFile, err = os.Create(p.TraceOut)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return func() {
+		cleanup()
+		if p.MemProfile == "" {
+			return
+		}
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs: mem profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: mem profile:", err)
+		}
+	}, nil
+}

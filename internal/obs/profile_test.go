@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAddProfileFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	if p.Enabled() {
+		t.Fatal("fresh flags should be disabled")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-traceout", tr}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != cpu || p.MemProfile != mem || p.TraceOut != tr {
+		t.Fatalf("flags not bound: %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("Enabled() should be true")
+	}
+
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += float64(i) * 1.0001
+	}
+	_ = x
+	stop()
+
+	for _, f := range []string{cpu, mem, tr} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestProfileStartErrors(t *testing.T) {
+	p := &ProfileFlags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+	// Disabled flags: Start is a cheap no-op and stop must be callable.
+	stop, err := (&ProfileFlags{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressMeter renders a single live status line for a long sweep:
+// cells done / total, the label of the most recently finished cell, and an
+// ETA extrapolated from the running mean cell duration. It redraws in
+// place with carriage returns, so point it at a terminal stream (stderr)
+// — never at the stream carrying tables or CSV.
+//
+// Step may be called from concurrent sweep workers.
+type ProgressMeter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	total   int
+	done    int
+	start   time.Time
+	lastLen int
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewProgressMeter creates a meter for total units writing to w. A nil w
+// or non-positive total yields an inert meter whose methods are no-ops,
+// so callers can thread one unconditionally.
+func NewProgressMeter(w io.Writer, total int) *ProgressMeter {
+	p := &ProgressMeter{w: w, total: total, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// Step records one finished unit (labelled for display) and redraws.
+func (p *ProgressMeter) Step(label string) {
+	if p == nil || p.w == nil || p.total <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := p.now().Sub(p.start)
+	line := fmt.Sprintf("[%d/%d] %s", p.done, p.total, label)
+	if p.done < p.total && p.done > 0 {
+		mean := elapsed / time.Duration(p.done)
+		eta := mean * time.Duration(p.total-p.done)
+		line += fmt.Sprintf("  eta %s", formatETA(eta))
+	}
+	p.draw(line)
+}
+
+// Finish clears the live line and prints a one-line summary with the
+// total elapsed time.
+func (p *ProgressMeter) Finish() {
+	if p == nil || p.w == nil || p.total <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := p.now().Sub(p.start)
+	p.draw(fmt.Sprintf("[%d/%d] done in %s", p.done, p.total, formatETA(elapsed)))
+	fmt.Fprintln(p.w)
+	p.lastLen = 0
+}
+
+// draw writes the line over the previous one, padding with spaces so a
+// shorter line fully erases a longer predecessor.
+func (p *ProgressMeter) draw(line string) {
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}
+
+// formatETA renders a duration with second granularity (sub-second
+// durations keep millisecond precision so short sweeps still show
+// movement).
+func formatETA(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	if d < time.Second {
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(time.Second).String()
+}

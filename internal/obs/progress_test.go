@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock advances a fake time by step on every call.
+type fixedClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fixedClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestProgressMeter(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgressMeter(&sb, 4)
+	clock := &fixedClock{t: p.start, step: time.Second}
+	p.now = clock.now
+
+	p.Step("nestghc (2, 8)")
+	p.Step("nestghc (2, 4)")
+	out := sb.String()
+	if !strings.Contains(out, "[1/4] nestghc (2, 8)") {
+		t.Fatalf("missing first step: %q", out)
+	}
+	if !strings.Contains(out, "[2/4] nestghc (2, 4)") {
+		t.Fatalf("missing second step: %q", out)
+	}
+	// Two cells in 2s of fake time -> mean 1s -> eta 2s for the 2 left.
+	if !strings.Contains(out, "eta 2s") {
+		t.Fatalf("missing ETA: %q", out)
+	}
+	if !strings.Contains(out, "\r") {
+		t.Fatalf("no carriage-return redraw: %q", out)
+	}
+
+	p.Step("fattree")
+	p.Step("torus")
+	p.Finish()
+	out = sb.String()
+	if !strings.Contains(out, "[4/4] done in") {
+		t.Fatalf("missing finish line: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("finish must end the line: %q", out)
+	}
+	// The last in-place line is longer than the finish line; padding must
+	// cover the leftovers.
+	lastLine := out[strings.LastIndex(out, "\r")+1:]
+	if len(strings.TrimRight(lastLine, " \n")) > len(lastLine) {
+		t.Fatalf("finish line not padded: %q", lastLine)
+	}
+}
+
+func TestProgressMeterInert(t *testing.T) {
+	// nil writer and zero total must be safe no-ops.
+	NewProgressMeter(nil, 10).Step("x")
+	var sb strings.Builder
+	p := NewProgressMeter(&sb, 0)
+	p.Step("x")
+	p.Finish()
+	if sb.Len() != 0 {
+		t.Fatalf("inert meter wrote output: %q", sb.String())
+	}
+	var nilMeter *ProgressMeter
+	nilMeter.Step("x") // must not panic
+	nilMeter.Finish()
+}
+
+func TestFormatETA(t *testing.T) {
+	cases := map[time.Duration]string{
+		-time.Second:            "0s",
+		250 * time.Millisecond:  "250ms",
+		90 * time.Second:        "1m30s",
+		3*time.Hour + time.Hour: "4h0m0s",
+	}
+	for in, want := range cases {
+		if got := formatETA(in); got != want {
+			t.Errorf("formatETA(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

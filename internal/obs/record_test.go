@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+type fakeConfig struct {
+	Kind string  `json:"kind"`
+	N    int     `json:"n"`
+	Msg  float64 `json:"msg_bytes"`
+}
+
+type fakeResult struct {
+	Makespan float64 `json:"makespan"`
+	Epochs   int     `json:"epochs"`
+}
+
+func sampleRecord() *RunRecord {
+	return &RunRecord{
+		Schema:   RunRecordSchema,
+		Config:   fakeConfig{Kind: "nestghc", N: 4096, Msg: 1e6},
+		Topology: TopologyInfo{Name: "NestGHC(2,4)", Endpoints: 4096, Vertices: 5120, Switches: 1024, Links: 20480},
+		Flows:    16384,
+		Seed:     7,
+		Result:   fakeResult{Makespan: 0.125, Epochs: 311},
+		Phases:   PhaseTimings{BuildSeconds: 0.5, WorkloadSeconds: 0.01, SimulateSeconds: 2.25},
+		Env:      CaptureEnvironment(),
+	}
+}
+
+func TestRunRecordRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	var b bytes.Buffer
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatalf("record does not round-trip: %v", err)
+	}
+	if back["schema"] != RunRecordSchema {
+		t.Fatalf("schema = %v", back["schema"])
+	}
+	for _, key := range []string{"config", "topology", "result", "phases", "environment", "seed", "flows"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("record missing %q: %s", key, b.String())
+		}
+	}
+	env := back["environment"].(map[string]any)
+	if env["go_version"] != runtime.Version() {
+		t.Fatalf("go_version = %v", env["go_version"])
+	}
+	phases := back["phases"].(map[string]any)
+	if phases["simulate_seconds"].(float64) != 2.25 {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+func TestPhaseTimingsTotal(t *testing.T) {
+	p := PhaseTimings{BuildSeconds: 1, WorkloadSeconds: 2, SimulateSeconds: 4}
+	if p.Total() != 7 {
+		t.Fatalf("Total = %g", p.Total())
+	}
+}
+
+func TestFingerprintStripsTimings(t *testing.T) {
+	a := sampleRecord()
+	b := sampleRecord()
+	b.Phases = PhaseTimings{BuildSeconds: 99, WorkloadSeconds: 98, SimulateSeconds: 97}
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("fingerprints differ despite identical payload:\n%s\n%s", fa, fb)
+	}
+	// Fingerprint must not mutate the record.
+	if a.Phases.SimulateSeconds != 2.25 {
+		t.Fatal("Fingerprint mutated the record")
+	}
+	// But a payload change must show.
+	b.Seed = 8
+	fb2, _ := b.Fingerprint()
+	if bytes.Equal(fa, fb2) {
+		t.Fatal("fingerprint blind to seed change")
+	}
+}
+
+func TestMarshalLine(t *testing.T) {
+	line, err := sampleRecord().MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatal("line not newline-terminated")
+	}
+	if bytes.ContainsRune(line[:len(line)-1], '\n') {
+		t.Fatal("record spans multiple lines")
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cells")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("cells") != c {
+		t.Fatal("Counter should return the same instance per name")
+	}
+	g := r.Gauge("active")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %g, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	// Bucket bounds must be strictly increasing and log-spaced.
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %g <= %g", i, h.bounds[i], h.bounds[i-1])
+		}
+		ratio := h.bounds[i] / h.bounds[i-1]
+		want := math.Pow(10, 1.0/histPerDecade)
+		if math.Abs(ratio-want) > 1e-9*want {
+			t.Fatalf("bucket ratio %g, want %g", ratio, want)
+		}
+	}
+	// Every observation must land in a bucket whose bound contains it.
+	for _, v := range []float64{0, 1e-12, 1e-9, 2.5e-7, 1, 3.14, 1e5, 9e99} {
+		i := h.bucket(v)
+		if i > 0 && v <= h.bounds[i-1] {
+			t.Errorf("bucket(%g)=%d but bound[%d]=%g already covers it", v, i, i-1, h.bounds[i-1])
+		}
+		if i < len(h.bounds) && v > h.bounds[i] {
+			t.Errorf("bucket(%g)=%d overflows bound %g", v, i, h.bounds[i])
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i)) // 1..100
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+	// Quantiles are bucket upper bounds: p50 of 1..100 must sit within one
+	// bucket width (~33%) above 50 and never above the max.
+	if s.P50 < 50 || s.P50 > 50*1.34 {
+		t.Fatalf("p50 = %g, want within [50, 67]", s.P50)
+	}
+	if s.P99 > s.Max {
+		t.Fatalf("p99 %g exceeds max %g", s.P99, s.Max)
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Snapshot().Count != 100 {
+		t.Fatal("NaN observation was counted")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(float64(i))
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sweep.cells").Add(26)
+	r.Gauge("sweep.last_makespan").Set(0.125)
+	r.Histogram("cell_seconds").Observe(2)
+
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(jb.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON does not round-trip: %v\n%s", err, jb.String())
+	}
+	if snap.Counters["sweep.cells"] != 26 || snap.Gauges["sweep.last_makespan"] != 0.125 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	if snap.Histograms["cell_seconds"].Count != 1 {
+		t.Fatalf("histogram missing from export: %+v", snap)
+	}
+
+	var cb bytes.Buffer
+	if err := r.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cb).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	if len(rows) != 4 { // header + 3 metrics
+		t.Fatalf("CSV rows = %d, want 4: %v", len(rows), rows)
+	}
+	if rows[1][0] != "counter" || rows[1][1] != "sweep.cells" || rows[1][2] != "26" {
+		t.Fatalf("counter row = %v", rows[1])
+	}
+}

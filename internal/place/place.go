@@ -11,6 +11,7 @@ package place
 
 import (
 	"fmt"
+	"strings"
 
 	"mtier/internal/flow"
 	"mtier/internal/xrand"
@@ -31,6 +32,26 @@ const (
 
 // Policies lists the supported mapping strategies.
 func Policies() []Policy { return []Policy{Linear, Strided, Random} }
+
+// ParsePolicy validates a user-supplied placement name. The empty string
+// is returned unchanged: it means "choose automatically" at the core
+// layer. Unknown names fail with the list of valid policies.
+func ParsePolicy(s string) (Policy, error) {
+	p := Policy(strings.ToLower(strings.TrimSpace(s)))
+	if p == "" {
+		return "", nil
+	}
+	for _, valid := range Policies() {
+		if p == valid {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Policies()))
+	for i, valid := range Policies() {
+		names[i] = string(valid)
+	}
+	return "", fmt.Errorf("place: unknown policy %q (valid: %s)", s, strings.Join(names, ", "))
+}
 
 // Mapping builds a task→endpoint map for the given policy. tasks must not
 // exceed endpoints; every task gets a distinct endpoint.

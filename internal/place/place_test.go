@@ -1,6 +1,7 @@
 package place
 
 import (
+	"strings"
 	"testing"
 
 	"mtier/internal/flow"
@@ -111,5 +112,21 @@ func TestApplyRejectsOutOfRange(t *testing.T) {
 func TestPoliciesList(t *testing.T) {
 	if len(Policies()) != 3 {
 		t.Fatal("expected 3 policies")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy("Strided")
+	if err != nil || p != Strided {
+		t.Fatalf("ParsePolicy(Strided) = %v, %v", p, err)
+	}
+	// Empty means auto-select and must pass through.
+	if p, err := ParsePolicy(""); err != nil || p != "" {
+		t.Fatalf("ParsePolicy(\"\") = %q, %v", p, err)
+	}
+	if _, err := ParsePolicy("diagonal"); err == nil {
+		t.Fatal("unknown policy accepted")
+	} else if !strings.Contains(err.Error(), "linear") {
+		t.Fatalf("error %q does not list valid policies", err)
 	}
 }

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -101,36 +102,21 @@ func (t *Table) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV renders the table as CSV with a header row. Cells containing
-// commas or quotes are quoted.
+// WriteCSV renders the table as RFC 4180 CSV with a header row, using
+// encoding/csv so cells containing commas, quotes or newlines are escaped
+// exactly as standard readers expect.
 func (t *Table) WriteCSV(w io.Writer) error {
-	writeRow := func(cells []string) error {
-		var b strings.Builder
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				b.WriteByte('"')
-				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
-				b.WriteByte('"')
-			} else {
-				b.WriteString(c)
-			}
-		}
-		b.WriteByte('\n')
-		_, err := io.WriteString(w, b.String())
-		return err
-	}
-	if err := writeRow(t.Header); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // String renders the text form.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,51 @@ func TestCSVQuoting(t *testing.T) {
 	}
 	if !strings.Contains(out, `"with,comma"`) {
 		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+// TestCSVRoundTrip: awkward cells — commas, quotes, embedded newlines —
+// must survive a write/parse cycle through a standard CSV reader intact.
+func TestCSVRoundTrip(t *testing.T) {
+	tab := NewTable("ignored", "label", "note", "value")
+	rows := [][]string{
+		{"(2, 8)", `says "hello, world"`, "1.5"},
+		{"line\nbreak", "plain", "2"},
+		{`""`, ",,,", "-0.25"},
+		{"", "trailing space ", "0"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r[0], r[1], r[2])
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, b.String())
+	}
+	if len(got) != len(rows)+1 {
+		t.Fatalf("parsed %d records, want %d", len(got), len(rows)+1)
+	}
+	for i, want := range rows {
+		for j, cell := range want {
+			if got[i+1][j] != cell {
+				t.Errorf("row %d col %d = %q, want %q", i, j, got[i+1][j], cell)
+			}
+		}
+	}
+}
+
+// TestCSVHeaderOnly: an empty table still emits its header.
+func TestCSVHeaderOnly(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "x,y" {
+		t.Fatalf("header = %q", b.String())
 	}
 }
 

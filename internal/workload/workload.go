@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"mtier/internal/flow"
 	"mtier/internal/grid"
@@ -61,31 +62,49 @@ func IsHeavy(k Kind) bool {
 	return false
 }
 
+// ParseKind validates a user-supplied workload name (as given to the
+// -workload flags). The error lists every valid kind, so misspellings
+// fail at the flag layer instead of deep inside a sweep.
+func ParseKind(s string) (Kind, error) {
+	k := Kind(strings.ToLower(strings.TrimSpace(s)))
+	for _, valid := range Kinds() {
+		if k == valid {
+			return k, nil
+		}
+	}
+	names := make([]string, len(Kinds()))
+	for i, valid := range Kinds() {
+		names[i] = string(valid)
+	}
+	return "", fmt.Errorf("workload: unknown kind %q (valid: %s)", s, strings.Join(names, ", "))
+}
+
 // Params configures a generator. Zero fields take the documented defaults.
+// The JSON tags define how parameters appear inside a run record.
 type Params struct {
 	// Tasks is the number of application tasks (required, >= 2).
-	Tasks int
+	Tasks int `json:"tasks"`
 	// MsgBytes is the base message size. Default 1 MB.
-	MsgBytes float64
+	MsgBytes float64 `json:"msg_bytes"`
 	// Seed drives all randomness. The same (Kind, Params) always yields
 	// the same DAG.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Rounds is the iteration count of NearNeighbors and Bisection.
 	// Defaults: 2 and 4.
-	Rounds int
+	Rounds int `json:"rounds,omitempty"`
 	// Wavefronts is the number of pipelined fronts in Flood. Default 4.
-	Wavefronts int
+	Wavefronts int `json:"wavefronts,omitempty"`
 	// FlowsPerTask is the fan-out of the unstructured generators. Default 4.
-	FlowsPerTask int
+	FlowsPerTask int `json:"flows_per_task,omitempty"`
 	// HotFraction is the share of tasks that form the hot set of
 	// UnstructuredHR. Default 0.125.
-	HotFraction float64
+	HotFraction float64 `json:"hot_fraction,omitempty"`
 	// HotWeight is the probability that an UnstructuredHR message targets
 	// the hot set. Default 0.5.
-	HotWeight float64
+	HotWeight float64 `json:"hot_weight,omitempty"`
 	// ChainLength is the sequential chain length of UnstructuredMgnt.
 	// Default 4.
-	ChainLength int
+	ChainLength int `json:"chain_length,omitempty"`
 }
 
 func (p Params) withDefaults() Params {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"mtier/internal/flow"
@@ -298,5 +299,21 @@ func TestSweepIsMoreSerialThanNearNeighbors(t *testing.T) {
 	perFlowNN := rn.Makespan / float64(len(nn.Flows))
 	if perFlowSweep <= perFlowNN {
 		t.Errorf("sweep per-flow time %g should exceed stencil %g", perFlowSweep, perFlowNN)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	k, err := ParseKind(" AllReduce ")
+	if err != nil || k != AllReduce {
+		t.Fatalf("ParseKind(AllReduce) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("nosuchworkload"); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else {
+		for _, valid := range Kinds() {
+			if !strings.Contains(err.Error(), string(valid)) {
+				t.Fatalf("error %q does not list %q", err, valid)
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"mtier"
 	"mtier/internal/core"
 	"mtier/internal/cost"
 	"mtier/internal/workload"
@@ -82,10 +83,73 @@ func BenchmarkFig4NearNeighbors(b *testing.B)   { benchPanel(b, workload.NearNei
 // Figure 5 — light workloads.
 
 func BenchmarkFig5UnstructuredMgnt(b *testing.B) { benchPanel(b, workload.UnstructuredMgnt) }
+
 // MapReduce's T² shuffle makes the full-machine panel the most expensive
 // benchmark by an order of magnitude; the bench regenerates it with 128
 // tasks spread over the machine (mtsweep runs the full-size panel).
 func BenchmarkFig5MapReduce(b *testing.B) { benchPanelTasks(b, workload.MapReduce, 128) }
-func BenchmarkFig5Reduce(b *testing.B)           { benchPanel(b, workload.Reduce) }
-func BenchmarkFig5Flood(b *testing.B)            { benchPanel(b, workload.Flood) }
-func BenchmarkFig5Sweep3D(b *testing.B)          { benchPanel(b, workload.Sweep3D) }
+func BenchmarkFig5Reduce(b *testing.B)    { benchPanel(b, workload.Reduce) }
+func BenchmarkFig5Flood(b *testing.B)     { benchPanel(b, workload.Flood) }
+func BenchmarkFig5Sweep3D(b *testing.B)   { benchPanel(b, workload.Sweep3D) }
+
+// Engine benchmarks: the incremental waterfill against the reference
+// full recompute (Options.ExactRecompute) on the epoch-heavy regimes at
+// n=4096, NestGHC (2,4). RelEpsilon is left at zero so every completion
+// epoch recomputes rates — the regime whose epoch throughput the
+// incremental engine exists to raise — and AllReduce uses random
+// placement, which breaks the rate symmetry that would otherwise batch
+// thousands of completions into a handful of epochs. The reported
+// epochs/sec is the rate-recomputation throughput; compare the
+// Incremental and Reference variants of each pair.
+
+const engineBenchEndpoints = 4096
+
+func benchEngine(b *testing.B, w mtier.WorkloadKind, pol mtier.PlacePolicy, exact bool) {
+	top, err := mtier.Build(mtier.TopoSpec{
+		Kind: mtier.NestGHC, Endpoints: engineBenchEndpoints, T: 2, U: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := mtier.GenerateWorkload(w, mtier.WorkloadParams{
+		Tasks: engineBenchEndpoints, MsgBytes: 1e6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := mtier.Place(spec, pol, engineBenchEndpoints, top.NumEndpoints(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := mtier.SimOptions{
+		LatencyBase:    core.DefaultLatencyBase,
+		LatencyPerHop:  core.DefaultLatencyPerHop,
+		ExactRecompute: exact,
+	}
+	b.ResetTimer()
+	epochs := 0
+	for i := 0; i < b.N; i++ {
+		res, err := mtier.Simulate(top, mapped, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs += res.Epochs
+	}
+	b.ReportMetric(float64(epochs)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
+func BenchmarkEngineAllReduceIncremental(b *testing.B) {
+	benchEngine(b, mtier.AllReduce, mtier.PlaceRandom, false)
+}
+
+func BenchmarkEngineAllReduceReference(b *testing.B) {
+	benchEngine(b, mtier.AllReduce, mtier.PlaceRandom, true)
+}
+
+func BenchmarkEngineUnstructuredAppIncremental(b *testing.B) {
+	benchEngine(b, mtier.UnstructuredApp, mtier.PlaceLinear, false)
+}
+
+func BenchmarkEngineUnstructuredAppReference(b *testing.B) {
+	benchEngine(b, mtier.UnstructuredApp, mtier.PlaceLinear, true)
+}

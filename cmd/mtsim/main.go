@@ -44,6 +44,7 @@ func main() {
 		bw       = flag.Float64("bw", flow.DefaultBandwidth, "link bandwidth in bytes/s")
 		noPorts  = flag.Bool("noports", false, "disable injection/ejection port model")
 		adaptive = flag.Bool("adaptive", false, "least-loaded adaptive routing (multi-path topologies)")
+		exact    = flag.Bool("exact", false, "use the reference full-recompute waterfill instead of the incremental engine")
 		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
 		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
 		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
@@ -89,6 +90,7 @@ func main() {
 			LatencyPerHop:   *latHop,
 			DisablePorts:    *noPorts,
 			AdaptiveRouting: *adaptive,
+			ExactRecompute:  *exact,
 		},
 	}, *traceOut, *epochCSV, *jsonOut)
 	stop()

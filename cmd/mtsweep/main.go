@@ -43,6 +43,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV")
 		progress = flag.Bool("progress", true, "render a live progress line on stderr")
 		records  = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
+		exact    = flag.Bool("exact", false, "use the reference full-recompute waterfill instead of the incremental engine")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -74,7 +75,7 @@ func main() {
 		Tasks:    *tasks,
 		MsgBytes: *msg,
 		Workers:  *workers,
-		Sim:      flow.Options{RelEpsilon: *eps},
+		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact},
 	})
 	stop()
 	if err != nil {

@@ -1,6 +1,6 @@
-// Quickstart: build a hybrid multi-tier topology, generate a workload,
-// and measure its completion time — the smallest end-to-end use of the
-// library.
+// Quickstart: build a hybrid multi-tier topology, run a workload over
+// it, and measure its completion time — the smallest end-to-end use of
+// the library, written against the public mtier API.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -9,59 +9,46 @@ import (
 	"fmt"
 	"log"
 
-	"mtier/internal/core"
-	"mtier/internal/flow"
-	"mtier/internal/place"
-	"mtier/internal/topo/nest"
-	"mtier/internal/workload"
+	"mtier"
 )
 
 func main() {
 	// A 4096-QFDB machine: 2x2x2 subtori nested under a generalised
-	// hypercube, one uplink per 2 QFDBs.
-	machine, err := nest.BuildCube(nest.UpperGHC, 2, 2, 4096)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("machine: %s\n", machine.Name())
-	fmt.Printf("  endpoints=%d switches=%d links=%d diameter=%d\n",
-		machine.NumEndpoints(), machine.Fabric().NumSwitches(), machine.NumLinks(), machine.Diameter())
-
-	// An unstructured application over every node, 1 MB per message.
-	spec, err := workload.Generate(workload.UnstructuredApp, workload.Params{
-		Tasks:    machine.NumEndpoints(),
-		MsgBytes: 1e6,
-		Seed:     42,
+	// hypercube, one uplink per 2 QFDBs. Build validates the (t, u)
+	// design point against the family's constraints.
+	machine, err := mtier.Build(mtier.TopoSpec{
+		Kind: mtier.NestGHC, Endpoints: 4096, T: 2, U: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mapping, err := place.Mapping(place.Linear, machine.NumEndpoints(), machine.NumEndpoints(), 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mapped, err := place.Apply(spec, mapping)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("machine: %s\n", machine.Name())
+	fmt.Printf("  endpoints=%d switches=%d links=%d\n",
+		machine.NumEndpoints(), machine.NumVertices()-machine.NumEndpoints(), machine.NumLinks())
 
-	res, err := flow.Simulate(machine, mapped, flow.Options{RelEpsilon: 0.01})
+	// An unstructured application over every node, 1 MB per message.
+	// RunExperiment generates the workload, places it (linear, since the
+	// tasks fill the machine), and simulates it with the paper presets.
+	exp := mtier.Experiment{
+		Topo:     mtier.TopoSpec{Kind: mtier.NestGHC, Endpoints: 4096, T: 2, U: 2},
+		Workload: mtier.UnstructuredApp,
+		Params:   mtier.WorkloadParams{MsgBytes: 1e6, Seed: 42},
+	}
+	res, err := mtier.RunExperiment(exp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("unstructured app: %d flows complete in %.4f s\n", len(mapped.Flows), res.Makespan)
+	fmt.Printf("unstructured app: %d flows complete in %.4f s\n", res.Flows, res.Result.Makespan)
 	fmt.Printf("  busiest link at %.0f%% utilisation, busiest port at %.0f%%\n",
-		100*res.MaxLinkUtilization, 100*res.MaxPortUtilization)
+		100*res.Result.MaxLinkUtilization, 100*res.Result.MaxPortUtilization)
 
-	// Compare against the plain torus the hardware would impose.
-	torusMachine, err := core.BuildTopology(core.Torus3D, 4096, 0, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res2, err := flow.Simulate(torusMachine, mapped, flow.Options{RelEpsilon: 0.01})
+	// Compare against the plain torus the hardware would impose: same
+	// workload and seed, different machine.
+	exp.Topo = mtier.TopoSpec{Kind: mtier.Torus3D, Endpoints: 4096}
+	res2, err := mtier.RunExperiment(exp)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("same workload on %s: %.4f s (%.2fx the hybrid's time)\n",
-		torusMachine.Name(), res2.Makespan, res2.Makespan/res.Makespan)
+		res2.Topology, res2.Result.Makespan, res2.Result.Makespan/res.Result.Makespan)
 }

@@ -1,0 +1,78 @@
+package mtier
+
+import (
+	"mtier/internal/core"
+	"mtier/internal/obs"
+)
+
+// TopoSpec fully describes a topology instance: the family, the
+// endpoint count, and — for the hybrid families only — the paper's
+// (t, u) design point.
+type TopoSpec = core.TopoSpec
+
+// Build validates the spec against its family's constraints and
+// constructs the topology it describes. Unlike the deprecated
+// BuildTopology it rejects hybrid parameters on flat families and
+// reports exactly which constraint a hybrid design point violates.
+func Build(spec TopoSpec) (Topology, error) {
+	return core.Build(spec)
+}
+
+// Experiment describes one full simulation: a topology, a workload, how
+// the workload's tasks land on the machine, and the simulator options.
+// Zero values select the paper presets — task count and message size per
+// workload, linear placement when the tasks fill the machine (strided
+// otherwise), a 1% rate-convergence epsilon, and the ExaNeSt-class
+// latency figures.
+type Experiment struct {
+	// Topo is the machine under test.
+	Topo TopoSpec
+	// Workload picks the traffic pattern; Params optionally overrides the
+	// preset task count, message size and seed.
+	Workload WorkloadKind
+	Params   WorkloadParams
+	// Placement maps tasks to endpoints (default: PlaceLinear when the
+	// tasks fill the machine, PlaceStrided otherwise).
+	Placement PlacePolicy
+	// Sim tunes the flow engine.
+	Sim SimOptions
+}
+
+// ExperimentResult is the outcome of RunExperiment: the simulation
+// result plus the resolved configuration and topology shape, convertible
+// to a self-describing run record with Record.
+type ExperimentResult = core.RunResult
+
+// RunRecord is the JSON-serialisable document form of a result.
+type RunRecord = obs.RunRecord
+
+// RunExperiment builds the topology, generates and places the workload,
+// and simulates it — the whole generate→place→simulate pipeline behind
+// one call:
+//
+//	res, err := mtier.RunExperiment(mtier.Experiment{
+//		Topo:     mtier.TopoSpec{Kind: mtier.NestGHC, Endpoints: 4096, T: 2, U: 4},
+//		Workload: mtier.AllReduce,
+//	})
+//
+// The returned result's Config has every default resolved, so the exact
+// run can be replayed or archived.
+func RunExperiment(e Experiment) (*ExperimentResult, error) {
+	if err := e.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	top, err := core.Build(e.Topo)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Config{
+		Kind:      e.Topo.Kind,
+		Endpoints: e.Topo.Endpoints,
+		T:         e.Topo.T,
+		U:         e.Topo.U,
+		Workload:  e.Workload,
+		Params:    e.Params,
+		Placement: e.Placement,
+		Sim:       e.Sim,
+	}, top)
+}

@@ -14,15 +14,9 @@ import (
 	"time"
 
 	"mtier/internal/flow"
-	"mtier/internal/grid"
 	"mtier/internal/obs"
 	"mtier/internal/place"
 	"mtier/internal/topo"
-	"mtier/internal/topo/dragonfly"
-	"mtier/internal/topo/fattree"
-	"mtier/internal/topo/jellyfish"
-	"mtier/internal/topo/nest"
-	"mtier/internal/topo/torus"
 	"mtier/internal/workload"
 )
 
@@ -104,69 +98,17 @@ func PaperPoints() []Point {
 }
 
 // BuildTopology constructs a topology of the given family with n endpoints.
-// t and u are only used by the hybrid families.
+// t and u are only used by the hybrid families; other families ignore
+// them, preserving the historical signature. New code should prefer
+// Build, whose TopoSpec validation rejects misapplied parameters instead
+// of discarding them.
 func BuildTopology(kind TopoKind, n, t, u int) (topo.Topology, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("core: need at least 2 endpoints, got %d", n)
-	}
+	spec := TopoSpec{Kind: kind, Endpoints: n}
 	switch kind {
-	case Torus3D:
-		f := grid.FactorBalanced(n, 3)
-		return torus.New(grid.Shape{f[0], f[1], f[2]})
-	case Fattree:
-		m := grid.FactorBalanced(n, 3)
-		trimmed := m[:0]
-		for _, v := range m {
-			if v > 1 {
-				trimmed = append(trimmed, v)
-			}
-		}
-		return fattree.NewNonBlocking(trimmed)
-	case NestTree:
-		return nest.BuildCube(nest.UpperTree, t, u, n)
-	case NestGHC:
-		return nest.BuildCube(nest.UpperGHC, t, u, n)
-	case Thintree:
-		m := grid.FactorBalanced(n, 3)
-		trimmed := m[:0]
-		for _, v := range m {
-			if v > 1 {
-				trimmed = append(trimmed, v)
-			}
-		}
-		// The 2:1 slimming needs even arities below the top; round up (the
-		// extension kinds promise *at least* n endpoints).
-		for i := 0; i < len(trimmed)-1; i++ {
-			trimmed[i] += trimmed[i] % 2
-		}
-		return fattree.NewThinTree(trimmed, 2)
-	case GHCFlat:
-		return nest.SuggestGHC(n)
-	case Dragonfly:
-		// Smallest balanced dragonfly with at least n endpoints: a/2
-		// endpoints per router, a routers per group, a*h+1 groups.
-		for a := 2; ; a += 2 {
-			d, err := dragonfly.NewBalanced(a)
-			if err != nil {
-				return nil, err
-			}
-			if d.NumEndpoints() >= n {
-				return d, nil
-			}
-		}
-	case Jellyfish:
-		// Degree-8 random graph with 8 endpoints per switch.
-		switches := grid.CeilDiv(n, 8)
-		if switches < 10 {
-			switches = 10
-		}
-		if switches*8%2 != 0 {
-			switches++
-		}
-		return jellyfish.New(switches, 8, 8, 1)
-	default:
-		return nil, fmt.Errorf("core: unknown topology kind %q", kind)
+	case NestTree, NestGHC:
+		spec.T, spec.U = t, u
 	}
+	return Build(spec)
 }
 
 // Config describes a single simulation cell. The JSON tags define the

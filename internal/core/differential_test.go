@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mtier/internal/flow"
+	"mtier/internal/topo"
+	"mtier/internal/workload"
+	"mtier/internal/xrand"
+)
+
+// The incremental engine must be indistinguishable from the reference
+// full waterfill: not approximately equal — bitwise. These tests run
+// every paper workload and seeded random DAGs over the four topology
+// families with both engines and compare makespans and per-flow finish
+// times down to the last bit.
+
+// diffFamilies is the paper's four-family grid at a differential-test
+// scale, hybrids at the (2,4) design point.
+func diffFamilies(t testing.TB, n int) map[string]topo.Topology {
+	t.Helper()
+	out := make(map[string]topo.Topology)
+	for _, f := range []struct {
+		kind  TopoKind
+		tt, u int
+	}{
+		{Torus3D, 0, 0}, {Fattree, 0, 0}, {NestTree, 2, 4}, {NestGHC, 2, 4},
+	} {
+		top, err := BuildTopology(f.kind, n, f.tt, f.u)
+		if err != nil {
+			t.Fatalf("building %s: %v", f.kind, err)
+		}
+		out[string(f.kind)] = top
+	}
+	return out
+}
+
+// mustMatch fails unless the two results are bitwise identical in every
+// deterministic field.
+func mustMatch(t *testing.T, inc, ref *flow.Result) {
+	t.Helper()
+	if math.Float64bits(inc.Makespan) != math.Float64bits(ref.Makespan) {
+		t.Fatalf("makespan diverged: incremental %x (%g) vs reference %x (%g)",
+			math.Float64bits(inc.Makespan), inc.Makespan, math.Float64bits(ref.Makespan), ref.Makespan)
+	}
+	if inc.Epochs != ref.Epochs {
+		t.Fatalf("epoch count diverged: incremental %d vs reference %d", inc.Epochs, ref.Epochs)
+	}
+	if len(inc.FlowEnds) != len(ref.FlowEnds) {
+		t.Fatalf("flow-end counts diverged: %d vs %d", len(inc.FlowEnds), len(ref.FlowEnds))
+	}
+	for i := range inc.FlowEnds {
+		if math.Float64bits(inc.FlowEnds[i]) != math.Float64bits(ref.FlowEnds[i]) {
+			t.Fatalf("flow %d finish time diverged: %x (%g) vs %x (%g)",
+				i, math.Float64bits(inc.FlowEnds[i]), inc.FlowEnds[i],
+				math.Float64bits(ref.FlowEnds[i]), ref.FlowEnds[i])
+		}
+	}
+	for _, c := range []struct {
+		name     string
+		inc, ref float64
+	}{
+		{"bytes_delivered", inc.BytesDelivered, ref.BytesDelivered},
+		{"hop_bytes", inc.HopBytes, ref.HopBytes},
+		{"max_link_utilization", inc.MaxLinkUtilization, ref.MaxLinkUtilization},
+		{"mean_link_utilization", inc.MeanLinkUtilization, ref.MeanLinkUtilization},
+		{"max_port_utilization", inc.MaxPortUtilization, ref.MaxPortUtilization},
+	} {
+		if math.Float64bits(c.inc) != math.Float64bits(c.ref) {
+			t.Fatalf("%s diverged: %g vs %g", c.name, c.inc, c.ref)
+		}
+	}
+}
+
+// runBoth simulates the same spec with both engines and returns
+// (incremental, reference).
+func runBoth(t *testing.T, top topo.Topology, spec *flow.Spec, opt flow.Options) (*flow.Result, *flow.Result) {
+	t.Helper()
+	opt.RecordFlowEnds = true
+	opt.ExactRecompute = false
+	inc, err := flow.Simulate(top, spec, opt)
+	if err != nil {
+		t.Fatalf("incremental engine: %v", err)
+	}
+	opt.ExactRecompute = true
+	ref, err := flow.Simulate(top, spec, opt)
+	if err != nil {
+		t.Fatalf("reference engine: %v", err)
+	}
+	return inc, ref
+}
+
+// TestIncrementalMatchesReferencePaperWorkloads covers all 11 paper
+// workloads × 4 topology families under the experiment presets
+// (RelEpsilon, RefreshFraction, latency defaults), via the same
+// composition core.Run uses.
+func TestIncrementalMatchesReferencePaperWorkloads(t *testing.T) {
+	const n = 64
+	for _, kindT := range []struct {
+		kind  TopoKind
+		tt, u int
+	}{
+		{Torus3D, 0, 0}, {Fattree, 0, 0}, {NestTree, 2, 4}, {NestGHC, 2, 4},
+	} {
+		for _, w := range workload.Kinds() {
+			kindT, w := kindT, w
+			t.Run(fmt.Sprintf("%s/%s", kindT.kind, w), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{
+					Kind:      kindT.kind,
+					Endpoints: n,
+					T:         kindT.tt,
+					U:         kindT.u,
+					Workload:  w,
+					Params:    workload.Params{Seed: 11},
+					Sim:       flow.Options{RecordFlowEnds: true},
+				}
+				inc, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatalf("incremental engine: %v", err)
+				}
+				cfg.Sim = flow.Options{RecordFlowEnds: true, ExactRecompute: true}
+				ref, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatalf("reference engine: %v", err)
+				}
+				mustMatch(t, inc.Result, ref.Result)
+			})
+		}
+	}
+}
+
+// TestIncrementalMatchesReferenceExactSettings re-runs representative
+// workloads with RelEpsilon=0 and RefreshFraction=0 — a recomputation at
+// every completion epoch, the regime where the incremental engine's
+// restricted fills and fallbacks both fire constantly.
+func TestIncrementalMatchesReferenceExactSettings(t *testing.T) {
+	const n = 64
+	tops := diffFamilies(t, n)
+	for name, top := range tops {
+		for _, w := range []workload.Kind{workload.AllReduce, workload.UnstructuredApp, workload.Reduce, workload.Sweep3D} {
+			name, top, w := name, top, w
+			t.Run(fmt.Sprintf("%s/%s", name, w), func(t *testing.T) {
+				t.Parallel()
+				spec, err := workload.Generate(w, workload.Params{
+					Tasks:    top.NumEndpoints(),
+					MsgBytes: DefaultMsgBytes(w),
+					Seed:     5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, ref := runBoth(t, top, spec, flow.Options{
+					LatencyBase:   DefaultLatencyBase,
+					LatencyPerHop: DefaultLatencyPerHop,
+				})
+				mustMatch(t, inc, ref)
+			})
+		}
+	}
+}
+
+// randomDAG builds a seeded random workload: mixed sizes (including
+// zero-byte control flows and self-sends), and chains of up to three
+// dependencies on earlier flows, so injection cascades and latency
+// staggering both occur.
+func randomDAG(n, flows int, seed int64) *flow.Spec {
+	rng := xrand.New(seed)
+	spec := &flow.Spec{}
+	for i := 0; i < flows; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n) // self-sends allowed
+		bytes := 1e3 * rng.LogNormal(2, 1.5)
+		switch rng.Intn(10) {
+		case 0:
+			bytes = 0 // pure-control flow: completes instantly, cascades
+		case 1:
+			dst = src
+		}
+		var deps []int32
+		if i > 0 {
+			for d := rng.Intn(4); d > 0; d-- {
+				deps = append(deps, int32(rng.Intn(i)))
+			}
+		}
+		spec.Add(src, dst, bytes, deps...)
+	}
+	return spec
+}
+
+// TestIncrementalMatchesReferenceRandomDAGs fuzzes the engines against
+// each other across the 4 families and the option axes that change the
+// engine's resource graph: port model on/off, adaptive routing, latency.
+func TestIncrementalMatchesReferenceRandomDAGs(t *testing.T) {
+	const n = 64
+	tops := diffFamilies(t, n)
+	variants := []struct {
+		name string
+		opt  flow.Options
+	}{
+		{"default", flow.Options{}},
+		{"exact_eps", flow.Options{RelEpsilon: 0, RefreshFraction: 0}},
+		{"preset", flow.Options{RelEpsilon: 0.01, RefreshFraction: 1.0 / 16}},
+		{"noports", flow.Options{DisablePorts: true}},
+		{"latency", flow.Options{LatencyBase: DefaultLatencyBase, LatencyPerHop: DefaultLatencyPerHop}},
+		{"adaptive", flow.Options{AdaptiveRouting: true}},
+	}
+	for name, top := range tops {
+		for _, v := range variants {
+			for seed := int64(1); seed <= 3; seed++ {
+				name, top, v, seed := name, top, v, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, v.name, seed), func(t *testing.T) {
+					t.Parallel()
+					spec := randomDAG(top.NumEndpoints(), 600, seed)
+					inc, ref := runBoth(t, top, spec, v.opt)
+					mustMatch(t, inc, ref)
+				})
+			}
+		}
+	}
+}

@@ -90,6 +90,14 @@ type Options struct {
 	// makespan. 0 recomputes every epoch (exact); the experiment presets
 	// use 1/16.
 	RefreshFraction float64 `json:"refresh_fraction,omitempty"`
+	// ExactRecompute disables the incremental engine and rebuilds every
+	// touched link's residual capacity, flow count and member list from
+	// scratch at each rate recomputation — the original full waterfill,
+	// kept as the reference implementation and differential-test oracle.
+	// The default (false) maintains per-link state persistently and
+	// re-waterfills only the dirty connected component of each epoch; the
+	// two engines produce bit-identical results (see incremental.go).
+	ExactRecompute bool `json:"exact_recompute,omitempty"`
 	// AdaptiveRouting picks, for each flow at injection time, the
 	// least-loaded of the topology's candidate routes (topologies
 	// implementing topo.MultiRouter; ignored otherwise). Load is the
@@ -112,6 +120,33 @@ type Options struct {
 	// wall-clock cost. With a nil probe the instrumentation costs a single
 	// branch per epoch.
 	Probe obs.Probe `json:"-"`
+	// Metrics, when non-nil, receives the engine's aggregate counters
+	// (epochs, full vs. incremental recomputations, dirty-set sizes, links
+	// re-waterfilled). Process-local, excluded from run records.
+	Metrics *obs.Registry `json:"-"`
+}
+
+// Validate checks the numeric options for values that would silently
+// corrupt the simulation (negative or NaN bandwidth, epsilons, latencies).
+// Simulate calls it on entry; it is exported so configuration layers can
+// fail fast before building topologies and workloads.
+func (o *Options) Validate() error {
+	if o.LinkBandwidth < 0 || math.IsNaN(o.LinkBandwidth) || math.IsInf(o.LinkBandwidth, 0) {
+		return fmt.Errorf("flow: invalid LinkBandwidth %g", o.LinkBandwidth)
+	}
+	if o.RelEpsilon < 0 || math.IsNaN(o.RelEpsilon) || math.IsInf(o.RelEpsilon, 0) {
+		return fmt.Errorf("flow: invalid RelEpsilon %g (want a small non-negative batching window)", o.RelEpsilon)
+	}
+	if o.RefreshFraction < 0 || o.RefreshFraction > 1 || math.IsNaN(o.RefreshFraction) {
+		return fmt.Errorf("flow: RefreshFraction %g out of [0,1]", o.RefreshFraction)
+	}
+	if o.LatencyBase < 0 || math.IsNaN(o.LatencyBase) || math.IsInf(o.LatencyBase, 0) {
+		return fmt.Errorf("flow: invalid LatencyBase %g", o.LatencyBase)
+	}
+	if o.LatencyPerHop < 0 || math.IsNaN(o.LatencyPerHop) || math.IsInf(o.LatencyPerHop, 0) {
+		return fmt.Errorf("flow: invalid LatencyPerHop %g", o.LatencyPerHop)
+	}
+	return nil
 }
 
 // Result reports the outcome of a simulation. The JSON tags define the
@@ -142,6 +177,14 @@ type Result struct {
 // shareHeap is a specialised min-heap of (share, link) pairs for
 // progressive filling. It avoids container/heap's interface boxing, which
 // dominates the profile on large active sets.
+//
+// Entries are ordered by share with ties broken on the link id, so the
+// ordering is a strict total order. That makes the sequence of pop values
+// a pure function of the multiset of entries — independent of insertion
+// order and internal heap layout — which is what lets the incremental
+// engine recompute only a region of the network and still reproduce the
+// reference waterfill's bottleneck sequence bit for bit (see
+// incremental.go).
 type shareHeap struct {
 	share []float64
 	link  []int32
@@ -152,6 +195,11 @@ func (h *shareHeap) reset() {
 	h.link = h.link[:0]
 }
 
+// before reports whether entry i sorts strictly before entry j.
+func (h *shareHeap) before(i, j int) bool {
+	return h.share[i] < h.share[j] || (h.share[i] == h.share[j] && h.link[i] < h.link[j])
+}
+
 // push appends and sifts up.
 func (h *shareHeap) push(share float64, link int32) {
 	h.share = append(h.share, share)
@@ -159,7 +207,7 @@ func (h *shareHeap) push(share float64, link int32) {
 	i := len(h.link) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.share[parent] <= h.share[i] {
+		if !h.before(i, parent) {
 			break
 		}
 		h.share[parent], h.share[i] = h.share[i], h.share[parent]
@@ -186,10 +234,10 @@ func (h *shareHeap) siftDown(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && h.share[r] < h.share[l] {
+		if r := l + 1; r < n && h.before(r, l) {
 			m = r
 		}
-		if h.share[i] <= h.share[m] {
+		if !h.before(m, i) {
 			return
 		}
 		h.share[i], h.share[m] = h.share[m], h.share[i]
@@ -274,12 +322,23 @@ type sim struct {
 
 	linkBytes []float64
 	heap      shareHeap
-	dirty     bool // active set gained flows since the last waterfill
+	work      workHeap // incremental engine's working heap (see incremental.go)
+	dirty     bool     // active set gained flows since the last waterfill
+
+	// Incremental engine state (see incremental.go); nil slices when
+	// opt.ExactRecompute selects the reference full waterfill.
+	inc incState
 
 	// Probe state (tracked only when opt.Probe is attached).
-	probing  bool
-	btlLink  int32   // tightest bottleneck link of the last waterfill
-	btlShare float64 // its per-flow fair share
+	probing   bool
+	btlLink   int32   // tightest bottleneck link of the last waterfill
+	btlShare  float64 // its per-flow fair share
+	dirtySize int     // dirty seed links consumed by the last waterfill
+	affSize   int     // flows re-waterfilled by the last waterfill
+	fillSize  int     // links re-waterfilled by the last waterfill
+
+	// Engine counters (tracked only when opt.Metrics is attached).
+	stats *engineStats
 
 	traceErr error // first Trace write failure; surfaced by run
 
@@ -288,6 +347,30 @@ type sim struct {
 	numChoices   int
 	activeOnLink []int32 // persistent per-link active-flow counts
 	routeScratch []int32
+
+	routeArena arena // backing storage for all route slices
+}
+
+// arena hands out int32 sub-slices from large chunks, so building one
+// route per flow does not cost one allocation per flow. Chunks are never
+// reallocated, so previously returned slices stay valid.
+type arena struct {
+	chunk []int32
+}
+
+func (a *arena) alloc(n int) []int32 {
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := 1 << 16
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]int32, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[:off+n]
+	// Full-slice so appends on the returned route cannot clobber the
+	// arena's next allocation.
+	return a.chunk[off : off+n : off+n]
 }
 
 // Simulate runs the workload on the topology and returns the result.
@@ -295,17 +378,8 @@ func Simulate(t topo.Topology, spec *Spec, opt Options) (*Result, error) {
 	if opt.LinkBandwidth == 0 {
 		opt.LinkBandwidth = DefaultBandwidth
 	}
-	if opt.LinkBandwidth < 0 || math.IsNaN(opt.LinkBandwidth) {
-		return nil, fmt.Errorf("flow: invalid bandwidth %g", opt.LinkBandwidth)
-	}
-	if opt.RelEpsilon < 0 {
-		return nil, fmt.Errorf("flow: negative RelEpsilon %g", opt.RelEpsilon)
-	}
-	if opt.RefreshFraction < 0 || opt.RefreshFraction > 1 {
-		return nil, fmt.Errorf("flow: RefreshFraction %g out of [0,1]", opt.RefreshFraction)
-	}
-	if opt.LatencyBase < 0 || opt.LatencyPerHop < 0 {
-		return nil, fmt.Errorf("flow: negative latency")
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil}
 	if err := s.prepare(spec); err != nil {
@@ -388,19 +462,7 @@ func (s *sim) prepare(spec *Spec) error {
 		if withLatency {
 			s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
 		}
-		extra := 0
-		if !s.opt.DisablePorts {
-			extra = 2
-		}
-		r := make([]int32, 0, len(scratch)+extra)
-		if !s.opt.DisablePorts {
-			r = append(r, s.injectionLink(fl.Src))
-		}
-		r = append(r, scratch...)
-		if !s.opt.DisablePorts {
-			r = append(r, s.ejectionLink(fl.Dst))
-		}
-		s.routes[i] = r
+		s.routes[i] = s.materialiseRoute(fl, scratch)
 	}
 
 	s.remaining = make([]float64, f)
@@ -424,9 +486,31 @@ func (s *sim) prepare(spec *Spec) error {
 	for i := range s.stamp {
 		s.stamp[i] = -1
 	}
-	s.linkFlows = make([][]int32, s.numLinks)
 	s.linkBytes = make([]float64, s.numLinks)
+	if s.opt.ExactRecompute {
+		s.linkFlows = make([][]int32, s.numLinks)
+	} else {
+		s.inc.init(s.numLinks, f)
+	}
+	if s.opt.Metrics != nil {
+		s.stats = newEngineStats(s.opt.Metrics)
+	}
 	return nil
+}
+
+// materialiseRoute copies a network path into arena storage, wrapping it
+// in the virtual injection/ejection port links unless ports are disabled.
+func (s *sim) materialiseRoute(fl *Flow, path []int32) []int32 {
+	if s.opt.DisablePorts {
+		r := s.routeArena.alloc(len(path))
+		copy(r, path)
+		return r
+	}
+	r := s.routeArena.alloc(len(path) + 2)
+	r[0] = s.injectionLink(fl.Src)
+	copy(r[1:], path)
+	r[len(r)-1] = s.ejectionLink(fl.Dst)
+	return r
 }
 
 // activate inserts a flow into the active set and marks the allocation
@@ -438,6 +522,9 @@ func (s *sim) activate(id int32, now float64) {
 	s.dirty = true
 	if s.starts != nil {
 		s.starts[id] = now
+	}
+	if !s.opt.ExactRecompute {
+		s.inc.join(s, id)
 	}
 	if s.activeOnLink != nil {
 		for _, l := range s.routes[id] {
@@ -455,6 +542,9 @@ func (s *sim) deactivate(id int32) {
 	s.activePos[moved] = pos
 	s.active = s.active[:last]
 	s.activePos[id] = -1
+	if !s.opt.ExactRecompute {
+		s.inc.leave(s, id)
+	}
 	if s.activeOnLink != nil {
 		for _, l := range s.routes[id] {
 			s.activeOnLink[l]--
@@ -491,6 +581,13 @@ func (s *sim) waterfill() {
 	target := len(s.active)
 	if s.probing {
 		s.btlLink, s.btlShare = -1, 0
+		s.dirtySize, s.affSize, s.fillSize = 0, target, len(s.touched)
+	}
+	if s.stats != nil {
+		s.stats.epochs.Inc()
+		s.stats.fullFills.Inc()
+		s.stats.affected.Add(int64(target))
+		s.stats.filledLinks.Add(int64(len(s.touched)))
 	}
 	for frozen < target && len(s.heap.link) > 0 {
 		share, l := s.heap.pop()
@@ -660,7 +757,11 @@ func (s *sim) run() (*Result, error) {
 			if s.probing {
 				wallStart = time.Now()
 			}
-			s.waterfill()
+			if s.opt.ExactRecompute {
+				s.waterfill()
+			} else {
+				s.waterfillIncremental()
+			}
 			res.Epochs++
 			needRefresh = false
 			completedSince = 0
@@ -671,6 +772,9 @@ func (s *sim) run() (*Result, error) {
 					ActiveFlows:     len(s.active),
 					BottleneckLink:  s.btlLink,
 					BottleneckShare: s.btlShare,
+					DirtyLinks:      s.dirtySize,
+					AffectedFlows:   s.affSize,
+					FilledLinks:     s.fillSize,
 					WallTime:        time.Since(wallStart),
 				})
 			}

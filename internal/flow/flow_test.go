@@ -335,7 +335,10 @@ func TestWaterfillMaxMin(t *testing.T) {
 		for i := 0; i < 40; i++ {
 			spec.Add(rng.Intn(n), rng.IntnExcept(n, 0), 1e9)
 		}
-		s := &sim{t: tor, opt: Options{}, cap: DefaultBandwidth, flows: spec.Flows}
+		// Odd trials exercise the reference engine, even ones the
+		// incremental engine — both must produce max-min allocations.
+		exact := trial%2 == 1
+		s := &sim{t: tor, opt: Options{ExactRecompute: exact}, cap: DefaultBandwidth, flows: spec.Flows}
 		if err := s.prepare(spec); err != nil {
 			t.Fatal(err)
 		}
@@ -345,7 +348,11 @@ func TestWaterfillMaxMin(t *testing.T) {
 				s.inject(int32(i), 0, &done)
 			}
 		}
-		s.waterfill()
+		if exact {
+			s.waterfill()
+		} else {
+			s.waterfillIncremental()
+		}
 
 		// Recompute per-link loads from the frozen rates.
 		load := make([]float64, s.numLinks)
@@ -404,5 +411,42 @@ func BenchmarkSimulateUniform1k(b *testing.B) {
 		if _, err := Simulate(tor, spec, Options{RelEpsilon: 0.01}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestOptionsValidate pins the up-front option validation: Simulate must
+// reject malformed options with a field-specific error instead of
+// producing NaN rates or panicking mid-run.
+func TestOptionsValidate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"negative bandwidth", Options{LinkBandwidth: -1}},
+		{"nan bandwidth", Options{LinkBandwidth: nan}},
+		{"inf bandwidth", Options{LinkBandwidth: math.Inf(1)}},
+		{"negative epsilon", Options{RelEpsilon: -0.01}},
+		{"nan epsilon", Options{RelEpsilon: nan}},
+		{"refresh above one", Options{RefreshFraction: 1.5}},
+		{"negative refresh", Options{RefreshFraction: -0.1}},
+		{"negative base latency", Options{LatencyBase: -1e-9}},
+		{"inf hop latency", Options{LatencyPerHop: math.Inf(1)}},
+	}
+	tor := ring(t, 4)
+	spec := &Spec{}
+	spec.Add(0, 1, 1e6)
+	for _, c := range cases {
+		if err := c.opt.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.opt)
+		}
+		if _, err := Simulate(tor, spec, c.opt); err == nil {
+			t.Errorf("%s: Simulate accepted %+v", c.name, c.opt)
+		}
+	}
+	good := Options{RelEpsilon: 0.01, RefreshFraction: 1.0 / 16,
+		LatencyBase: 5e-7, LatencyPerHop: 1e-6}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid options: %v", err)
 	}
 }

@@ -29,6 +29,17 @@ type EpochSnapshot struct {
 	// BottleneckShare is the per-flow fair share (bytes/second) on the
 	// bottleneck link.
 	BottleneckShare float64 `json:"bottleneck_share"`
+	// DirtyLinks is the number of links whose membership changed since the
+	// previous recomputation — the seeds of the incremental engine's dirty
+	// component. 0 under the reference (exact) engine.
+	DirtyLinks int `json:"dirty_links"`
+	// AffectedFlows is the number of flows whose rate this recomputation
+	// actually recomputed; the remaining active flows kept their frozen
+	// rates. Equals ActiveFlows under the reference engine and whenever
+	// the incremental engine fell back to a full fill.
+	AffectedFlows int `json:"affected_flows"`
+	// FilledLinks is the number of links re-waterfilled.
+	FilledLinks int `json:"filled_links"`
 	// WallTime is the wall-clock cost of the rate recomputation.
 	WallTime time.Duration `json:"wall_ns"`
 }
@@ -103,11 +114,11 @@ func (r *EpochRecorder) Len() int {
 }
 
 // WriteCSV exports the series with the header
-// epoch,sim_time,active_flows,bottleneck_link,bottleneck_share,wall_ns.
+// epoch,sim_time,active_flows,bottleneck_link,bottleneck_share,dirty_links,affected_flows,filled_links,wall_ns.
 func (r *EpochRecorder) WriteCSV(w io.Writer) error {
 	snaps := r.Snapshots()
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "wall_ns"}); err != nil {
+	if err := cw.Write([]string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "dirty_links", "affected_flows", "filled_links", "wall_ns"}); err != nil {
 		return err
 	}
 	for _, s := range snaps {
@@ -117,6 +128,9 @@ func (r *EpochRecorder) WriteCSV(w io.Writer) error {
 			strconv.Itoa(s.ActiveFlows),
 			strconv.FormatInt(int64(s.BottleneckLink), 10),
 			strconv.FormatFloat(s.BottleneckShare, 'g', 9, 64),
+			strconv.Itoa(s.DirtyLinks),
+			strconv.Itoa(s.AffectedFlows),
+			strconv.Itoa(s.FilledLinks),
 			strconv.FormatInt(s.WallTime.Nanoseconds(), 10),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -11,9 +11,9 @@ import (
 
 func sampleSnapshots() []EpochSnapshot {
 	return []EpochSnapshot{
-		{Epoch: 1, SimTime: 0, ActiveFlows: 12, BottleneckLink: 7, BottleneckShare: 1.25e9 / 12, WallTime: 1500 * time.Nanosecond},
-		{Epoch: 2, SimTime: 0.004, ActiveFlows: 8, BottleneckLink: 7, BottleneckShare: 1.25e9 / 8, WallTime: 900 * time.Nanosecond},
-		{Epoch: 3, SimTime: 0.01, ActiveFlows: 1, BottleneckLink: 42, BottleneckShare: 1.25e9, WallTime: 200 * time.Nanosecond},
+		{Epoch: 1, SimTime: 0, ActiveFlows: 12, BottleneckLink: 7, BottleneckShare: 1.25e9 / 12, DirtyLinks: 24, AffectedFlows: 12, FilledLinks: 30, WallTime: 1500 * time.Nanosecond},
+		{Epoch: 2, SimTime: 0.004, ActiveFlows: 8, BottleneckLink: 7, BottleneckShare: 1.25e9 / 8, DirtyLinks: 4, AffectedFlows: 3, FilledLinks: 6, WallTime: 900 * time.Nanosecond},
+		{Epoch: 3, SimTime: 0.01, ActiveFlows: 1, BottleneckLink: 42, BottleneckShare: 1.25e9, DirtyLinks: 2, AffectedFlows: 1, FilledLinks: 2, WallTime: 200 * time.Nanosecond},
 	}
 }
 
@@ -33,7 +33,7 @@ func TestEpochRecorderCSV(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CSV does not parse: %v", err)
 	}
-	wantHeader := []string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "wall_ns"}
+	wantHeader := []string{"epoch", "sim_time", "active_flows", "bottleneck_link", "bottleneck_share", "dirty_links", "affected_flows", "filled_links", "wall_ns"}
 	for i, h := range wantHeader {
 		if rows[0][i] != h {
 			t.Fatalf("header = %v, want %v", rows[0], wantHeader)
@@ -50,8 +50,11 @@ func TestEpochRecorderCSV(t *testing.T) {
 	if err != nil || simt != 0.004 {
 		t.Fatalf("sim_time = %v (%v)", rows[2][1], err)
 	}
-	if rows[2][5] != "900" {
-		t.Fatalf("wall_ns = %v, want 900", rows[2][5])
+	if rows[2][5] != "4" || rows[2][6] != "3" || rows[2][7] != "6" {
+		t.Fatalf("dirty/affected/filled = %v,%v,%v, want 4,3,6", rows[2][5], rows[2][6], rows[2][7])
+	}
+	if rows[2][8] != "900" {
+		t.Fatalf("wall_ns = %v, want 900", rows[2][8])
 	}
 }
 

@@ -7,9 +7,20 @@
 // everything a downstream user needs to build topologies (torus, fattree,
 // generalised hypercube, and the paper's NestTree/NestGHC hybrids),
 // generate the paper's eleven application workloads, place tasks, and
-// simulate flow-level completion times:
+// simulate flow-level completion times. The one-call entry point is
+// RunExperiment, which wires those stages together with the paper's
+// presets:
 //
-//	machine, _ := mtier.BuildTopology(mtier.NestGHC, 4096, 2, 4)
+//	res, _ := mtier.RunExperiment(mtier.Experiment{
+//		Topo:     mtier.TopoSpec{Kind: mtier.NestGHC, Endpoints: 4096, T: 2, U: 4},
+//		Workload: mtier.AllReduce,
+//	})
+//	fmt.Println(res.Result.Makespan)
+//
+// The stages remain available individually — Build, GenerateWorkload,
+// Place, Simulate — for callers that need custom specs or mappings:
+//
+//	machine, _ := mtier.Build(mtier.TopoSpec{Kind: mtier.NestGHC, Endpoints: 4096, T: 2, U: 4})
 //	spec, _ := mtier.GenerateWorkload(mtier.AllReduce, mtier.WorkloadParams{
 //		Tasks: 4096, MsgBytes: 1e6,
 //	})
@@ -51,7 +62,11 @@ const (
 
 // BuildTopology constructs a topology of the given family with n
 // endpoints; t and u parameterise the hybrid families (subtorus nodes per
-// dimension, and one uplink per u QFDBs).
+// dimension, and one uplink per u QFDBs) and are ignored by the rest.
+//
+// Deprecated: use Build, which takes a TopoSpec and validates the
+// parameters against the chosen family instead of ignoring the
+// inapplicable ones.
 func BuildTopology(kind TopoKind, n, t, u int) (Topology, error) {
 	return core.BuildTopology(kind, n, t, u)
 }

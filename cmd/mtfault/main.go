@@ -1,0 +1,251 @@
+// Command mtfault sweeps link-fault fractions over a set of topologies
+// and reports how each fabric degrades: normalised execution time and
+// flow reachability versus the fraction of failed cables. Fault sets are
+// nested across fractions (the failed cables at 1% are a subset of those
+// at 2% for the same seed), so reachability is monotonically
+// non-increasing along each curve and every sweep is reproducible bit
+// for bit from its seeds.
+//
+// Tables and CSV go to stdout; a live progress line is rendered on
+// stderr so redirected output stays clean. -fingerprint emits a single
+// sha256 over the canonical (phase-timing-free) run records of every
+// cell, the determinism check CI compares across two same-seed runs.
+//
+// Usage:
+//
+//	mtfault -n 4096 -topos torus,fattree,nesttree,nestghc
+//	mtfault -fractions 0.01,0.02,0.05,0.1 -model clustered
+//	mtfault -topos nestghc -t 2 -u 4 -workload allreduce -csv
+//	mtfault -records cells.jsonl -fingerprint
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mtier/internal/core"
+	"mtier/internal/fault"
+	"mtier/internal/flow"
+	"mtier/internal/obs"
+	"mtier/internal/report"
+	"mtier/internal/workload"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 4096, "total number of QFDBs (endpoints)")
+		topos     = flag.String("topos", "torus,fattree,nesttree,nestghc", "comma-separated topology kinds to sweep")
+		t         = flag.Int("t", 4, "subtorus nodes per dimension (hybrid families)")
+		u         = flag.Int("u", 4, "one uplink per u QFDBs (hybrid families)")
+		fractions = flag.String("fractions", "0.01,0.02,0.05,0.1", "comma-separated link-fault fractions (0 is always included as the baseline)")
+		modelName = flag.String("model", "random", "failure model: random | clustered | targeted")
+		clusters  = flag.Int("clusters", 1, "failure epicenters of the clustered model")
+		faultSeed = flag.Int64("faultseed", 1, "fault-draw seed")
+		wName     = flag.String("workload", "allreduce", "workload to run per cell")
+		tasks     = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg       = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		eps       = flag.Float64("eps", 0.01, "completion batching window")
+		workers   = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		csv       = flag.Bool("csv", false, "emit CSV")
+		progress  = flag.Bool("progress", true, "render a live progress line on stderr")
+		records   = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
+		fpr       = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism check)")
+	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
+	flag.Parse()
+
+	w, err := workload.ParseKind(*wName)
+	if err != nil {
+		die(err)
+	}
+	model, err := fault.ParseModel(*modelName)
+	if err != nil {
+		die(err)
+	}
+	specs, err := parseTopos(*topos, *n, *t, *u)
+	if err != nil {
+		die(err)
+	}
+	fracs, err := parseFractions(*fractions)
+	if err != nil {
+		die(err)
+	}
+
+	stop, err := prof.Start()
+	if err != nil {
+		die(err)
+	}
+	err = run(specs, fracs, *csv, *progress, *records, *fpr, core.DegradationOptions{
+		Model:     model,
+		FaultSeed: *faultSeed,
+		Clusters:  *clusters,
+		Workload:  w,
+		Params:    workload.Params{Tasks: *tasks, Seed: *seed, MsgBytes: *msg},
+		Sim:       flow.Options{RelEpsilon: *eps},
+		Workers:   *workers,
+	})
+	stop()
+	if err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mtfault:", err)
+	os.Exit(1)
+}
+
+// parseTopos resolves the -topos list into validated TopoSpecs, applying
+// the (t, u) design point to the hybrid families only.
+func parseTopos(list string, n, t, u int) ([]core.TopoSpec, error) {
+	var specs []core.TopoSpec
+	for _, name := range strings.Split(list, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		kind, err := core.ParseTopoKind(name)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.TopoSpec{Kind: kind, Endpoints: n}
+		switch kind {
+		case core.NestTree, core.NestGHC:
+			spec.T, spec.U = t, u
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no topologies in %q", list)
+	}
+	return specs, nil
+}
+
+// parseFractions parses the -fractions list.
+func parseFractions(list string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q: %w", s, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func run(specs []core.TopoSpec, fracs []float64, csv, progress bool, records string, fpr bool, opt core.DegradationOptions) error {
+	var meter *obs.ProgressMeter
+	nFracs := len(fracs)
+	hasZero := false
+	for _, f := range fracs {
+		if f == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		nFracs++
+	}
+	if progress {
+		meter = obs.NewProgressMeter(os.Stderr, len(specs)*nFracs)
+	}
+
+	var recMu sync.Mutex
+	var recW *bufio.Writer
+	if records != "" {
+		f, err := os.Create(records)
+		if err != nil {
+			return err
+		}
+		recW = bufio.NewWriter(f)
+		defer func() {
+			if err := recW.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtfault: flushing records:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtfault: closing records:", err)
+			}
+		}()
+	}
+
+	opt.OnCell = func(spec core.TopoSpec, fraction float64, res *core.RunResult) {
+		meter.Step(fmt.Sprintf("%s @%g%%", spec.Kind, fraction*100))
+		if recW != nil {
+			line, err := res.Record().MarshalLine()
+			recMu.Lock()
+			defer recMu.Unlock()
+			if err == nil {
+				_, err = recW.Write(line)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "\nmtfault: writing record:", err)
+			}
+		}
+	}
+
+	rep, err := core.DegradationSweep(specs, fracs, opt)
+	if err != nil {
+		return err
+	}
+	if meter != nil {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+		meter.Finish()
+	}
+
+	emit(rep.Table(), csv)
+	if !csv {
+		emit(rep.NormTimeFigure().Table(), false)
+		emit(rep.ReachabilityFigure().Table(), false)
+	}
+	if fpr {
+		sum, err := fingerprint(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fingerprint %x\n", sum)
+	}
+	return nil
+}
+
+// fingerprint hashes the canonical (phase-timing-free) run record of
+// every cell in deterministic order: two same-seed sweeps must produce
+// the same digest, which the CI fault-smoke job asserts.
+func fingerprint(rep *core.DegradationReport) ([]byte, error) {
+	h := sha256.New()
+	// Series are already in spec order; cells in ascending fraction order.
+	for _, series := range rep.Series {
+		cells := append([]core.DegradationCell(nil), series...)
+		sort.Slice(cells, func(a, b int) bool { return cells[a].Fraction < cells[b].Fraction })
+		for _, c := range cells {
+			fp, err := c.Result.Record().Fingerprint()
+			if err != nil {
+				return nil, err
+			}
+			h.Write(fp)
+		}
+	}
+	return h.Sum(nil), nil
+}
+
+func emit(tab *report.Table, csv bool) {
+	if csv {
+		_ = tab.WriteCSV(os.Stdout)
+	} else {
+		_ = tab.WriteText(os.Stdout)
+		fmt.Println()
+	}
+}

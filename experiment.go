@@ -2,6 +2,7 @@ package mtier
 
 import (
 	"mtier/internal/core"
+	"mtier/internal/fault"
 	"mtier/internal/obs"
 )
 
@@ -36,6 +37,48 @@ type Experiment struct {
 	Placement PlacePolicy
 	// Sim tunes the flow engine.
 	Sim SimOptions
+	// Faults, when non-nil and non-empty, degrades the fabric before the
+	// run: the spec's failed links/switches/endpoints are drawn
+	// deterministically from its seed and routing detours around them.
+	// Flows whose endpoint pair has no surviving path are dropped and
+	// reported in the result's DisconnectedFlows/LostBytes.
+	Faults *FaultSpec
+}
+
+// FaultSpec describes a fault scenario: a failure model (FaultRandom,
+// FaultClustered, FaultTargeted) and the fraction of cables, switches
+// and endpoints to fail, all drawn deterministically from its seed.
+type FaultSpec = fault.Spec
+
+// FaultModel names a failure-generation model.
+type FaultModel = fault.Model
+
+// Failure models.
+const (
+	// FaultRandom fails components uniformly at random.
+	FaultRandom = fault.Random
+	// FaultClustered fails components by distance from random epicenters
+	// (spatially-correlated faults: a power feed, a cooling leak).
+	FaultClustered = fault.Clustered
+	// FaultTargeted fails the highest-degree components first (worst-case
+	// attack on the fabric's most-connected parts).
+	FaultTargeted = fault.Targeted
+)
+
+// DegradedTopology is a topology wrapped with a fault set: routing
+// detours around the failed components, and endpoint pairs with no
+// surviving path are reported as disconnected.
+type DegradedTopology = fault.Degraded
+
+// Degrade resolves a fault spec against a topology and returns the
+// degraded view, for callers driving Simulate directly. The same
+// (topology, spec) pair always yields the same fault set.
+func Degrade(t Topology, spec FaultSpec) (*DegradedTopology, error) {
+	set, err := fault.Generate(t, spec)
+	if err != nil {
+		return nil, err
+	}
+	return fault.Wrap(t, set, nil), nil
 }
 
 // ExperimentResult is the outcome of RunExperiment: the simulation
@@ -74,5 +117,6 @@ func RunExperiment(e Experiment) (*ExperimentResult, error) {
 		Params:    e.Params,
 		Placement: e.Placement,
 		Sim:       e.Sim,
+		Faults:    e.Faults,
 	}, top)
 }

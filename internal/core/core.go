@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"mtier/internal/fault"
 	"mtier/internal/flow"
 	"mtier/internal/obs"
 	"mtier/internal/place"
@@ -130,6 +131,12 @@ type Config struct {
 	Placement place.Policy `json:"placement,omitempty"`
 	// Sim options; RelEpsilon defaults to 0.01.
 	Sim flow.Options `json:"sim"`
+	// Faults, when non-nil and non-empty, degrades the fabric before the
+	// run: the spec's failed links/switches/endpoints are drawn
+	// deterministically from its seed and the topology is wrapped so
+	// routing detours around them (see internal/fault). The topology
+	// handed to Run must be bare — Run does the wrapping.
+	Faults *fault.Spec `json:"faults,omitempty"`
 }
 
 // DefaultTasks caps the task count of the quadratic-flow-count workloads
@@ -220,6 +227,18 @@ func Run(cfg Config, top topo.Topology) (*RunResult, error) {
 			return nil, err
 		}
 		phases.BuildSeconds = time.Since(t0).Seconds()
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		if _, wrapped := top.(*fault.Degraded); wrapped {
+			return nil, fmt.Errorf("core: topology %s is already fault-wrapped; pass the bare topology with Config.Faults", top.Name())
+		}
+		t0 := time.Now()
+		set, ferr := fault.Generate(top, *cfg.Faults)
+		if ferr != nil {
+			return nil, ferr
+		}
+		top = fault.Wrap(top, set, cfg.Sim.Metrics)
+		phases.BuildSeconds += time.Since(t0).Seconds()
 	}
 	genStart := time.Now()
 	p := cfg.Params

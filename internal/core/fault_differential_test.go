@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mtier/internal/fault"
+	"mtier/internal/flow"
+	"mtier/internal/topo"
+	"mtier/internal/workload"
+)
+
+// The fault wrapper must be invisible when the fault set is empty: the
+// degraded topology takes the engine through the fault-aware code paths
+// (route-or-disconnect injection, reroute plumbing, connectivity checks),
+// so any divergence — a perturbed route, a reordered epoch, an extra
+// result field — shows up as a fingerprint mismatch against the bare run.
+
+// emptyWrap wraps a topology with a generated-empty fault set.
+func emptyWrap(t *testing.T, top topo.Topology) *fault.Degraded {
+	t.Helper()
+	set, err := fault.Generate(top, fault.Spec{Model: fault.Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.Wrap(top, set, nil)
+}
+
+// fingerprintPair runs the same config over the bare and empty-wrapped
+// topologies and returns both record fingerprints.
+func fingerprintPair(t *testing.T, cfg Config, bare topo.Topology) ([]byte, []byte) {
+	t.Helper()
+	ref, err := Run(cfg, bare)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	wrapped, err := Run(cfg, emptyWrap(t, bare))
+	if err != nil {
+		t.Fatalf("wrapped run: %v", err)
+	}
+	a, err := ref.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wrapped.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestEmptyFaultSetTransparentAllWorkloads: every paper workload on every
+// family must produce bit-identical run records with and without the
+// empty-set wrapper.
+func TestEmptyFaultSetTransparentAllWorkloads(t *testing.T) {
+	const n = 64
+	tops := diffFamilies(t, n)
+	for name, top := range tops {
+		for _, w := range workload.Kinds() {
+			name, top, w := name, top, w
+			t.Run(fmt.Sprintf("%s/%s", name, w), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{
+					Kind:      TopoKind(name),
+					Endpoints: n,
+					Workload:  w,
+					Params:    workload.Params{Seed: 17},
+					Sim:       flow.Options{RecordFlowEnds: true},
+				}
+				a, b := fingerprintPair(t, cfg, top)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("empty-set wrapper changed the run record:\nbare:    %s\nwrapped: %s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestEmptyFaultSetTransparentAdaptive: the wrapper is a MultiRouter, so
+// adaptive routing must pick identical candidates through it.
+func TestEmptyFaultSetTransparentAdaptive(t *testing.T) {
+	const n = 64
+	tops := diffFamilies(t, n)
+	for _, name := range []string{"torus", "fattree"} {
+		top, ok := tops[name]
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		name, top := name, top
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if _, ok := top.(topo.MultiRouter); !ok {
+				t.Fatalf("%s is not a MultiRouter", name)
+			}
+			cfg := Config{
+				Kind:      TopoKind(name),
+				Endpoints: n,
+				Workload:  workload.UnstructuredApp,
+				Params:    workload.Params{Seed: 23},
+				Sim:       flow.Options{RecordFlowEnds: true, AdaptiveRouting: true},
+			}
+			a, b := fingerprintPair(t, cfg, top)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("empty-set wrapper changed the adaptive run record:\nbare:    %s\nwrapped: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestEmptyFaultSpecTransparent: a Config.Faults spec whose fractions are
+// all zero must behave exactly like no spec at all (Run skips wrapping,
+// and the fingerprints already embed the config's faults field as nil
+// because the zero-fraction spec is only consulted, never recorded).
+func TestEmptyFaultSpecTransparent(t *testing.T) {
+	const n = 64
+	cfg := Config{
+		Kind:      Torus3D,
+		Endpoints: n,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 3},
+		Sim:       flow.Options{RecordFlowEnds: true},
+	}
+	ref, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &fault.Spec{Model: fault.Random, Seed: 99}
+	got, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.DisconnectedFlows != 0 || got.Result.ReroutedFlows != 0 {
+		t.Fatalf("zero-fraction spec produced fault activity: %+v", got.Result)
+	}
+	if ref.Result.Makespan != got.Result.Makespan || ref.Result.HopBytes != got.Result.HopBytes {
+		t.Fatalf("zero-fraction spec changed the simulation: makespan %g vs %g", ref.Result.Makespan, got.Result.Makespan)
+	}
+}

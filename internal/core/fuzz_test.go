@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mtier/internal/topo"
+)
+
+// fuzzTopos lazily builds one small instance per topology kind so the fuzz
+// worker does not pay construction cost per input. Topologies are immutable
+// after construction; RouteAppend is safe for concurrent use.
+var fuzzTopos struct {
+	once sync.Once
+	tops map[TopoKind]topo.Topology
+	err  error
+}
+
+func fuzzTopo(kind TopoKind) (topo.Topology, error) {
+	fuzzTopos.once.Do(func() {
+		fuzzTopos.tops = make(map[TopoKind]topo.Topology)
+		for _, k := range AllTopoKinds() {
+			spec := TopoSpec{Kind: k, Endpoints: 64}
+			switch k {
+			case NestTree, NestGHC:
+				spec.T = 2
+				spec.U = 4
+			}
+			top, err := Build(spec)
+			if err != nil {
+				fuzzTopos.err = err
+				return
+			}
+			fuzzTopos.tops[k] = top
+		}
+	})
+	return fuzzTopos.tops[kind], fuzzTopos.err
+}
+
+// FuzzRouteAppendAliasing drives every topology family's RouteAppend with a
+// reused, nearly-full buffer: the second call appends onto the first call's
+// result, so any implementation that aliases its own scratch storage with
+// the caller's buffer, or rewinds instead of appending, corrupts the first
+// route's hops. Both the prefix bytes and the path validity of the two
+// segments are asserted.
+func FuzzRouteAppendAliasing(f *testing.F) {
+	kinds := AllTopoKinds()
+	f.Add(uint8(0), uint16(0), uint16(1), uint16(2), uint16(3))
+	f.Add(uint8(1), uint16(5), uint16(60), uint16(60), uint16(5))
+	f.Add(uint8(2), uint16(63), uint16(0), uint16(31), uint16(32))
+	f.Add(uint8(3), uint16(7), uint16(7), uint16(9), uint16(9))
+	f.Add(uint8(4), uint16(12), uint16(50), uint16(50), uint16(12))
+	f.Add(uint8(5), uint16(1), uint16(62), uint16(2), uint16(61))
+	f.Add(uint8(6), uint16(20), uint16(40), uint16(0), uint16(70))
+	f.Add(uint8(7), uint16(33), uint16(44), uint16(44), uint16(33))
+	f.Fuzz(func(t *testing.T, kind uint8, a, b, c, d uint16) {
+		k := kinds[int(kind)%len(kinds)]
+		top, err := fuzzTopo(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := top.NumEndpoints()
+		s1, d1 := int(a)%n, int(b)%n
+		s2, d2 := int(c)%n, int(d)%n
+
+		// A tiny capacity forces reallocation mid-append for most pairs
+		// while still letting short routes reuse the backing array.
+		buf := make([]int32, 0, 2)
+		r1 := top.RouteAppend(buf, s1, d1)
+		snap := append([]int32(nil), r1...)
+
+		r2 := top.RouteAppend(r1, s2, d2)
+		if len(r2) < len(snap) {
+			t.Fatalf("%s: second RouteAppend shrank the buffer: %d < %d", k, len(r2), len(snap))
+		}
+		for i := range snap {
+			if r2[i] != snap[i] {
+				t.Fatalf("%s: second RouteAppend(%d->%d) clobbered hop %d of the first (%d->%d): %d became %d",
+					k, s2, d2, i, s1, d1, snap[i], r2[i])
+			}
+		}
+		if err := topo.CheckPath(top, s1, d1, r2[:len(snap)]); err != nil {
+			t.Fatalf("%s: first segment invalid: %v", k, err)
+		}
+		if err := topo.CheckPath(top, s2, d2, r2[len(snap):]); err != nil {
+			t.Fatalf("%s: second segment invalid: %v", k, err)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"mtier/internal/fault"
+	"mtier/internal/flow"
+	"mtier/internal/workload"
+)
+
+func sweepSpecs() []TopoSpec {
+	return []TopoSpec{
+		{Kind: Torus3D, Endpoints: 64},
+		{Kind: Fattree, Endpoints: 64},
+		{Kind: NestTree, Endpoints: 64, T: 2, U: 4},
+		{Kind: NestGHC, Endpoints: 64, T: 2, U: 4},
+	}
+}
+
+func sweepOptions() DegradationOptions {
+	return DegradationOptions{
+		Model:     fault.Random,
+		FaultSeed: 7,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 1},
+		Sim:       flow.Options{RecordFlowEnds: true},
+	}
+}
+
+// TestDegradationSweepShape: fraction 0 is prepended, cells land in
+// ascending-fraction order, the pristine baseline normalises to exactly
+// 1, and every cell carries a run result.
+func TestDegradationSweepShape(t *testing.T) {
+	specs := sweepSpecs()
+	var cells atomic.Int64
+	opt := sweepOptions()
+	opt.OnCell = func(TopoSpec, float64, *RunResult) { cells.Add(1) }
+	rep, err := DegradationSweep(specs, []float64{0.1, 0.02}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFracs := []float64{0, 0.02, 0.1}
+	if len(rep.Fractions) != len(wantFracs) {
+		t.Fatalf("fractions %v, want %v", rep.Fractions, wantFracs)
+	}
+	for i, f := range wantFracs {
+		if rep.Fractions[i] != f {
+			t.Fatalf("fractions %v, want %v", rep.Fractions, wantFracs)
+		}
+	}
+	if got := cells.Load(); got != int64(len(specs)*len(wantFracs)) {
+		t.Fatalf("OnCell fired %d times, want %d", got, len(specs)*len(wantFracs))
+	}
+	for si, series := range rep.Series {
+		if len(series) != len(wantFracs) {
+			t.Fatalf("series %d has %d cells", si, len(series))
+		}
+		if series[0].NormTime != 1 {
+			t.Fatalf("%s: pristine norm time %g, want exactly 1", specs[si].Kind, series[0].NormTime)
+		}
+		if series[0].Reachability != 1 {
+			t.Fatalf("%s: pristine reachability %g, want 1", specs[si].Kind, series[0].Reachability)
+		}
+		for fi, c := range series {
+			if c.Result == nil || c.Result.Result == nil {
+				t.Fatalf("series %d cell %d has no result", si, fi)
+			}
+			if c.Fraction != wantFracs[fi] {
+				t.Fatalf("series %d cell %d fraction %g, want %g", si, fi, c.Fraction, wantFracs[fi])
+			}
+		}
+	}
+}
+
+// TestDegradationSweepMonotoneReachability: nested fault sets make
+// reachability non-increasing in the fault fraction for every family and
+// model — the acceptance property behind the degradation curves.
+func TestDegradationSweepMonotoneReachability(t *testing.T) {
+	fracs := []float64{0.02, 0.05, 0.1, 0.2}
+	for _, m := range fault.Models() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			t.Parallel()
+			opt := sweepOptions()
+			opt.Model = m
+			rep, err := DegradationSweep(sweepSpecs(), fracs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for si, series := range rep.Series {
+				for fi := 1; fi < len(series); fi++ {
+					prev, cur := series[fi-1].Reachability, series[fi].Reachability
+					if cur > prev {
+						t.Fatalf("%s/%s: reachability improved from %g to %g as the fault fraction rose %g -> %g",
+							m, sweepSpecs()[si].Kind, prev, cur, series[fi-1].Fraction, series[fi].Fraction)
+					}
+					if cur < 0 || cur > 1 || math.IsNaN(cur) {
+						t.Fatalf("reachability %g out of range", cur)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDegradationSweepDeterministic: two sweeps of the same options must
+// be byte-identical cell by cell, regardless of worker count.
+func TestDegradationSweepDeterministic(t *testing.T) {
+	fracs := []float64{0.05, 0.15}
+	run := func(workers int) *DegradationReport {
+		opt := sweepOptions()
+		opt.Workers = workers
+		rep, err := DegradationSweep(sweepSpecs(), fracs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	for si := range a.Series {
+		for fi := range a.Series[si] {
+			fa, err := a.Series[si][fi].Result.Record().Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := b.Series[si][fi].Result.Record().Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fa, fb) {
+				t.Fatalf("cell [%d][%d] differs across worker counts:\n%s\n%s", si, fi, fa, fb)
+			}
+		}
+	}
+}
+
+// TestDegradationSweepValidation: bad inputs are rejected up front.
+func TestDegradationSweepValidation(t *testing.T) {
+	opt := sweepOptions()
+	if _, err := DegradationSweep(nil, []float64{0.1}, opt); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+	if _, err := DegradationSweep(sweepSpecs(), []float64{0.1, 0.1}, opt); err == nil {
+		t.Fatal("duplicate fraction accepted")
+	}
+	if _, err := DegradationSweep(sweepSpecs(), []float64{-0.1}, opt); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := DegradationSweep(sweepSpecs(), []float64{1.5}, opt); err == nil {
+		t.Fatal("fraction above 1 accepted")
+	}
+}
+
+// TestDegradationReportRendering: the figures and table carry one entry
+// per cell with the fault-labelled instance name in the table rows.
+func TestDegradationReportRendering(t *testing.T) {
+	rep, err := DegradationSweep(sweepSpecs()[:2], []float64{0.1}, sweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Table().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("faults[random")) {
+		t.Fatalf("table CSV lacks the fault-set label:\n%s", csv)
+	}
+	if rep.NormTimeFigure() == nil || rep.ReachabilityFigure() == nil {
+		t.Fatal("figures not rendered")
+	}
+}

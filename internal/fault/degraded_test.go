@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mtier/internal/obs"
+	"mtier/internal/topo"
+)
+
+// pairConnected answers ground truth for a pair by BFS over the
+// surviving links, independently of the wrapper's detour machinery.
+func pairConnected(t topo.Topology, set *Set, src, dst int) bool {
+	if set.VertexDown(int32(src)) || set.VertexDown(int32(dst)) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	links := t.Links()
+	out := make([][]int32, t.NumVertices())
+	for id, ln := range links {
+		if set.LinkDown(int32(id)) {
+			continue
+		}
+		out[ln.From] = append(out[ln.From], ln.To)
+	}
+	seen := make([]bool, t.NumVertices())
+	seen[src] = true
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		for _, w := range out[queue[head]] {
+			if w == int32(dst) {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// TestEmptySetDelegates: wrapping with an empty set must be invisible —
+// same name, same routes, same choice count.
+func TestEmptySetDelegates(t *testing.T) {
+	tor := cube(t, 3)
+	set, err := Generate(tor, Spec{Model: Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Wrap(tor, set, nil)
+	if d.Name() != tor.Name() {
+		t.Fatalf("empty wrap renamed %q to %q", tor.Name(), d.Name())
+	}
+	mr := tor.(topo.MultiRouter)
+	if d.NumRouteChoices() != mr.NumRouteChoices() {
+		t.Fatalf("choice count changed: %d vs %d", d.NumRouteChoices(), mr.NumRouteChoices())
+	}
+	n := tor.NumEndpoints()
+	for src := 0; src < n; src += 5 {
+		for dst := 0; dst < n; dst += 3 {
+			want := topo.Route(tor, src, dst)
+			got, ok := d.RouteAppendOK(nil, src, dst)
+			if !ok {
+				t.Fatalf("pair %d->%d disconnected under empty set", src, dst)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pair %d->%d: %v vs %v", src, dst, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("pair %d->%d: %v vs %v", src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradedRoutesAvoidFaults: every routable pair must get a valid
+// path that crosses no failed link, and every unroutable pair must truly
+// be disconnected in the surviving graph.
+func TestDegradedRoutesAvoidFaults(t *testing.T) {
+	for _, m := range Models() {
+		for _, frac := range []float64{0.05, 0.2, 0.5} {
+			tor := cube(t, 3)
+			set, err := Generate(tor, Spec{Model: m, LinkFraction: frac, EndpointFraction: 0.05, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := Wrap(tor, set, nil)
+			if !strings.Contains(d.Name(), "+faults[") {
+				t.Fatalf("degraded name %q lacks the fault label", d.Name())
+			}
+			n := tor.NumEndpoints()
+			for src := 0; src < n; src += 3 {
+				for dst := 0; dst < n; dst += 4 {
+					truth := pairConnected(tor, set, src, dst)
+					path, ok := d.RouteAppendOK(nil, src, dst)
+					if ok != truth {
+						t.Fatalf("%s@%g: pair %d->%d: wrapper says ok=%v, BFS says %v", m, frac, src, dst, ok, truth)
+					}
+					if ok != d.Connected(src, dst) {
+						t.Fatalf("%s@%g: pair %d->%d: Connected disagrees with RouteAppendOK", m, frac, src, dst)
+					}
+					if !ok {
+						continue
+					}
+					if err := topo.CheckPath(d, src, dst, path); err != nil {
+						t.Fatalf("%s@%g: pair %d->%d: %v", m, frac, src, dst, err)
+					}
+					for _, l := range path {
+						if set.LinkDown(l) {
+							t.Fatalf("%s@%g: pair %d->%d routed over failed link %d", m, frac, src, dst, l)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteChoiceContract: the degraded wrapper is itself a MultiRouter
+// and must keep the choice-0-equals-RouteAppend contract, with every
+// candidate a valid fault-free path.
+func TestRouteChoiceContract(t *testing.T) {
+	tor := cube(t, 3)
+	set, err := Generate(tor, Spec{Model: Random, LinkFraction: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Wrap(tor, set, nil)
+	n := tor.NumEndpoints()
+	for src := 0; src < n; src += 4 {
+		for dst := 0; dst < n; dst += 5 {
+			if !d.Connected(src, dst) {
+				continue
+			}
+			if err := topo.CheckRouteChoices(d, src, dst); err != nil {
+				t.Fatalf("pair %d->%d: %v", src, dst, err)
+			}
+			for c := 0; c < d.NumRouteChoices(); c++ {
+				for _, l := range d.RouteChoiceAppend(nil, src, dst, c) {
+					if set.LinkDown(l) {
+						t.Fatalf("pair %d->%d choice %d crosses failed link %d", src, dst, c, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteAppendPanicsOnDisconnected: callers that cannot handle
+// disconnection must not be handed a dead pair silently.
+func TestRouteAppendPanicsOnDisconnected(t *testing.T) {
+	tor := cube(t, 3)
+	set, err := Generate(tor, Spec{Model: Random, EndpointFraction: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Wrap(tor, set, nil)
+	var deadEp int
+	for v := 0; v < tor.NumEndpoints(); v++ {
+		if set.VertexDown(int32(v)) {
+			deadEp = v
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RouteAppend to a failed endpoint did not panic")
+		}
+	}()
+	d.RouteAppend(nil, (deadEp+1)%tor.NumEndpoints(), deadEp)
+}
+
+// TestRerouteAppendAvoidsDynamicDead: the engine-facing reroute must
+// dodge both the static set and the caller's transient dead links.
+func TestRerouteAppendAvoidsDynamicDead(t *testing.T) {
+	tor := cube(t, 3)
+	set, err := Generate(tor, Spec{Model: Random}) // empty static set
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Wrap(tor, set, nil)
+	src, dst := 0, 13
+	base := topo.Route(tor, src, dst)
+	if len(base) == 0 {
+		t.Fatal("trivial route")
+	}
+	dead := map[int32]bool{base[0]: true}
+	down := func(l int32) bool { return dead[l] }
+	path, ok := d.RerouteAppend(nil, src, dst, down)
+	if !ok {
+		t.Fatal("reroute reported disconnection with one dead link on a torus")
+	}
+	if err := topo.CheckPath(d, src, dst, path); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range path {
+		if dead[l] {
+			t.Fatalf("reroute crossed dynamically dead link %d", l)
+		}
+	}
+
+	// Killing every link out of the source must report disconnection.
+	links := tor.Links()
+	for id, ln := range links {
+		if ln.From == int32(src) {
+			dead[int32(id)] = true
+		}
+	}
+	if _, ok := d.RerouteAppend(nil, src, dst, down); ok {
+		t.Fatal("reroute found a path out of a fully dead source")
+	}
+}
+
+// TestDegradedMetrics: with a registry attached, the wrapper maintains
+// the fault.* gauges and counters.
+func TestDegradedMetrics(t *testing.T) {
+	tor := cube(t, 3)
+	set, err := Generate(tor, Spec{Model: Random, LinkFraction: 0.3, EndpointFraction: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	d := Wrap(tor, set, reg)
+	n := tor.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			d.RouteAppendOK(nil, src, dst)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["fault.links_down"] != float64(set.LinksDown()) {
+		t.Fatalf("links_down gauge %g, want %d", snap.Gauges["fault.links_down"], set.LinksDown())
+	}
+	if snap.Counters["fault.disconnected_pairs"] == 0 {
+		t.Fatal("no disconnected pairs counted at 10% endpoint faults")
+	}
+	if snap.Counters["fault.detour_routes"] == 0 {
+		t.Fatal("no detours counted at 30% link faults")
+	}
+}

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"testing"
+
+	"mtier/internal/grid"
+	"mtier/internal/topo"
+	"mtier/internal/topo/fattree"
+	"mtier/internal/topo/torus"
+)
+
+func cube(t testing.TB, k int) topo.Topology {
+	t.Helper()
+	tor, err := torus.New(grid.Shape{k, k, k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor
+}
+
+func tree(t testing.TB) topo.Topology {
+	t.Helper()
+	ft, err := fattree.NewNonBlocking([]int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range Models() {
+		got, err := ParseModel(" " + string(m) + " ")
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseModel("meteor"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Model: Random, LinkFraction: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Model: "meteor"},
+		{Model: Random, LinkFraction: -0.1},
+		{Model: Random, LinkFraction: 1.5},
+		{Model: Random, SwitchFraction: 2},
+		{Model: Random, EndpointFraction: -1},
+		{Model: Clustered, Clusters: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	set, err := Generate(cube(t, 3), Spec{Model: Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() || set.Label() != "" {
+		t.Fatalf("empty spec produced non-empty set: %q", set.Label())
+	}
+}
+
+// TestCablePairing checks that every directed link of a duplex topology
+// pairs with its reverse into exactly one cable.
+func TestCablePairing(t *testing.T) {
+	tor := cube(t, 3)
+	links := tor.Links()
+	cbs := cables(links)
+	if len(cbs) != len(links)/2 {
+		t.Fatalf("%d links paired into %d cables, want %d", len(links), len(cbs), len(links)/2)
+	}
+	seen := make([]bool, len(links))
+	for _, c := range cbs {
+		if c.l2 < 0 {
+			t.Fatalf("cable %v unpaired in a duplex topology", c)
+		}
+		a, b := links[c.l1], links[c.l2]
+		if a.From != b.To || a.To != b.From {
+			t.Fatalf("cable links %v and %v are not opposite directions", a, b)
+		}
+		if seen[c.l1] || seen[c.l2] {
+			t.Fatalf("link used by two cables")
+		}
+		seen[c.l1], seen[c.l2] = true, true
+	}
+}
+
+// TestGenerateDeterministic: the same (topology, spec) pair must resolve
+// to the identical fault set.
+func TestGenerateDeterministic(t *testing.T) {
+	tor := cube(t, 3)
+	spec := Spec{Model: Random, LinkFraction: 0.1, SwitchFraction: 0, EndpointFraction: 0.05, Seed: 42}
+	a, err := Generate(tor, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tor, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.linkDown {
+		if a.linkDown[i] != b.linkDown[i] {
+			t.Fatalf("link %d differs between same-spec generations", i)
+		}
+	}
+	for i := range a.vertDown {
+		if a.vertDown[i] != b.vertDown[i] {
+			t.Fatalf("vertex %d differs between same-spec generations", i)
+		}
+	}
+	if a.Label() != b.Label() {
+		t.Fatalf("labels differ: %q vs %q", a.Label(), b.Label())
+	}
+}
+
+// TestNestedPrefix: for every model, the failed components at a smaller
+// fraction must be a subset of those at a larger one — the property that
+// makes degradation curves monotone by construction.
+func TestNestedPrefix(t *testing.T) {
+	tops := map[string]topo.Topology{"torus": cube(t, 3), "fattree": tree(t)}
+	for name, top := range tops {
+		for _, m := range Models() {
+			var prev *Set
+			for _, f := range []float64{0.02, 0.05, 0.1, 0.3} {
+				spec := Spec{Model: m, LinkFraction: f, SwitchFraction: f / 2, EndpointFraction: f / 4, Seed: 7}
+				set, err := Generate(top, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev != nil {
+					for i := range prev.linkDown {
+						if prev.linkDown[i] && !set.linkDown[i] {
+							t.Fatalf("%s/%s: link %d failed at the smaller fraction but not the larger", name, m, i)
+						}
+					}
+					for i := range prev.vertDown {
+						if prev.vertDown[i] && !set.vertDown[i] {
+							t.Fatalf("%s/%s: vertex %d failed at the smaller fraction but not the larger", name, m, i)
+						}
+					}
+				}
+				prev = set
+			}
+		}
+	}
+}
+
+// TestSwitchFailureKillsIncidentLinks: a failed switch must take every
+// incident directed link down with it.
+func TestSwitchFailureKillsIncidentLinks(t *testing.T) {
+	ft := tree(t)
+	set, err := Generate(ft, Spec{Model: Random, SwitchFraction: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.SwitchesDown() == 0 {
+		t.Fatal("no switch failed at a positive fraction")
+	}
+	for id, ln := range ft.Links() {
+		if (set.VertexDown(ln.From) || set.VertexDown(ln.To)) && !set.LinkDown(int32(id)) {
+			t.Fatalf("link %d touches a failed vertex but is up", id)
+		}
+	}
+	for v := 0; v < ft.NumEndpoints(); v++ {
+		if set.VertexDown(int32(v)) {
+			t.Fatalf("endpoint %d failed under a switch-only spec", v)
+		}
+	}
+}
+
+// TestEndpointFailure: endpoint fractions fail endpoints, not switches.
+func TestEndpointFailure(t *testing.T) {
+	ft := tree(t)
+	set, err := Generate(ft, Spec{Model: Random, EndpointFraction: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.EndpointsDown() == 0 || set.SwitchesDown() != 0 {
+		t.Fatalf("endpoints down %d, switches down %d; want >0, 0", set.EndpointsDown(), set.SwitchesDown())
+	}
+	for v := ft.NumEndpoints(); v < ft.NumVertices(); v++ {
+		if set.VertexDown(int32(v)) {
+			t.Fatalf("switch %d failed under an endpoint-only spec", v)
+		}
+	}
+}
+
+// TestFailCountCeil: any positive fraction must fail at least one
+// component.
+func TestFailCountCeil(t *testing.T) {
+	if failCount(0.0001, 100) != 1 {
+		t.Fatalf("failCount(0.0001, 100) = %d, want 1", failCount(0.0001, 100))
+	}
+	if failCount(1, 100) != 100 {
+		t.Fatalf("failCount(1, 100) = %d, want 100", failCount(1, 100))
+	}
+	if failCount(0, 100) != 0 {
+		t.Fatalf("failCount(0, 100) = %d, want 0", failCount(0, 100))
+	}
+}
+
+// TestTargetedPrefersHighDegree: the targeted model's first cable must
+// touch a vertex of maximal degree.
+func TestTargetedPrefersHighDegree(t *testing.T) {
+	ft := tree(t)
+	g := newGeometry(ft, Spec{Model: Targeted})
+	order := g.orderCables(Spec{Model: Targeted})
+	maxDeg := int32(0)
+	for _, d := range g.degree {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	first := g.cables[order[0]]
+	if got := max32(g.degree[first.a], g.degree[first.b]); got != maxDeg {
+		t.Fatalf("first targeted cable touches degree %d, max is %d", got, maxDeg)
+	}
+}
+
+// TestModelsDiffer: the three models must not produce the same failure
+// ordering on a structured topology (they answer different questions).
+func TestModelsDiffer(t *testing.T) {
+	tor := cube(t, 3)
+	sets := map[Model]*Set{}
+	for _, m := range Models() {
+		set, err := Generate(tor, Spec{Model: m, LinkFraction: 0.1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[m] = set
+	}
+	same := func(a, b *Set) bool {
+		for i := range a.linkDown {
+			if a.linkDown[i] != b.linkDown[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(sets[Random], sets[Clustered]) && same(sets[Random], sets[Targeted]) {
+		t.Fatal("all three models produced identical fault sets")
+	}
+}

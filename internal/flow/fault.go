@@ -1,0 +1,211 @@
+// Degraded-mode simulation: routing on faulty fabrics and mid-simulation
+// fault events.
+//
+// The engine stays decoupled from the fault subsystem through two small
+// interfaces that internal/fault's Degraded wrapper satisfies
+// structurally; flow never imports fault, so the dependency points one
+// way (fault -> topo <- flow).
+//
+// Static faults (a topology wrapped in a fault set before the run) are
+// handled at route-building time: RouteAppendOK reports pairs with no
+// surviving path, and those flows are "lost" — they complete instantly
+// with zero bytes delivered and release their dependents, so the rest of
+// the workload still runs, mirroring an application that times out on a
+// dead peer and carries on. Dynamic faults (Options.FaultEvents) kill
+// links mid-simulation: active flows crossing a freshly dead link are
+// deactivated and re-admitted on a detour route (exercising the
+// incremental engine's dirty-component repair) or lost when no detour
+// survives, and flows injected later route around the dead links.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"mtier/internal/topo"
+)
+
+// FaultEvent kills a set of topology links at a point in simulated time.
+// Used via Options.FaultEvents; see there for the semantics.
+type FaultEvent struct {
+	// Time is the simulated instant the links fail, in seconds.
+	Time float64 `json:"time"`
+	// Links lists the topology link ids that go down.
+	Links []int32 `json:"links"`
+}
+
+// FaultTopology is a topology that can report disconnection gracefully
+// instead of panicking. fault.Degraded implements it; the engine uses it
+// to turn unroutable pairs into lost flows rather than a crash.
+type FaultTopology interface {
+	topo.Topology
+	// RouteAppendOK appends a surviving route, or reports ok=false when
+	// the pair is disconnected.
+	RouteAppendOK(buf []int32, src, dst int) ([]int32, bool)
+	// Connected reports whether any surviving path joins the pair.
+	Connected(src, dst int) bool
+}
+
+// Rerouter is a topology that can route around an extra, transient set
+// of dead links — the ones killed by fault events, which the topology
+// itself does not know about. fault.Degraded implements it.
+type Rerouter interface {
+	topo.Topology
+	// RerouteAppend appends a route avoiding every link for which down
+	// reports true (besides the topology's own fault set), or reports
+	// ok=false when none exists.
+	RerouteAppend(buf []int32, src, dst int, down func(int32) bool) ([]int32, bool)
+}
+
+// prepareFaults wires the degraded-mode hooks into the run: detects a
+// fault-aware topology, and validates that fault events have a topology
+// able to reroute around them.
+func (s *sim) prepareFaults() error {
+	if ft, ok := s.t.(FaultTopology); ok {
+		s.ft = ft
+	}
+	if len(s.opt.FaultEvents) == 0 {
+		return nil
+	}
+	rr, ok := s.t.(Rerouter)
+	if !ok {
+		return fmt.Errorf("flow: FaultEvents need a topology that can reroute around dead links (wrap it with fault.Wrap)")
+	}
+	s.rr = rr
+	for i := range s.opt.FaultEvents {
+		for _, l := range s.opt.FaultEvents[i].Links {
+			if l < 0 || int(l) >= s.numTopoLinks {
+				return fmt.Errorf("flow: fault event %d: link %d out of range [0,%d)", i, l, s.numTopoLinks)
+			}
+		}
+	}
+	s.linkDead = make([]bool, s.numTopoLinks)
+	s.faultScratch = make([]int32, 0, 256)
+	return nil
+}
+
+// markLost records a flow as disconnected at prepare time.
+func (s *sim) markLost(i int) {
+	if s.lost == nil {
+		s.lost = make([]bool, len(s.flows))
+	}
+	s.lost[i] = true
+}
+
+// loseFlow completes a flow that cannot be delivered: its bytes are
+// counted as lost, its dependents released so the DAG still finishes.
+// started reports whether the flow had already begun transmitting (its
+// trace start instant is then preserved).
+func (s *sim) loseFlow(id int32, now float64, undelivered float64, started bool) {
+	s.ends[id] = now
+	s.done++
+	s.lostFlows++
+	s.lostBytes += undelivered
+	if s.stats != nil {
+		s.stats.lostFlows.Inc()
+	}
+	if s.starts != nil && !started {
+		s.starts[id] = now
+	}
+	s.trace(id, now)
+	s.release(id, now)
+}
+
+// routeCrossesDead reports whether a flow's route crosses a link killed
+// by a fault event. Virtual port links can never die.
+func (s *sim) routeCrossesDead(id int32) bool {
+	for _, l := range s.routes[id] {
+		if l < int32(s.numTopoLinks) && s.linkDead[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// rerouteFlow replaces a flow's route with one avoiding both the
+// topology's fault set and every event-killed link, reporting false when
+// the pair is now disconnected.
+func (s *sim) rerouteFlow(id int32) bool {
+	fl := &s.flows[id]
+	down := func(l int32) bool { return s.linkDead[l] }
+	r, ok := s.rr.RerouteAppend(s.faultScratch[:0], int(fl.Src), int(fl.Dst), down)
+	s.faultScratch = r[:0] // retain grown capacity for the next reroute
+	if !ok {
+		return false
+	}
+	s.routes[id] = s.materialiseRoute(fl, r)
+	s.rerouted++
+	if s.stats != nil {
+		s.stats.reroutedFlows.Inc()
+	}
+	return true
+}
+
+// nextFaultTime returns the simulated time of the next unapplied fault
+// event, or +Inf when none remain.
+func (s *sim) nextFaultTime() float64 {
+	if s.nextEvent >= len(s.opt.FaultEvents) {
+		return math.Inf(1)
+	}
+	return s.opt.FaultEvents[s.nextEvent].Time
+}
+
+// applyDueFaults applies every fault event scheduled at or before now.
+func (s *sim) applyDueFaults(now float64) {
+	for s.nextEvent < len(s.opt.FaultEvents) && s.opt.FaultEvents[s.nextEvent].Time <= now*(1+1e-15) {
+		s.applyFault(&s.opt.FaultEvents[s.nextEvent], now)
+		s.nextEvent++
+	}
+}
+
+// applyFault kills an event's links and repairs the active set: every
+// active flow crossing a dead link is deactivated, then re-admitted on a
+// detour route with its remaining bytes intact, or lost when no route
+// survives. The membership churn marks the affected component dirty, so
+// the incremental engine re-waterfills exactly the region the fault
+// touched.
+func (s *sim) applyFault(ev *FaultEvent, now float64) {
+	killed := 0
+	for _, l := range ev.Links {
+		if !s.linkDead[l] {
+			s.linkDead[l] = true
+			s.deadCount++
+			killed++
+		}
+	}
+	if killed == 0 {
+		return
+	}
+	if s.stats != nil {
+		s.stats.killedLinks.Add(int64(killed))
+	}
+	// Collect victims first: rerouting mutates the active set.
+	s.victims = s.victims[:0]
+	for _, id := range s.active {
+		if s.routeCrossesDead(id) {
+			s.victims = append(s.victims, id)
+		}
+	}
+	for _, id := range s.victims {
+		rem := s.remaining[id]
+		start := 0.0
+		if s.starts != nil {
+			start = s.starts[id]
+		}
+		s.deactivate(id)
+		if !s.rerouteFlow(id) {
+			s.loseFlow(id, now, rem, true)
+			continue
+		}
+		// Re-admit on the detour with the undelivered bytes (activate
+		// resets remaining and the trace start; restore both).
+		s.activate(id, now)
+		s.remaining[id] = rem
+		if s.starts != nil {
+			s.starts[id] = start
+		}
+	}
+	if len(s.victims) > 0 {
+		s.dirty = true
+	}
+}

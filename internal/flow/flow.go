@@ -124,6 +124,14 @@ type Options struct {
 	// (epochs, full vs. incremental recomputations, dirty-set sizes, links
 	// re-waterfilled). Process-local, excluded from run records.
 	Metrics *obs.Registry `json:"-"`
+	// FaultEvents schedules mid-simulation link failures: at each event's
+	// time the listed topology links go down, active flows crossing them
+	// are deactivated and re-admitted on a detour route (or reported as
+	// disconnected when none survives), and flows injected later route
+	// around the dead links. Events must be sorted by non-decreasing
+	// time. Requires a topology that implements Rerouter, such as
+	// fault.Degraded; see fault.go.
+	FaultEvents []FaultEvent `json:"fault_events,omitempty"`
 }
 
 // Validate checks the numeric options for values that would silently
@@ -145,6 +153,15 @@ func (o *Options) Validate() error {
 	}
 	if o.LatencyPerHop < 0 || math.IsNaN(o.LatencyPerHop) || math.IsInf(o.LatencyPerHop, 0) {
 		return fmt.Errorf("flow: invalid LatencyPerHop %g", o.LatencyPerHop)
+	}
+	for i, ev := range o.FaultEvents {
+		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return fmt.Errorf("flow: fault event %d: invalid time %g", i, ev.Time)
+		}
+		if i > 0 && ev.Time < o.FaultEvents[i-1].Time {
+			return fmt.Errorf("flow: fault events out of order: event %d at t=%g before event %d at t=%g",
+				i, ev.Time, i-1, o.FaultEvents[i-1].Time)
+		}
 	}
 	return nil
 }
@@ -172,6 +189,21 @@ type Result struct {
 	// MaxPortUtilization is the busiest injection/ejection port's
 	// utilisation (0 when ports are disabled).
 	MaxPortUtilization float64 `json:"max_port_utilization"`
+
+	// The remaining fields are only produced by degraded-mode runs (a
+	// fault-wrapped topology or Options.FaultEvents); they stay zero —
+	// and absent from the JSON form — on pristine fabrics.
+
+	// ReroutedFlows counts flows re-admitted on a detour after a fault
+	// event killed a link on their route.
+	ReroutedFlows int `json:"rerouted_flows,omitempty"`
+	// DisconnectedFlows counts flows whose endpoint pair had no surviving
+	// path: they are dropped at injection (or mid-flight at a fault
+	// event) and their dependents released, so the rest of the workload
+	// still completes.
+	DisconnectedFlows int `json:"disconnected_flows,omitempty"`
+	// LostBytes is the traffic volume those flows never delivered.
+	LostBytes float64 `json:"lost_bytes,omitempty"`
 }
 
 // shareHeap is a specialised min-heap of (share, link) pairs for
@@ -310,6 +342,8 @@ type sim struct {
 	latency []float64 // per-flow injection latency
 	pending pendHeap  // flows waiting out their latency phase
 
+	done int // completed (or lost) flows
+
 	active    []int32
 	activePos []int32
 
@@ -347,6 +381,19 @@ type sim struct {
 	numChoices   int
 	activeOnLink []int32 // persistent per-link active-flow counts
 	routeScratch []int32
+
+	// Degraded-mode state (see fault.go); all nil/zero on pristine runs.
+	ft           FaultTopology // topology reporting disconnection, or nil
+	rr           Rerouter      // topology rerouting around dead links, or nil
+	lost         []bool        // flows with no surviving route at prepare time
+	linkDead     []bool        // per topology link: killed by a fault event
+	deadCount    int
+	nextEvent    int
+	rerouted     int
+	lostFlows    int
+	lostBytes    float64
+	victims      []int32 // scratch: active flows hit by a fault event
+	faultScratch []int32 // scratch: reroute buffer
 
 	routeArena arena // backing storage for all route slices
 }
@@ -452,13 +499,26 @@ func (s *sim) prepare(spec *Spec) error {
 			s.routeScratch = make([]int32, 0, 256)
 		}
 	}
+	if err := s.prepareFaults(); err != nil {
+		return err
+	}
 	scratch := make([]int32, 0, 256)
 	for i := range spec.Flows {
 		if s.mrouter != nil {
 			continue // chosen lazily by chooseRoute
 		}
 		fl := &spec.Flows[i]
-		scratch = s.t.RouteAppend(scratch[:0], int(fl.Src), int(fl.Dst))
+		if s.ft != nil {
+			var ok bool
+			scratch, ok = s.ft.RouteAppendOK(scratch[:0], int(fl.Src), int(fl.Dst))
+			if !ok {
+				// No surviving path: the flow is lost at injection time.
+				s.markLost(i)
+				continue
+			}
+		} else {
+			scratch = s.t.RouteAppend(scratch[:0], int(fl.Src), int(fl.Dst))
+		}
 		if withLatency {
 			s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
 		}
@@ -626,12 +686,12 @@ func (s *sim) waterfill() {
 
 // release decrements the dependency count of id's children, activating the
 // ones that become ready. Zero-byte flows complete immediately and cascade.
-func (s *sim) release(id int32, now float64, done *int) {
+func (s *sim) release(id int32, now float64) {
 	for i := s.childStart[id]; i < s.childStart[id+1]; i++ {
 		c := s.childList[i]
 		s.indeg[c]--
 		if s.indeg[c] == 0 {
-			s.inject(c, now, done)
+			s.inject(c, now)
 		}
 	}
 }
@@ -680,19 +740,39 @@ func (s *sim) chooseRoute(id int32) {
 	s.routes[id] = r
 }
 
-func (s *sim) inject(id int32, now float64, done *int) {
+func (s *sim) inject(id int32, now float64) {
 	s.indeg[id] = -1 // guard against double injection via release cascades
+	if s.lost != nil && s.lost[id] {
+		// Disconnected at prepare time: the data never arrives, but the
+		// dependents are released so the rest of the workload completes.
+		s.loseFlow(id, now, s.flows[id].Bytes, false)
+		return
+	}
+	if s.ft != nil && s.mrouter != nil && !s.ft.Connected(int(s.flows[id].Src), int(s.flows[id].Dst)) {
+		// Adaptive mode defers routing to injection; the disconnection
+		// check has to happen here too.
+		s.loseFlow(id, now, s.flows[id].Bytes, false)
+		return
+	}
 	s.chooseRoute(id)
+	if s.deadCount > 0 && s.routeCrossesDead(id) {
+		// A fault event killed part of this flow's route before it was
+		// injected; detour or declare it lost.
+		if !s.rerouteFlow(id) {
+			s.loseFlow(id, now, s.flows[id].Bytes, false)
+			return
+		}
+	}
 	if s.flows[id].Bytes <= 0 || len(s.routes[id]) == 0 {
 		// Nothing to transmit, or a self-flow with ports disabled: the
 		// transfer never occupies a shared resource and completes at once.
 		s.ends[id] = now
-		*done++
+		s.done++
 		if s.starts != nil {
 			s.starts[id] = now
 		}
 		s.trace(id, now)
-		s.release(id, now, done)
+		s.release(id, now)
 		return
 	}
 	if s.latency != nil && s.latency[id] > 0 {
@@ -720,21 +800,30 @@ func (s *sim) trace(id int32, end float64) {
 }
 
 // activateDue moves every pending flow whose latency has elapsed by `now`
-// into the active set.
+// into the active set. Flows whose route died while they waited out
+// their latency are detoured (or lost) first.
 func (s *sim) activateDue(now float64) {
 	for s.pending.Len() > 0 && s.pending.at[0] <= now*(1+1e-15) {
 		e := heap.Pop(&s.pending).(pendEntry)
+		if s.deadCount > 0 && s.routeCrossesDead(e.id) {
+			if !s.rerouteFlow(e.id) {
+				s.loseFlow(e.id, now, s.flows[e.id].Bytes, false)
+				continue
+			}
+		}
 		s.activate(e.id, now)
 	}
 }
 
 func (s *sim) run() (*Result, error) {
 	f := len(s.flows)
-	done := 0
 	now := 0.0
+	// Fault events scheduled at t=0 strike before the first injection, so
+	// the initial wave already routes around the dead links.
+	s.applyDueFaults(now)
 	for i := 0; i < f; i++ {
 		if s.indeg[i] == 0 {
-			s.inject(int32(i), now, &done)
+			s.inject(int32(i), now)
 		}
 	}
 
@@ -744,10 +833,17 @@ func (s *sim) run() (*Result, error) {
 	completedSince := 0
 	for len(s.active) > 0 || s.pending.Len() > 0 {
 		if len(s.active) == 0 {
-			// Nothing transmitting: jump to the next latency expiry.
-			if at := s.pending.at[0]; at > now {
+			// Nothing transmitting: jump to the next latency expiry (or
+			// the next fault event, whichever strikes first — a pending
+			// flow's route may need rerouting before it activates).
+			at := s.pending.at[0]
+			if ft := s.nextFaultTime(); ft < at {
+				at = ft
+			}
+			if at > now {
 				now = at
 			}
+			s.applyDueFaults(now)
 			s.activateDue(now)
 			needRefresh = true
 			continue
@@ -805,6 +901,15 @@ func (s *sim) run() (*Result, error) {
 				}
 			}
 		}
+		// Nor past the next fault event: rates change when links die.
+		if ft := s.nextFaultTime(); !math.IsInf(ft, 1) {
+			if gap := ft - now; gap < dt {
+				dt = gap
+				if dt < 0 {
+					dt = 0
+				}
+			}
+		}
 		now += dt
 		completed = completed[:0]
 		if dt > 0 {
@@ -820,7 +925,7 @@ func (s *sim) run() (*Result, error) {
 		for _, id := range completed {
 			s.deactivate(id)
 			s.ends[id] = now
-			done++
+			s.done++
 			hops := len(s.routes[id])
 			if !s.opt.DisablePorts {
 				hops -= 2
@@ -830,17 +935,18 @@ func (s *sim) run() (*Result, error) {
 				s.linkBytes[l] += s.flows[id].Bytes
 			}
 			s.trace(id, now)
-			s.release(id, now, &done)
+			s.release(id, now)
 		}
 		completedSince += len(completed)
+		s.applyDueFaults(now)
 		s.activateDue(now)
 		if s.dirty {
 			needRefresh = true // newly activated flows have no rate yet
 			s.dirty = false
 		}
 	}
-	if done != f {
-		return nil, fmt.Errorf("flow: %d of %d flows never ran — dependency cycle in workload", f-done, f)
+	if s.done != f {
+		return nil, fmt.Errorf("flow: %d of %d flows never ran — dependency cycle in workload", f-s.done, f)
 	}
 	if s.traceErr != nil {
 		return nil, fmt.Errorf("flow: writing trace: %w", s.traceErr)
@@ -851,6 +957,13 @@ func (s *sim) run() (*Result, error) {
 	for i := range s.flows {
 		res.BytesDelivered += s.flows[i].Bytes
 	}
+	if s.lostFlows > 0 {
+		// Guarded so pristine runs keep bit-identical arithmetic.
+		res.BytesDelivered -= s.lostBytes
+		res.DisconnectedFlows = s.lostFlows
+		res.LostBytes = s.lostBytes
+	}
+	res.ReroutedFlows = s.rerouted
 	if s.opt.RecordFlowEnds {
 		res.FlowEnds = s.ends
 	}

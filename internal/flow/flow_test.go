@@ -342,10 +342,9 @@ func TestWaterfillMaxMin(t *testing.T) {
 		if err := s.prepare(spec); err != nil {
 			t.Fatal(err)
 		}
-		done := 0
 		for i := range spec.Flows {
 			if s.indeg[i] == 0 {
-				s.inject(int32(i), 0, &done)
+				s.inject(int32(i), 0)
 			}
 		}
 		if exact {

@@ -515,6 +515,11 @@ type engineStats struct {
 	dirtyLinks  *obs.Counter
 	affected    *obs.Counter
 	filledLinks *obs.Counter
+
+	// Degraded-mode counters (see fault.go).
+	killedLinks   *obs.Counter
+	reroutedFlows *obs.Counter
+	lostFlows     *obs.Counter
 }
 
 func newEngineStats(reg *obs.Registry) *engineStats {
@@ -525,5 +530,9 @@ func newEngineStats(reg *obs.Registry) *engineStats {
 		dirtyLinks:  reg.Counter("flow.waterfill.dirty_links"),
 		affected:    reg.Counter("flow.waterfill.affected_flows"),
 		filledLinks: reg.Counter("flow.waterfill.filled_links"),
+
+		killedLinks:   reg.Counter("flow.fault.killed_links"),
+		reroutedFlows: reg.Counter("flow.fault.rerouted_flows"),
+		lostFlows:     reg.Counter("flow.fault.disconnected_flows"),
 	}
 }

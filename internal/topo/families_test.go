@@ -1,0 +1,60 @@
+package topo_test
+
+// Route-validity sweeps over the irregular topology families. The regular
+// families (torus, fat-tree, nests) are checked in their own packages; the
+// dragonfly and jellyfish routing functions involve global-link selection
+// and randomised wiring respectively, so their routes are validated here
+// with the shared checkers, including the MultiRouter candidate contract.
+
+import (
+	"testing"
+
+	"mtier/internal/topo"
+	"mtier/internal/topo/dragonfly"
+	"mtier/internal/topo/jellyfish"
+)
+
+func checkAllPairs(t *testing.T, top topo.Topology, srcStride, dstStride int) {
+	t.Helper()
+	n := top.NumEndpoints()
+	for src := 0; src < n; src += srcStride {
+		for dst := 0; dst < n; dst += dstStride {
+			if err := topo.CheckRouteChoices(top, src, dst); err != nil {
+				t.Fatalf("%s: pair %d->%d: %v", top.Name(), src, dst, err)
+			}
+		}
+	}
+}
+
+func TestDragonflyRoutesValid(t *testing.T) {
+	df, err := dragonfly.NewBalanced(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, df, 1, 1)
+}
+
+func TestDragonflyAsymmetricRoutesValid(t *testing.T) {
+	df, err := dragonfly.New(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, df, 1, 2)
+}
+
+func TestJellyfishRoutesValid(t *testing.T) {
+	jf, err := jellyfish.New(12, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, jf, 1, 1)
+}
+
+func TestJellyfishSeededRoutesValid(t *testing.T) {
+	// A different wiring seed must still route validly.
+	jf, err := jellyfish.New(16, 5, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, jf, 1, 1)
+}

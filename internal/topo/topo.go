@@ -152,10 +152,62 @@ func PathVertices(t Topology, src int, path []int32) ([]int32, error) {
 }
 
 // CheckRoute validates that the deterministic route between two endpoints is
-// well formed: continuous, terminating at dst, and free of repeated
-// vertices. It is used by tests and by the -check mode of the CLIs.
+// well formed: consecutive links share a fabric node, the path is continuous
+// from src, terminates at dst, and is free of repeated vertices. It is used
+// by tests and by the -check mode of the CLIs.
 func CheckRoute(t Topology, src, dst int) error {
-	path := Route(t, src, dst)
+	return CheckPath(t, src, dst, Route(t, src, dst))
+}
+
+// CheckRouteChoices validates every candidate route of a MultiRouter pair,
+// including that choice 0 matches RouteAppend — the contract adaptive
+// routing and the fault-detour wrapper rely on. For plain topologies it is
+// CheckRoute.
+func CheckRouteChoices(t Topology, src, dst int) error {
+	mr, ok := t.(MultiRouter)
+	if !ok {
+		return CheckRoute(t, src, dst)
+	}
+	base := Route(t, src, dst)
+	if err := CheckPath(t, src, dst, base); err != nil {
+		return err
+	}
+	for c := 0; c < mr.NumRouteChoices(); c++ {
+		path := mr.RouteChoiceAppend(nil, src, dst, c)
+		if err := CheckPath(t, src, dst, path); err != nil {
+			return fmt.Errorf("topo: route choice %d: %w", c, err)
+		}
+		if c == 0 {
+			if len(path) != len(base) {
+				return fmt.Errorf("topo: route choice 0 for %d -> %d has %d hops, RouteAppend %d", src, dst, len(path), len(base))
+			}
+			for i := range path {
+				if path[i] != base[i] {
+					return fmt.Errorf("topo: route choice 0 for %d -> %d diverges from RouteAppend at hop %d", src, dst, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPath validates an arbitrary link-id path between two endpoints the
+// same way CheckRoute validates the deterministic route. The explicit
+// consecutive-link adjacency check runs before the vertex expansion so a
+// spliced path (e.g. a detour grafted onto a route prefix) whose pieces do
+// not meet at a common fabric node is reported as such.
+func CheckPath(t Topology, src, dst int, path []int32) error {
+	links := t.Links()
+	for i, id := range path {
+		if id < 0 || int(id) >= len(links) {
+			return fmt.Errorf("topo: link id %d out of range at hop %d", id, i)
+		}
+		if i > 0 && links[path[i-1]].To != links[id].From {
+			return fmt.Errorf("topo: links %d and %d at hops %d-%d share no node (%d -> %d, %d -> %d)",
+				path[i-1], id, i-1, i,
+				links[path[i-1]].From, links[path[i-1]].To, links[id].From, links[id].To)
+		}
+	}
 	verts, err := PathVertices(t, src, path)
 	if err != nil {
 		return err

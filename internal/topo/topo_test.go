@@ -88,6 +88,79 @@ func TestCheckRouteRejectsRevisit(t *testing.T) {
 	}
 }
 
+func TestCheckPathRejectsSplice(t *testing.T) {
+	l := newLine(goodRoute)
+	a, _ := l.net.LinkBetween(0, 1)
+	b, _ := l.net.LinkBetween(1, 2)
+	// 1->2 spliced before 0->1: the consecutive links share no node.
+	err := CheckPath(l, 1, 1, []int32{b, a})
+	if err == nil || !strings.Contains(err.Error(), "share no node") {
+		t.Fatalf("expected share-no-node error, got %v", err)
+	}
+}
+
+func TestCheckPathBadLinkID(t *testing.T) {
+	l := newLine(goodRoute)
+	if err := CheckPath(l, 0, 2, []int32{99}); err == nil {
+		t.Fatal("bad link id accepted")
+	}
+}
+
+// multiLine exposes the line as a MultiRouter whose extra candidates can
+// be made to violate the choice-0 contract.
+type multiLine struct {
+	*line
+	choice func(n *Net, buf []int32, src, dst, choice int) []int32
+}
+
+func (m *multiLine) NumRouteChoices() int { return 2 }
+func (m *multiLine) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
+	return m.choice(&m.line.net, buf, src, dst, choice)
+}
+
+func TestCheckRouteChoicesAcceptsGood(t *testing.T) {
+	m := &multiLine{line: newLine(goodRoute), choice: func(n *Net, buf []int32, src, dst, choice int) []int32 {
+		return goodRoute(n, buf, src, dst)
+	}}
+	if err := CheckRouteChoices(m, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Plain topologies fall back to CheckRoute.
+	if err := CheckRouteChoices(newLine(goodRoute), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRouteChoicesRejectsDivergentChoiceZero(t *testing.T) {
+	m := &multiLine{line: newLine(goodRoute), choice: func(n *Net, buf []int32, src, dst, choice int) []int32 {
+		if choice == 0 && src == 0 && dst == 2 {
+			// Choice 0 goes 0->1 only: diverges from RouteAppend.
+			return n.AppendHop(buf, 0, 1)
+		}
+		return goodRoute(n, buf, src, dst)
+	}}
+	err := CheckRouteChoices(m, 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "choice 0") {
+		t.Fatalf("expected choice-0 contract error, got %v", err)
+	}
+}
+
+func TestCheckRouteChoicesRejectsBrokenCandidate(t *testing.T) {
+	m := &multiLine{line: newLine(goodRoute), choice: func(n *Net, buf []int32, src, dst, choice int) []int32 {
+		if choice == 1 && src == 0 && dst == 2 {
+			// Candidate 1 splices a disconnected pair of links.
+			a, _ := n.LinkBetween(0, 1)
+			b, _ := n.LinkBetween(0, 1)
+			return append(buf, a, b)
+		}
+		return goodRoute(n, buf, src, dst)
+	}}
+	err := CheckRouteChoices(m, 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "route choice 1") {
+		t.Fatalf("expected route-choice-1 error, got %v", err)
+	}
+}
+
 func TestPathVerticesBadLinkID(t *testing.T) {
 	l := newLine(goodRoute)
 	if _, err := PathVertices(l, 0, []int32{99}); err == nil {

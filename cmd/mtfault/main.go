@@ -11,17 +11,27 @@
 // sha256 over the canonical (phase-timing-free) run records of every
 // cell, the determinism check CI compares across two same-seed runs.
 //
+// Campaigns are crash-safe: -journal checkpoints every completed cell to
+// an fsync'd JSONL file, the first SIGINT/SIGTERM cancels gracefully and
+// prints a resume hint, and -resume replays the journal so only missing
+// cells are re-simulated — with a byte-identical -fingerprint.
+// -celltimeout/-retries bound and retry individual cells.
+//
 // Usage:
 //
 //	mtfault -n 4096 -topos torus,fattree,nesttree,nestghc
 //	mtfault -fractions 0.01,0.02,0.05,0.1 -model clustered
 //	mtfault -topos nestghc -t 2 -u 4 -workload allreduce -csv
 //	mtfault -records cells.jsonl -fingerprint
+//	mtfault -journal sweep.jsonl               # checkpointed campaign
+//	mtfault -resume sweep.jsonl                # finish an interrupted one
 package main
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,8 +66,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
 		csv       = flag.Bool("csv", false, "emit CSV")
 		progress  = flag.Bool("progress", true, "render a live progress line on stderr")
-		records   = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
-		fpr       = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism check)")
+		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
+		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism check)")
+		journalPath = flag.String("journal", "", "checkpoint every completed cell to this JSONL journal (fresh file)")
+		resumePath  = flag.String("resume", "", "resume from this journal: skip already-completed cells and keep appending to it")
+		cellTimeout = flag.Duration("celltimeout", 0, "per-cell deadline (0 = none); timed-out cells are retried")
+		retries     = flag.Int("retries", 0, "extra same-seed attempts for a cell that exceeds -celltimeout")
+		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -78,12 +93,30 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	runner := core.RunnerOptions{
+		CellTimeout:    *cellTimeout,
+		MaxRetries:     *retries,
+		MemBudgetBytes: *memBudget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "\nmtfault: "+format+"\n", args...)
+		},
+	}
+	if err := runner.Validate(); err != nil {
+		die(err)
+	}
+	journal, err := openJournal(*journalPath, *resumePath)
+	if err != nil {
+		die(err)
+	}
+
+	ctx, stopSignals := core.SignalContext(context.Background(), "mtfault", os.Stderr)
+	defer stopSignals()
 
 	stop, err := prof.Start()
 	if err != nil {
 		die(err)
 	}
-	err = run(specs, fracs, *csv, *progress, *records, *fpr, core.DegradationOptions{
+	err = run(ctx, specs, fracs, *csv, *progress, *records, *fpr, core.DegradationOptions{
 		Model:     model,
 		FaultSeed: *faultSeed,
 		Clusters:  *clusters,
@@ -91,10 +124,46 @@ func main() {
 		Params:    workload.Params{Tasks: *tasks, Seed: *seed, MsgBytes: *msg},
 		Sim:       flow.Options{RelEpsilon: *eps},
 		Workers:   *workers,
+		Runner:    runner,
+		Journal:   journal,
 	})
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mtfault: closing journal:", cerr)
+		}
+	}
 	stop()
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mtfault:", err)
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "mtfault: %d cell(s) checkpointed — resume with: mtfault <same flags> -resume %s\n",
+					journal.Len(), journal.Path())
+			}
+			os.Exit(core.SignalExitCode)
+		}
 		die(err)
+	}
+}
+
+// openJournal resolves the -journal/-resume pair: -journal starts a
+// fresh checkpoint file, -resume loads an existing one (rejecting
+// unreadable or corrupt files up front) and keeps appending to it.
+func openJournal(journalPath, resumePath string) (*core.Journal, error) {
+	switch {
+	case journalPath != "" && resumePath != "":
+		return nil, fmt.Errorf("-journal and -resume are mutually exclusive: -resume already appends to the journal it loads")
+	case resumePath != "":
+		j, err := core.OpenJournal(resumePath)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mtfault: resuming from %s (%d cell(s) already completed)\n", resumePath, j.Len())
+		return j, nil
+	case journalPath != "":
+		return core.CreateJournal(journalPath)
+	default:
+		return nil, nil
 	}
 }
 
@@ -148,7 +217,7 @@ func parseFractions(list string) ([]float64, error) {
 	return out, nil
 }
 
-func run(specs []core.TopoSpec, fracs []float64, csv, progress bool, records string, fpr bool, opt core.DegradationOptions) error {
+func run(ctx context.Context, specs []core.TopoSpec, fracs []float64, csv, progress bool, records string, fpr bool, opt core.DegradationOptions) error {
 	var meter *obs.ProgressMeter
 	nFracs := len(fracs)
 	hasZero := false
@@ -197,7 +266,7 @@ func run(specs []core.TopoSpec, fracs []float64, csv, progress bool, records str
 		}
 	}
 
-	rep, err := core.DegradationSweep(specs, fracs, opt)
+	rep, err := core.DegradationSweepContext(ctx, specs, fracs, opt)
 	if err != nil {
 		return err
 	}

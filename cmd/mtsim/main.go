@@ -14,6 +14,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
 		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
 		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no deadline)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,12 +69,26 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	if *timeout < 0 {
+		die(fmt.Errorf("negative -timeout %v", *timeout))
+	}
+
+	// SIGINT/SIGTERM cancel the run at its next epoch boundary (so a
+	// mis-sized simulation dies cleanly instead of needing kill -9); a
+	// second signal hard-exits. -timeout bounds the run the same way.
+	ctx, stopSignals := core.SignalContext(context.Background(), "mtsim", os.Stderr)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	stop, err := prof.Start()
 	if err != nil {
 		die(err)
 	}
-	err = run(core.Config{
+	err = run(ctx, core.Config{
 		Kind:      kind,
 		Endpoints: *n,
 		T:         *tFlag,
@@ -95,6 +112,14 @@ func main() {
 	}, *traceOut, *epochCSV, *jsonOut)
 	stop()
 	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "mtsim: interrupted — partial run discarded:", err)
+			os.Exit(core.SignalExitCode)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "mtsim: run exceeded -timeout %v — partial run discarded: %v\n", *timeout, err)
+			os.Exit(1)
+		}
 		die(err)
 	}
 }
@@ -104,7 +129,7 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func run(cfg core.Config, traceOut, epochCSV string, jsonOut bool) error {
+func run(ctx context.Context, cfg core.Config, traceOut, epochCSV string, jsonOut bool) error {
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -130,7 +155,7 @@ func run(cfg core.Config, traceOut, epochCSV string, jsonOut bool) error {
 		cfg.Sim.Probe = rec
 	}
 	start := time.Now()
-	res, err := core.Run(cfg, nil)
+	res, err := core.RunContext(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}

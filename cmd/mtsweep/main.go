@@ -7,19 +7,34 @@
 // current cell, ETA) is rendered on stderr so redirected output stays
 // clean.
 //
+// Campaigns are crash-safe: -journal checkpoints every completed cell to
+// an fsync'd JSONL file (schema mtier/sweep-journal/v1), the first
+// SIGINT/SIGTERM cancels the sweep gracefully (in-flight cells stop at
+// their next epoch, the journal stays durable, a resume hint is printed)
+// and -resume replays a journal, re-simulating only the missing cells —
+// the resumed campaign's -fingerprint is byte-identical to an
+// uninterrupted run's. -celltimeout/-retries bound and retry individual
+// cells; a panicking cell fails alone without taking down its siblings.
+//
 // Usage:
 //
-//	mtsweep -set heavy -n 2048               # Figure 4
-//	mtsweep -set light -n 2048               # Figure 5
-//	mtsweep -workload bisection -csv         # one panel, CSV
-//	mtsweep -set light -records cells.jsonl  # per-cell run records
+//	mtsweep -set heavy -n 2048                 # Figure 4
+//	mtsweep -set light -n 2048                 # Figure 5
+//	mtsweep -workload bisection -csv           # one panel, CSV
+//	mtsweep -set light -records cells.jsonl    # per-cell run records
+//	mtsweep -set light -journal sweep.jsonl    # checkpointed campaign
+//	mtsweep -set light -resume sweep.jsonl     # finish an interrupted one
 package main
 
 import (
 	"bufio"
+	"context"
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,18 +47,24 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 2048, "total number of QFDBs (endpoints)")
-		setName  = flag.String("set", "", "workload set: heavy (Fig 4) | light (Fig 5) | all")
-		wName    = flag.String("workload", "", "single workload to sweep")
-		tasks    = flag.Int("tasks", 0, "task count (0 = workload default)")
-		msg      = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		eps      = flag.Float64("eps", 0.01, "completion batching window")
-		workers  = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
-		csv      = flag.Bool("csv", false, "emit CSV")
-		progress = flag.Bool("progress", true, "render a live progress line on stderr")
-		records  = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
-		exact    = flag.Bool("exact", false, "use the reference full-recompute waterfill instead of the incremental engine")
+		n           = flag.Int("n", 2048, "total number of QFDBs (endpoints)")
+		setName     = flag.String("set", "", "workload set: heavy (Fig 4) | light (Fig 5) | all")
+		wName       = flag.String("workload", "", "single workload to sweep")
+		tasks       = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg         = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		eps         = flag.Float64("eps", 0.01, "completion batching window")
+		workers     = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		csv         = flag.Bool("csv", false, "emit CSV")
+		progress    = flag.Bool("progress", true, "render a live progress line on stderr")
+		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
+		exact       = flag.Bool("exact", false, "use the reference full-recompute waterfill instead of the incremental engine")
+		journalPath = flag.String("journal", "", "checkpoint every completed cell to this JSONL journal (fresh file)")
+		resumePath  = flag.String("resume", "", "resume from this journal: skip already-completed cells and keep appending to it")
+		cellTimeout = flag.Duration("celltimeout", 0, "per-cell deadline (0 = none); timed-out cells are retried")
+		retries     = flag.Int("retries", 0, "extra same-seed attempts for a cell that exceeds -celltimeout")
+		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
+		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism / resume check)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,19 +87,56 @@ func main() {
 		die(fmt.Errorf("unknown set %q (valid: heavy, light, all)", *setName))
 	}
 
+	runner := core.RunnerOptions{
+		CellTimeout:    *cellTimeout,
+		MaxRetries:     *retries,
+		MemBudgetBytes: *memBudget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "\nmtsweep: "+format+"\n", args...)
+		},
+	}
+	// Flag validation up front, in the same early-exit style as the
+	// -workload parsing above: an unreadable journal or a nonsensical
+	// timeout must fail before the topology set is built.
+	if err := runner.Validate(); err != nil {
+		die(err)
+	}
+	journal, err := openJournal(*journalPath, *resumePath)
+	if err != nil {
+		die(err)
+	}
+
+	ctx, stopSignals := core.SignalContext(context.Background(), "mtsweep", os.Stderr)
+	defer stopSignals()
+
 	stop, err := prof.Start()
 	if err != nil {
 		die(err)
 	}
-	err = sweep(kinds, *n, *workers, *csv, *progress, *records, core.PanelOptions{
+	err = sweep(ctx, kinds, *n, *workers, *csv, *progress, *records, *fpr, core.PanelOptions{
 		Seed:     *seed,
 		Tasks:    *tasks,
 		MsgBytes: *msg,
 		Workers:  *workers,
 		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact},
+		Runner:   runner,
+		Journal:  journal,
 	})
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mtsweep: closing journal:", cerr)
+		}
+	}
 	stop()
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mtsweep:", err)
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "mtsweep: %d cell(s) checkpointed — resume with: mtsweep <same flags> -resume %s\n",
+					journal.Len(), journal.Path())
+			}
+			os.Exit(core.SignalExitCode)
+		}
 		die(err)
 	}
 }
@@ -88,9 +146,30 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func sweep(kinds []workload.Kind, n, workers int, csv, progress bool, records string, opt core.PanelOptions) error {
+// openJournal resolves the -journal/-resume pair: -journal starts a
+// fresh checkpoint file, -resume loads an existing one (rejecting
+// unreadable or corrupt files up front) and keeps appending to it.
+func openJournal(journalPath, resumePath string) (*core.Journal, error) {
+	switch {
+	case journalPath != "" && resumePath != "":
+		return nil, fmt.Errorf("-journal and -resume are mutually exclusive: -resume already appends to the journal it loads")
+	case resumePath != "":
+		j, err := core.OpenJournal(resumePath)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mtsweep: resuming from %s (%d cell(s) already completed)\n", resumePath, j.Len())
+		return j, nil
+	case journalPath != "":
+		return core.CreateJournal(journalPath)
+	default:
+		return nil, nil
+	}
+}
+
+func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, progress bool, records string, fpr bool, opt core.PanelOptions) error {
 	start := time.Now()
-	set, err := core.BuildSet(n, workers)
+	set, err := core.BuildSetContext(ctx, n, workers)
 	if err != nil {
 		return err
 	}
@@ -120,6 +199,12 @@ func sweep(kinds []workload.Kind, n, workers int, csv, progress bool, records st
 		}()
 	}
 
+	// Per-cell fingerprints keyed by cell identity: cells complete
+	// concurrently, so the digest is assembled in sorted-key order at the
+	// end to stay independent of scheduling.
+	var fpMu sync.Mutex
+	fps := make(map[string][]byte)
+
 	for _, k := range kinds {
 		w := k
 		opt.OnCell = func(kind core.TopoKind, pt core.Point, res *core.RunResult) {
@@ -128,19 +213,29 @@ func sweep(kinds []workload.Kind, n, workers int, csv, progress bool, records st
 				label += " " + pt.Label()
 			}
 			meter.Step(label)
-			if recW != nil {
+			if recW != nil || fpr {
 				line, err := res.Record().MarshalLine()
-				recMu.Lock()
-				defer recMu.Unlock()
-				if err == nil {
-					_, err = recW.Write(line)
+				if err == nil && fpr {
+					fp, ferr := res.Record().Fingerprint()
+					if ferr == nil {
+						fpMu.Lock()
+						fps[fmt.Sprintf("%s/%s/%s", w, kind, pt.Label())] = fp
+						fpMu.Unlock()
+					}
 				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "\nmtsweep: writing record:", err)
+				if recW != nil {
+					recMu.Lock()
+					defer recMu.Unlock()
+					if err == nil {
+						_, err = recW.Write(line)
+					}
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "\nmtsweep: writing record:", err)
+					}
 				}
 			}
 		}
-		fig, err := core.Panel(set, w, opt)
+		fig, err := core.PanelContext(ctx, set, w, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w, err)
 		}
@@ -152,6 +247,18 @@ func sweep(kinds []workload.Kind, n, workers int, csv, progress bool, records st
 		emit(fig, csv)
 	}
 	meter.Finish()
+	if fpr {
+		keys := make([]string, 0, len(fps))
+		for k := range fps {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h := sha256.New()
+		for _, k := range keys {
+			h.Write(fps[k])
+		}
+		fmt.Printf("fingerprint %x\n", h.Sum(nil))
+	}
 	return nil
 }
 

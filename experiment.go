@@ -1,6 +1,8 @@
 package mtier
 
 import (
+	"context"
+
 	"mtier/internal/core"
 	"mtier/internal/fault"
 	"mtier/internal/obs"
@@ -101,6 +103,15 @@ type RunRecord = obs.RunRecord
 // The returned result's Config has every default resolved, so the exact
 // run can be replayed or archived.
 func RunExperiment(e Experiment) (*ExperimentResult, error) {
+	return RunExperimentContext(context.Background(), e)
+}
+
+// RunExperimentContext is RunExperiment under a context: cancellation
+// (or a deadline) propagates into the flow engine and aborts the
+// simulation at its next epoch boundary with an error wrapping
+// ctx.Err(), so callers embedding experiments in services or campaign
+// runners can bound and interrupt them.
+func RunExperimentContext(ctx context.Context, e Experiment) (*ExperimentResult, error) {
 	if err := e.Topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,7 +119,7 @@ func RunExperiment(e Experiment) (*ExperimentResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(core.Config{
+	return core.RunContext(ctx, core.Config{
 		Kind:      e.Topo.Kind,
 		Endpoints: e.Topo.Endpoints,
 		T:         e.Topo.T,

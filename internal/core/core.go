@@ -6,11 +6,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"mtier/internal/fault"
@@ -218,8 +217,18 @@ func (r *RunResult) Record() *obs.RunRecord {
 // Run executes one simulation cell. If top is non-nil it is used instead
 // of building a fresh topology (so sweeps can share instances).
 func Run(cfg Config, top topo.Topology) (*RunResult, error) {
+	return RunContext(context.Background(), cfg, top)
+}
+
+// RunContext executes one simulation cell under a context: cancellation
+// (or a deadline) propagates into the flow engine and aborts the cell at
+// its next epoch boundary, with the returned error wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult, error) {
 	var err error
 	var phases obs.PhaseTimings
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if top == nil {
 		t0 := time.Now()
 		top, err = BuildTopology(cfg.Kind, cfg.Endpoints, cfg.T, cfg.U)
@@ -284,7 +293,7 @@ func Run(cfg Config, top topo.Topology) (*RunResult, error) {
 	}
 	phases.WorkloadSeconds = time.Since(genStart).Seconds()
 	simStart := time.Now()
-	res, err := flow.Simulate(top, mapped, sim)
+	res, err := flow.SimulateContext(ctx, top, mapped, sim)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", cfg.Kind, cfg.Workload, err)
 	}
@@ -307,45 +316,12 @@ func Run(cfg Config, top topo.Topology) (*RunResult, error) {
 	}, nil
 }
 
-// pool runs fn(i) for i in [0,n) over min(workers, n) goroutines and
-// returns the first error.
+// pool runs fn(i) for i in [0,n) over min(workers, n) goroutines under
+// the supervised runner: a panicking call fails alone (converted into a
+// *CellError, siblings keep draining) and every failure is reported —
+// the returned error aggregates all of them with errors.Join instead of
+// keeping only the first.
 func pool(n, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
+	return runCells(context.Background(), n, workers, RunnerOptions{},
+		func(_ context.Context, i int) error { return fn(i) })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,13 @@ type TopoSet struct {
 // BuildSet constructs the full topology set for n endpoints, building
 // instances concurrently.
 func BuildSet(n int, workers int) (*TopoSet, error) {
+	return BuildSetContext(context.Background(), n, workers)
+}
+
+// BuildSetContext is BuildSet under a context: cancellation stops
+// dispatching new build jobs, so an interrupted campaign does not finish
+// constructing a hundred-thousand-endpoint topology set first.
+func BuildSetContext(ctx context.Context, n int, workers int) (*TopoSet, error) {
 	s := &TopoSet{
 		Endpoints: n,
 		Points:    PaperPoints(),
@@ -46,7 +54,7 @@ func BuildSet(n int, workers int) (*TopoSet, error) {
 		jobs = append(jobs, job{kind: NestTree, pt: pt}, job{kind: NestGHC, pt: pt})
 	}
 	var mu sync.Mutex
-	err := pool(len(jobs), workers, func(i int) error {
+	err := runCells(ctx, len(jobs), workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		j := jobs[i]
 		t, err := BuildTopology(j.kind, n, j.pt.T, j.pt.U)
 		if err != nil {
@@ -67,18 +75,36 @@ func BuildSet(n int, workers int) (*TopoSet, error) {
 	return s, nil
 }
 
-// Get returns the instance for a family (and point, for hybrids).
-func (s *TopoSet) Get(kind TopoKind, pt Point) topo.Topology {
+// Lookup returns the instance for a family (and point, for hybrids),
+// reporting whether the set actually holds one — the safe variant of Get
+// for points outside the set's design grid.
+func (s *TopoSet) Lookup(kind TopoKind, pt Point) (topo.Topology, bool) {
 	if t, ok := s.refs[kind]; ok {
-		return t
+		return t, true
 	}
-	return s.hybrids[kind][pt]
+	t, ok := s.hybrids[kind][pt]
+	return t, ok
+}
+
+// Get returns the instance for a family (and point, for hybrids), or nil
+// when the set holds none. Prefer Lookup, whose explicit miss report
+// turns an unknown design point into an error instead of a nil
+// dereference deep inside a sweep.
+func (s *TopoSet) Get(kind TopoKind, pt Point) topo.Topology {
+	t, _ := s.Lookup(kind, pt)
+	return t
 }
 
 // Table1 reproduces Table 1: average distance under uniform traffic and
 // diameter for every hybrid configuration, with the fattree and torus
 // references appended.
 func Table1(set *TopoSet, samples int, seed int64) (*report.Table, error) {
+	return Table1Context(context.Background(), set, samples, seed)
+}
+
+// Table1Context is Table1 under a context; cancellation takes effect
+// between distance-measurement cells.
+func Table1Context(ctx context.Context, set *TopoSet, samples int, seed int64) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Table 1 — average distance and diameter (N=%d)", set.Endpoints),
 		"(t,u)", "AvgDist NestGHC", "AvgDist NestTree", "Diam NestGHC", "Diam NestTree")
@@ -87,12 +113,20 @@ func Table1(set *TopoSet, samples int, seed int64) (*report.Table, error) {
 		ghc, tree metrics.DistanceStats
 	}
 	rows := make([]row, len(set.Points))
-	err := pool(len(set.Points)*2, 0, func(i int) error {
+	err := runCells(ctx, len(set.Points)*2, 0, RunnerOptions{}, func(_ context.Context, i int) error {
 		pt := set.Points[i/2]
+		kind := NestGHC
+		if i%2 != 0 {
+			kind = NestTree
+		}
+		top, ok := set.Lookup(kind, pt)
+		if !ok {
+			return fmt.Errorf("core: topology set has no %s %s instance", kind, pt.Label())
+		}
 		if i%2 == 0 {
-			rows[i/2].ghc = metrics.Distances(set.Get(NestGHC, pt), opt)
+			rows[i/2].ghc = metrics.Distances(top, opt)
 		} else {
-			rows[i/2].tree = metrics.Distances(set.Get(NestTree, pt), opt)
+			rows[i/2].tree = metrics.Distances(top, opt)
 		}
 		return nil
 	})
@@ -104,8 +138,16 @@ func Table1(set *TopoSet, samples int, seed int64) (*report.Table, error) {
 			fmt.Sprintf("%.2f", rows[i].ghc.Mean), fmt.Sprintf("%.2f", rows[i].tree.Mean),
 			rows[i].ghc.Max, rows[i].tree.Max)
 	}
-	ft := metrics.Distances(set.Get(Fattree, Point{}), opt)
-	to := metrics.Distances(set.Get(Torus3D, Point{}), opt)
+	ftTop, ok := set.Lookup(Fattree, Point{})
+	if !ok {
+		return nil, fmt.Errorf("core: topology set has no fattree reference instance")
+	}
+	toTop, ok := set.Lookup(Torus3D, Point{})
+	if !ok {
+		return nil, fmt.Errorf("core: topology set has no torus reference instance")
+	}
+	ft := metrics.Distances(ftTop, opt)
+	to := metrics.Distances(toTop, opt)
 	t.AddRow("Fattree (ref)", fmt.Sprintf("%.2f", ft.Mean), "-", ft.Max, "-")
 	t.AddRow("Torus3D (ref)", fmt.Sprintf("%.2f", to.Mean), "-", to.Max, "-")
 	return t, nil
@@ -170,8 +212,18 @@ type PanelOptions struct {
 	// cell's identity and full result — the hook behind sweep progress
 	// reporting and per-cell run records. It may be called concurrently
 	// from the sweep's worker goroutines; implementations must be
-	// goroutine-safe.
+	// goroutine-safe. Cells spliced from a resume journal fire it too, so
+	// progress meters and record streams stay complete across a resume.
 	OnCell func(kind TopoKind, pt Point, res *RunResult)
+	// Runner supervises cell execution: panic isolation, per-cell
+	// deadlines with bounded retry, aggregated errors, and the optional
+	// memory watchdog. The zero value still isolates panics and
+	// aggregates errors.
+	Runner RunnerOptions
+	// Journal, when non-nil, checkpoints the sweep: each completed cell
+	// is durably appended, and cells already journaled (from a previous
+	// interrupted run) are spliced from cache instead of re-simulated.
+	Journal *Journal
 }
 
 // PanelCells returns the number of cells one panel simulates: two hybrid
@@ -184,6 +236,15 @@ func PanelCells(set *TopoSet) int { return 2*len(set.Points) + 2 }
 // figure panel: normalised execution time (fattree = 1) per (t,u) point,
 // with one series per topology family.
 func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, error) {
+	return PanelContext(context.Background(), set, w, opt)
+}
+
+// PanelContext is Panel under a context and the supervised runner: cells
+// run with panic isolation, optional per-cell deadlines and retry, and —
+// with opt.Journal set — durable checkpointing, so an interrupted or
+// partially failed panel can be resumed without re-simulating its
+// completed cells.
+func PanelContext(ctx context.Context, set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, error) {
 	type cell struct {
 		kind TopoKind
 		pt   Point
@@ -195,7 +256,7 @@ func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, err
 	cells = append(cells, cell{Fattree, Point{}}, cell{Torus3D, Point{}})
 
 	makespans := make([]float64, len(cells))
-	err := pool(len(cells), opt.Workers, func(i int) error {
+	err := runCells(ctx, len(cells), opt.Workers, opt.Runner, func(ctx context.Context, i int) error {
 		c := cells[i]
 		cfg := Config{
 			Kind:      c.kind,
@@ -206,7 +267,11 @@ func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, err
 			Params:    workload.Params{Tasks: opt.Tasks, Seed: opt.Seed, MsgBytes: opt.MsgBytes},
 			Sim:       opt.Sim,
 		}
-		res, err := Run(cfg, set.Get(c.kind, c.pt))
+		top, ok := set.Lookup(c.kind, c.pt)
+		if !ok {
+			return fmt.Errorf("core: topology set has no %s %s instance", c.kind, c.pt.Label())
+		}
+		res, _, err := runCellJournaled(ctx, opt.Journal, cfg, top)
 		if err != nil {
 			return err
 		}
@@ -250,18 +315,18 @@ func kindLegend(k TopoKind) string {
 
 // Figure4 runs the heavy-workload panels.
 func Figure4(set *TopoSet, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
-	return panels(set, workload.HeavyKinds(), opt)
+	return panels(context.Background(), set, workload.HeavyKinds(), opt)
 }
 
 // Figure5 runs the light-workload panels.
 func Figure5(set *TopoSet, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
-	return panels(set, workload.LightKinds(), opt)
+	return panels(context.Background(), set, workload.LightKinds(), opt)
 }
 
-func panels(set *TopoSet, kinds []workload.Kind, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
+func panels(ctx context.Context, set *TopoSet, kinds []workload.Kind, opt PanelOptions) (map[workload.Kind]*report.Figure, error) {
 	out := make(map[workload.Kind]*report.Figure, len(kinds))
 	for _, k := range kinds {
-		fig, err := Panel(set, k, opt)
+		fig, err := PanelContext(ctx, set, k, opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: panel %s: %w", k, err)
 		}

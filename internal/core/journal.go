@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mtier/internal/topo"
+)
+
+// JournalSchema identifies the sweep-journal document format: one JSON
+// record per line, each holding one completed cell keyed by the sha256 of
+// its configuration. Bump the suffix on breaking changes.
+const JournalSchema = "mtier/sweep-journal/v1"
+
+// JournalRecord is one line of a sweep journal: a completed cell's
+// deterministic key and its full result. The result round-trips through
+// JSON exactly (encoding/json preserves float64 bit patterns), so a
+// record spliced into a resumed sweep reproduces the original run record
+// fingerprint byte for byte.
+type JournalRecord struct {
+	Schema string     `json:"schema"`
+	Key    string     `json:"key"`
+	Result *RunResult `json:"result"`
+}
+
+// CellKey returns the deterministic identity of one sweep cell: the hex
+// sha256 of the cell's canonical JSON configuration (family, size, (t,u)
+// point, workload, seed, simulator options and fault spec — everything
+// that determines the result). Two processes given the same flags derive
+// the same keys, which is what lets a resumed sweep recognise the cells
+// a previous run already completed.
+func CellKey(cfg Config) (string, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("core: keying cell config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Journal is a durable checkpoint log for sweeps: each completed cell is
+// appended as one fsync'd JSONL record, and a journal reopened with
+// OpenJournal serves those cells from cache so a resumed sweep only runs
+// what is missing. Append and Cached are safe for concurrent use from
+// sweep workers.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	cache map[string]*RunResult
+}
+
+// CreateJournal starts a fresh journal at path, truncating any previous
+// file there. The file exists (empty) as soon as CreateJournal returns,
+// so a campaign killed before its first completed cell still leaves a
+// resumable journal behind.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: syncing journal: %w", err)
+	}
+	return &Journal{f: f, path: path, cache: make(map[string]*RunResult)}, nil
+}
+
+// OpenJournal loads an existing journal for resumption: every complete
+// record populates the cache, and the file is reopened for appending so
+// the resumed sweep extends the same journal. A partial final line — the
+// remnant of a crash mid-append — is discarded and truncated away;
+// corruption anywhere earlier is an error, since silently dropping
+// interior records would resurrect already-completed work.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading journal: %w", err)
+	}
+	cache := make(map[string]*RunResult)
+	valid := 0 // byte offset just past the last durable (newline-terminated) record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: each record is written and fsync'd as a
+			// single line, so this is the remnant of a crash mid-append.
+			// Drop it and resume from the last durable record.
+			break
+		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		start := off
+		off += nl + 1
+		if len(line) == 0 {
+			valid = off
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("core: journal %s: corrupt record at byte %d: %v", path, start, err)
+		}
+		if rec.Schema != JournalSchema || rec.Key == "" || rec.Result == nil {
+			return nil, fmt.Errorf("core: journal %s: record at byte %d has schema %q (want %q) or a missing key/result",
+				path, start, rec.Schema, JournalSchema)
+		}
+		cache[rec.Key] = rec.Result
+		valid = off
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopening journal: %w", err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: truncating partial journal tail: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: seeking journal: %w", err)
+	}
+	return &Journal{f: f, path: path, cache: cache}, nil
+}
+
+// Path returns the journal's file path (for resume hints).
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of cached (already completed) cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cache)
+}
+
+// Cached returns the journaled result for a cell key, if present.
+func (j *Journal) Cached(key string) (*RunResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.cache[key]
+	return res, ok
+}
+
+// Append durably records one completed cell: the record is written as a
+// single line and fsync'd before Append returns, so a completed cell
+// survives any subsequent crash. The result also enters the in-memory
+// cache, making Append idempotent across a sweep's lifetime.
+func (j *Journal) Append(key string, res *RunResult) error {
+	line, err := json.Marshal(JournalRecord{Schema: JournalSchema, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("core: marshaling journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("core: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("core: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("core: syncing journal record: %w", err)
+	}
+	j.cache[key] = res
+	return nil
+}
+
+// Close syncs and closes the journal file. The cache stays readable, so
+// reports assembled after a sweep can still splice cached cells.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// runCellJournaled executes one sweep cell through the journal: a cell
+// whose key is already journaled is served from cache (bit-identically —
+// the cached result carries the resolved config and full result the
+// original run produced), otherwise the cell runs and its result is
+// durably appended before being reported. cached tells the caller whether
+// the result was spliced from the journal.
+func runCellJournaled(ctx context.Context, j *Journal, cfg Config, top topo.Topology) (res *RunResult, cached bool, err error) {
+	var key string
+	if j != nil {
+		key, err = CellKey(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		if res, ok := j.Cached(key); ok {
+			return res, true, nil
+		}
+	}
+	res, err = RunContext(ctx, cfg, top)
+	if err != nil {
+		return nil, false, err
+	}
+	if j != nil {
+		if err := j.Append(key, res); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, false, nil
+}

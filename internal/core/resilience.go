@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -34,7 +35,16 @@ type DegradationOptions struct {
 	// OnCell, when non-nil, is invoked once per finished cell — the hook
 	// behind CLI progress and per-cell run records. Called concurrently
 	// from worker goroutines; implementations must be goroutine-safe.
+	// Cells spliced from a resume journal fire it too.
 	OnCell func(spec TopoSpec, fraction float64, res *RunResult)
+	// Runner supervises cell execution: panic isolation, per-cell
+	// deadlines with bounded retry, aggregated errors, and the optional
+	// memory watchdog.
+	Runner RunnerOptions
+	// Journal, when non-nil, checkpoints the sweep: completed cells are
+	// durably appended and already-journaled cells are spliced from
+	// cache instead of re-simulated.
+	Journal *Journal
 }
 
 // DegradationCell is one finished cell of a degradation sweep.
@@ -68,6 +78,15 @@ type DegradationReport struct {
 // a smaller fraction are a subset of those at a larger one and the
 // degradation curves are monotone in reachability by construction.
 func DegradationSweep(specs []TopoSpec, fractions []float64, opt DegradationOptions) (*DegradationReport, error) {
+	return DegradationSweepContext(context.Background(), specs, fractions, opt)
+}
+
+// DegradationSweepContext is DegradationSweep under a context and the
+// supervised runner: cancellation stops dispatching cells and aborts
+// in-flight ones at their next epoch boundary, panics fail only their
+// own cell, and — with opt.Journal set — completed cells are durably
+// checkpointed so an interrupted sweep resumes without re-simulating.
+func DegradationSweepContext(ctx context.Context, specs []TopoSpec, fractions []float64, opt DegradationOptions) (*DegradationReport, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: degradation sweep needs at least one topology")
 	}
@@ -92,7 +111,7 @@ func DegradationSweep(specs []TopoSpec, fractions []float64, opt DegradationOpti
 	// Build each topology once; its cells share the instance (Run wraps
 	// it per cell, so the bare topology is never mutated).
 	tops := make([]topo.Topology, len(specs))
-	err := pool(len(specs), opt.Workers, func(i int) error {
+	err := runCells(ctx, len(specs), opt.Workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		t, err := Build(specs[i])
 		if err != nil {
 			return fmt.Errorf("core: building %s: %w", specs[i].Kind, err)
@@ -108,7 +127,7 @@ func DegradationSweep(specs []TopoSpec, fractions []float64, opt DegradationOpti
 	for i := range rep.Series {
 		rep.Series[i] = make([]DegradationCell, len(fracs))
 	}
-	err = pool(len(specs)*len(fracs), opt.Workers, func(c int) error {
+	err = runCells(ctx, len(specs)*len(fracs), opt.Workers, opt.Runner, func(ctx context.Context, c int) error {
 		si, fi := c/len(fracs), c%len(fracs)
 		spec, frac := specs[si], fracs[fi]
 		cfg := Config{
@@ -129,7 +148,7 @@ func DegradationSweep(specs []TopoSpec, fractions []float64, opt DegradationOpti
 				Clusters:     opt.Clusters,
 			}
 		}
-		res, err := Run(cfg, tops[si])
+		res, _, err := runCellJournaled(ctx, opt.Journal, cfg, tops[si])
 		if err != nil {
 			return fmt.Errorf("core: %s at fault fraction %g: %w", spec.Kind, frac, err)
 		}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"mtier/internal/obs"
+)
+
+// CellError describes the failure of one cell of a supervised sweep. The
+// runner isolates failures — a panicking, erroring or timed-out cell
+// fails alone while its siblings keep draining — and every cell's failure
+// is reported, aggregated with errors.Join.
+type CellError struct {
+	// Index is the cell's position in the sweep's cell order.
+	Index int
+	// Attempts is how many times the cell was tried (retries included).
+	Attempts int
+	// Err is the final attempt's error. For a panic it wraps the
+	// recovered value; errors.Is sees through to context errors, so a
+	// deadline-expired cell satisfies errors.Is(err, context.DeadlineExceeded).
+	Err error
+	// Stack is the panicking goroutine's stack when the failure was a
+	// panic, nil otherwise.
+	Stack []byte
+}
+
+func (e *CellError) Error() string {
+	msg := fmt.Sprintf("cell %d failed after %d attempt(s): %v", e.Index, e.Attempts, e.Err)
+	if len(e.Stack) > 0 {
+		msg += "\n" + string(e.Stack)
+	}
+	return msg
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// panicError carries a recovered panic value and its stack across the
+// runner's error path.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// RunnerOptions tunes the supervised cell runner behind every sweep. The
+// zero value supervises with no deadlines, no retries and no memory
+// watchdog — panic isolation and error aggregation are always on.
+type RunnerOptions struct {
+	// CellTimeout bounds each attempt of one cell: the attempt's child
+	// context expires after this duration and the cell aborts at its next
+	// epoch boundary. 0 disables per-cell deadlines.
+	CellTimeout time.Duration
+	// MaxRetries re-runs a timed-out cell up to this many extra times
+	// with the same seed (cells are deterministic, so a retry re-derives
+	// the identical workload — it only helps when the timeout was caused
+	// by transient machine load). Panics and ordinary errors fail the
+	// cell immediately. 0 means one attempt only.
+	MaxRetries int
+	// MemBudgetBytes, when positive, arms a soft memory watchdog: a
+	// sampler polls runtime.ReadMemStats, publishes the heap gauge via
+	// Metrics, and while the live heap exceeds the budget it sheds sweep
+	// concurrency one worker at a time (never below one), restoring it
+	// once the heap drops back under.
+	MemBudgetBytes int64
+	// MemPollInterval is the watchdog's sampling period (0 = 250ms).
+	MemPollInterval time.Duration
+	// Metrics, when non-nil, receives the runner's counters
+	// (runner.cells_ok, runner.cells_failed, runner.retries,
+	// runner.panics, runner.shed_events) and the watchdog's memory gauges.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives supervision events: panics, retries,
+	// and concurrency shedding. Sweeps route it to stderr.
+	Logf func(format string, args ...any)
+}
+
+// Validate rejects option values the CLIs must refuse up front.
+func (o *RunnerOptions) Validate() error {
+	if o.CellTimeout < 0 {
+		return fmt.Errorf("core: negative cell timeout %v", o.CellTimeout)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("core: negative retry count %d", o.MaxRetries)
+	}
+	if o.MemBudgetBytes < 0 {
+		return fmt.Errorf("core: negative memory budget %d", o.MemBudgetBytes)
+	}
+	return nil
+}
+
+func (o *RunnerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// runCells executes fn(ctx, i) for i in [0, n) over min(workers, n)
+// goroutines under supervision:
+//
+//   - a panicking cell is recovered into a *CellError carrying the stack
+//     and fails alone — sibling cells keep draining;
+//   - every failed cell is reported: the returned error aggregates all
+//     cell errors (sorted by index) with errors.Join instead of keeping
+//     only the first;
+//   - each attempt runs under a child context bounded by opt.CellTimeout,
+//     and a deadline-expired cell is retried up to opt.MaxRetries times;
+//   - canceling ctx stops dispatching new cells, lets in-flight cells
+//     abort at their next epoch boundary, and surfaces ctx.Err() in the
+//     aggregate (cell errors caused by the cancellation itself are
+//     dropped as noise);
+//   - with a memory budget set, a watchdog sheds concurrency while the
+//     heap is over budget.
+func runCells(ctx context.Context, n, workers int, opt RunnerOptions, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var gate *memGate
+	if opt.MemBudgetBytes > 0 {
+		gate = startMemGate(workers, opt)
+		defer gate.stop()
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		errs []*CellError
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if gate != nil && !gate.acquire(ctx) {
+					return
+				}
+				err := runCell(ctx, i, opt, fn)
+				if gate != nil {
+					gate.release()
+				}
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				} else if opt.Metrics != nil {
+					opt.Metrics.Counter("runner.cells_ok").Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	canceled := ctx.Err()
+	all := make([]error, 0, len(errs)+1)
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	for _, ce := range errs {
+		if canceled != nil && errors.Is(ce.Err, canceled) {
+			// The cell only failed because the whole sweep was canceled;
+			// reporting it per cell buries the real signal.
+			continue
+		}
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("runner.cells_failed").Inc()
+		}
+		all = append(all, ce)
+	}
+	if canceled != nil {
+		all = append(all, fmt.Errorf("core: sweep canceled with %d of %d cells dispatched: %w", next, n, canceled))
+	}
+	return errors.Join(all...)
+}
+
+// runCell drives one cell through its attempts, converting the terminal
+// failure into a *CellError.
+func runCell(ctx context.Context, i int, opt RunnerOptions, fn func(ctx context.Context, i int) error) *CellError {
+	attempts := 0
+	for {
+		attempts++
+		err := attemptCell(ctx, i, opt, fn)
+		if err == nil {
+			return nil
+		}
+		// Retry only expiries of the cell's own deadline: a canceled
+		// parent must not spin through retries, and deterministic panics
+		// or errors would fail identically every time.
+		var pe *panicError
+		isPanic := errors.As(err, &pe)
+		if !isPanic && opt.CellTimeout > 0 && errors.Is(err, context.DeadlineExceeded) &&
+			ctx.Err() == nil && attempts <= opt.MaxRetries {
+			opt.logf("cell %d: attempt %d exceeded the %v cell deadline; retrying with the same seed (%d left)",
+				i, attempts, opt.CellTimeout, opt.MaxRetries-attempts+1)
+			if opt.Metrics != nil {
+				opt.Metrics.Counter("runner.retries").Inc()
+			}
+			continue
+		}
+		ce := &CellError{Index: i, Attempts: attempts, Err: err}
+		if isPanic {
+			ce.Stack = pe.stack
+			opt.logf("cell %d: recovered panic: %v", i, pe.val)
+			if opt.Metrics != nil {
+				opt.Metrics.Counter("runner.panics").Inc()
+			}
+		}
+		return ce
+	}
+}
+
+// attemptCell runs one attempt of one cell under its deadline, converting
+// a panic into a *panicError instead of taking down the sweep.
+func attemptCell(ctx context.Context, i int, opt RunnerOptions, fn func(ctx context.Context, i int) error) (err error) {
+	actx := ctx
+	if opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return fn(actx, i)
+}
+
+// memGate is the runner's soft memory watchdog: workers hold a slot per
+// running cell, and the watchdog lowers the allowed concurrency one
+// worker per poll tick while the heap is over budget (never below one,
+// so the sweep always makes progress), restoring it once the heap drops
+// back under. In-flight cells are never interrupted — shedding takes
+// effect as each worker finishes its current cell and asks for the next
+// slot.
+type memGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int // cells currently holding a slot
+	allowed int // concurrency ceiling set by the watchdog
+	workers int
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func startMemGate(workers int, opt RunnerOptions) *memGate {
+	g := &memGate{allowed: workers, workers: workers, done: make(chan struct{})}
+	g.cond = sync.NewCond(&g.mu)
+	interval := opt.MemPollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.done:
+				return
+			case <-ticker.C:
+			}
+			heap := obs.SampleMemory(opt.Metrics)
+			g.mu.Lock()
+			switch {
+			case int64(heap) > opt.MemBudgetBytes && g.allowed > 1:
+				g.allowed--
+				opt.logf("memory watchdog: heap %d bytes over budget %d; shedding to %d worker(s)",
+					heap, opt.MemBudgetBytes, g.allowed)
+				if opt.Metrics != nil {
+					opt.Metrics.Counter("runner.shed_events").Inc()
+					opt.Metrics.Gauge("runner.shed_workers").Set(float64(g.workers - g.allowed))
+				}
+			case int64(heap) <= opt.MemBudgetBytes && g.allowed < g.workers:
+				g.allowed++
+				if opt.Metrics != nil {
+					opt.Metrics.Gauge("runner.shed_workers").Set(float64(g.workers - g.allowed))
+				}
+			}
+			g.mu.Unlock()
+			// Wake waiters on every tick: restored capacity unblocks them,
+			// and a canceled context is noticed within one poll interval.
+			g.cond.Broadcast()
+		}
+	}()
+	return g
+}
+
+// acquire blocks until the watchdog's concurrency ceiling has room (or
+// the sweep is canceled, returning false).
+func (g *memGate) acquire(ctx context.Context) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.active >= g.allowed {
+		if ctx.Err() != nil {
+			return false
+		}
+		g.cond.Wait()
+	}
+	g.active++
+	return true
+}
+
+func (g *memGate) release() {
+	g.mu.Lock()
+	g.active--
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+func (g *memGate) stop() {
+	close(g.done)
+	g.wg.Wait()
+}

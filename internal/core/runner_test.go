@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtier/internal/obs"
+)
+
+// cellErrors flattens an aggregate runner error into its *CellError
+// leaves, in the order errors.Join kept them.
+func cellErrors(t *testing.T, err error) []*CellError {
+	t.Helper()
+	if err == nil {
+		return nil
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		var ce *CellError
+		if errors.As(err, &ce) {
+			return []*CellError{ce}
+		}
+		t.Fatalf("error is neither a join nor a CellError: %v", err)
+	}
+	var out []*CellError
+	for _, e := range joined.Unwrap() {
+		var ce *CellError
+		if errors.As(e, &ce) {
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+// TestRunnerPanicIsolation: one panicking cell must fail alone — every
+// sibling still runs to completion — and its CellError must carry the
+// cell index and the panicking goroutine's stack.
+func TestRunnerPanicIsolation(t *testing.T) {
+	const n = 8
+	var done [n]atomic.Bool
+	reg := obs.NewRegistry()
+	err := runCells(context.Background(), n, 4, RunnerOptions{Metrics: reg}, func(_ context.Context, i int) error {
+		if i == 3 {
+			panic(fmt.Sprintf("cell %d exploded", i))
+		}
+		done[i].Store(true)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want an error from the panicking cell")
+	}
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if !done[i].Load() {
+			t.Errorf("sibling cell %d did not complete", i)
+		}
+	}
+	ces := cellErrors(t, err)
+	if len(ces) != 1 {
+		t.Fatalf("got %d cell errors, want 1: %v", len(ces), err)
+	}
+	ce := ces[0]
+	if ce.Index != 3 {
+		t.Errorf("CellError.Index = %d, want 3", ce.Index)
+	}
+	if ce.Attempts != 1 {
+		t.Errorf("CellError.Attempts = %d, want 1 (panics must not retry)", ce.Attempts)
+	}
+	if len(ce.Stack) == 0 {
+		t.Error("CellError.Stack is empty, want the panicking goroutine's stack")
+	}
+	if !strings.Contains(err.Error(), "cell 3 exploded") {
+		t.Errorf("aggregate error does not mention the panic value: %v", err)
+	}
+	if got := reg.Counter("runner.panics").Value(); got != 1 {
+		t.Errorf("runner.panics = %d, want 1", got)
+	}
+	if got := reg.Counter("runner.cells_ok").Value(); got != n-1 {
+		t.Errorf("runner.cells_ok = %d, want %d", got, n-1)
+	}
+	if got := reg.Counter("runner.cells_failed").Value(); got != 1 {
+		t.Errorf("runner.cells_failed = %d, want 1", got)
+	}
+}
+
+// TestRunnerDeadlineRetry: a cell that hangs past its deadline is retried
+// with the same index (and therefore the same seed — cells are keyed by
+// index), and after exhausting MaxRetries the CellError reports every
+// attempt and unwraps to context.DeadlineExceeded.
+func TestRunnerDeadlineRetry(t *testing.T) {
+	var attempts atomic.Int64
+	reg := obs.NewRegistry()
+	opt := RunnerOptions{CellTimeout: 10 * time.Millisecond, MaxRetries: 2, Metrics: reg}
+	err := runCells(context.Background(), 1, 1, opt, func(ctx context.Context, i int) error {
+		if i != 0 {
+			t.Errorf("retry dispatched index %d, want 0", i)
+		}
+		attempts.Add(1)
+		<-ctx.Done() // hang until the per-attempt deadline fires
+		return fmt.Errorf("cell aborted: %w", ctx.Err())
+	})
+	if err == nil {
+		t.Fatal("want a deadline error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, DeadlineExceeded) = false: %v", err)
+	}
+	ces := cellErrors(t, err)
+	if len(ces) != 1 {
+		t.Fatalf("got %d cell errors, want 1: %v", len(ces), err)
+	}
+	if ces[0].Attempts != 3 {
+		t.Errorf("CellError.Attempts = %d, want 3 (1 + MaxRetries)", ces[0].Attempts)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("cell ran %d times, want 3", got)
+	}
+	if got := reg.Counter("runner.retries").Value(); got != 2 {
+		t.Errorf("runner.retries = %d, want 2", got)
+	}
+}
+
+// TestRunnerRetryRecovers: a cell that times out once and then succeeds
+// must not surface an error at all.
+func TestRunnerRetryRecovers(t *testing.T) {
+	var attempts atomic.Int64
+	err := runCells(context.Background(), 1, 1,
+		RunnerOptions{CellTimeout: 10 * time.Millisecond, MaxRetries: 2},
+		func(ctx context.Context, i int) error {
+			if attempts.Add(1) == 1 {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("recovered cell still errored: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("cell ran %d times, want 2", got)
+	}
+}
+
+// TestRunnerNoRetryOnOrdinaryError: only deadline expiries retry —
+// a deterministic failure would fail identically every time.
+func TestRunnerNoRetryOnOrdinaryError(t *testing.T) {
+	var attempts atomic.Int64
+	err := runCells(context.Background(), 1, 1,
+		RunnerOptions{CellTimeout: time.Hour, MaxRetries: 5},
+		func(_ context.Context, _ int) error {
+			attempts.Add(1)
+			return errors.New("deterministic failure")
+		})
+	if err == nil {
+		t.Fatal("want the cell's error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("cell ran %d times, want 1", got)
+	}
+}
+
+// TestRunnerAggregatesAllErrors: every failed cell is reported, sorted by
+// index, not just the first.
+func TestRunnerAggregatesAllErrors(t *testing.T) {
+	bad := map[int]bool{1: true, 4: true, 6: true}
+	err := runCells(context.Background(), 8, 3, RunnerOptions{}, func(_ context.Context, i int) error {
+		if bad[i] {
+			return fmt.Errorf("cell %d refused", i)
+		}
+		return nil
+	})
+	ces := cellErrors(t, err)
+	if len(ces) != len(bad) {
+		t.Fatalf("got %d cell errors, want %d: %v", len(ces), len(bad), err)
+	}
+	want := []int{1, 4, 6}
+	for k, ce := range ces {
+		if ce.Index != want[k] {
+			t.Errorf("cell error %d has index %d, want %d (sorted)", k, ce.Index, want[k])
+		}
+	}
+}
+
+// TestRunnerCancellationStopsDispatch: canceling the sweep context stops
+// new cells from being dispatched, and the aggregate error unwraps to
+// context.Canceled without per-cell cancellation noise.
+func TestRunnerCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var dispatched atomic.Int64
+	err := runCells(ctx, 100, 1, RunnerOptions{}, func(ctx context.Context, i int) error {
+		dispatched.Add(1)
+		if i == 2 {
+			cancel()
+			<-ctx.Done()
+			return fmt.Errorf("cell aborted: %w", ctx.Err())
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	if ces := cellErrors(t, err); len(ces) != 0 {
+		t.Errorf("cancellation noise surfaced as %d cell errors: %v", len(ces), err)
+	}
+	if got := dispatched.Load(); got > 4 {
+		t.Errorf("%d cells dispatched after cancellation, want at most 4", got)
+	}
+}
+
+// TestRunnerValidate: the CLIs reject nonsensical runner flags up front.
+func TestRunnerValidate(t *testing.T) {
+	for _, opt := range []RunnerOptions{
+		{CellTimeout: -time.Second},
+		{MaxRetries: -1},
+		{MemBudgetBytes: -5},
+	} {
+		if err := opt.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", opt)
+		}
+		if err := runCells(context.Background(), 1, 1, opt, func(context.Context, int) error { return nil }); err == nil {
+			t.Errorf("runCells accepted %+v", opt)
+		}
+	}
+	ok := RunnerOptions{CellTimeout: time.Second, MaxRetries: 3, MemBudgetBytes: 1 << 30}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", ok, err)
+	}
+}
+
+// TestRunnerMemWatchdogSheds: with an impossibly small heap budget the
+// watchdog must shed concurrency (down to, but never below, one worker)
+// while the sweep still completes every cell.
+func TestRunnerMemWatchdogSheds(t *testing.T) {
+	const n = 12
+	var done atomic.Int64
+	reg := obs.NewRegistry()
+	err := runCells(context.Background(), n, 4, RunnerOptions{
+		MemBudgetBytes:  1, // any live heap is over budget
+		MemPollInterval: 2 * time.Millisecond,
+		Metrics:         reg,
+	}, func(_ context.Context, _ int) error {
+		time.Sleep(10 * time.Millisecond)
+		done.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != n {
+		t.Errorf("%d cells completed, want %d (shedding must never starve the sweep)", got, n)
+	}
+	if got := reg.Counter("runner.shed_events").Value(); got == 0 {
+		t.Error("runner.shed_events = 0, want the watchdog to have shed workers")
+	}
+	if got := reg.Gauge("mem.heap_alloc_bytes").Value(); got <= 0 {
+		t.Errorf("mem.heap_alloc_bytes gauge = %g, want > 0", got)
+	}
+}
+
+// TestPoolAggregatesErrors: the legacy pool helper inherits the
+// supervised runner's error aggregation and panic isolation.
+func TestPoolAggregatesErrors(t *testing.T) {
+	err := pool(4, 2, func(i int) error {
+		switch i {
+		case 1:
+			return errors.New("first failure")
+		case 3:
+			panic("second failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want both failures")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "first failure") || !strings.Contains(msg, "second failure") {
+		t.Fatalf("aggregate error lost a failure: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalExitCode is the conventional exit status of a run terminated by
+// SIGINT (128 + SIGINT). The CLIs exit with it after a graceful
+// cancellation, and the hard second-signal exit uses it directly.
+const SignalExitCode = 130
+
+// SignalContext wires campaign-grade interrupt handling for the CLIs:
+// the first SIGINT/SIGTERM cancels the returned context — in-flight
+// cells abort at their next epoch boundary, completed cells' journal
+// appends finish, and the caller prints a resume hint and exits nonzero
+// — while a second signal hard-exits immediately with SignalExitCode for
+// the case where graceful draining itself is stuck. Events are logged to
+// w (nil = stderr) prefixed with prog.
+//
+// The returned stop function releases the signal handler; after stop, a
+// signal falls back to the Go runtime's default behaviour.
+func SignalContext(parent context.Context, prog string, w io.Writer) (context.Context, context.CancelFunc) {
+	if w == nil {
+		w = os.Stderr
+	}
+	ctx, cancel := context.WithCancel(parent)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(w, "\n%s: %v — canceling; in-flight cells stop at their next epoch (interrupt again to exit immediately)\n", prog, sig)
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(w, "%s: second %v — exiting immediately\n", prog, sig)
+			os.Exit(SignalExitCode)
+		case <-parent.Done():
+		}
+	}()
+	stop := func() {
+		signal.Stop(sigc)
+		cancel()
+	}
+	return ctx, stop
+}

@@ -1,0 +1,90 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mtier/internal/obs"
+)
+
+func multiEpochSpec() *Spec {
+	// Distinct flow sizes on disjoint links: each completion ends an
+	// epoch, so the run spans several epochs for cancellation to land in.
+	spec := &Spec{}
+	spec.Add(0, 1, 1e9)
+	spec.Add(2, 3, 2e9)
+	spec.Add(4, 5, 3e9)
+	spec.Add(6, 7, 4e9)
+	return spec
+}
+
+// TestSimulateContextBackground: a background context must not change
+// the result — the cancellation fast path is a nil check.
+func TestSimulateContextBackground(t *testing.T) {
+	tor := ring(t, 8)
+	want, err := Simulate(tor, multiEpochSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateContext(context.Background(), tor, multiEpochSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan || got.Epochs != want.Epochs {
+		t.Fatalf("background-context run diverged: makespan %g/%g, epochs %d/%d",
+			got.Makespan, want.Makespan, got.Epochs, want.Epochs)
+	}
+}
+
+// TestSimulateContextPreCanceled: an already-canceled context aborts
+// before any epoch runs, and the error unwraps to context.Canceled.
+func TestSimulateContextPreCanceled(t *testing.T) {
+	tor := ring(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateContext(ctx, tor, multiEpochSpec(), Options{})
+	if err == nil {
+		t.Fatal("want a cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled run still returned a result: %+v", res)
+	}
+}
+
+// TestSimulateContextCancelMidRun: canceling from an epoch probe — a
+// deterministic in-run trigger — aborts at the next epoch boundary.
+func TestSimulateContextCancelMidRun(t *testing.T) {
+	tor := ring(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	epochs := 0
+	opt := Options{Probe: obs.ProbeFunc(func(obs.EpochSnapshot) {
+		epochs++
+		if epochs == 2 {
+			cancel()
+		}
+	})}
+	_, err := SimulateContext(ctx, tor, multiEpochSpec(), opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	if epochs != 2 {
+		t.Fatalf("run continued for %d epochs after the canceling probe, want exactly 2", epochs)
+	}
+}
+
+// TestSimulateContextDeadline: an expired deadline surfaces as
+// context.DeadlineExceeded — what the per-cell CellTimeout relies on.
+func TestSimulateContextDeadline(t *testing.T) {
+	tor := ring(t, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, err := SimulateContext(ctx, tor, multiEpochSpec(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, DeadlineExceeded) = false: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ package flow
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -322,6 +323,12 @@ type sim struct {
 	opt Options
 	cap float64
 
+	// Cancellation state: ctxDone is nil when the caller's context can
+	// never be canceled (context.Background), which reduces the per-epoch
+	// cancellation check to a single nil comparison.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
 	numEndpoints int
 	numTopoLinks int
 	numLinks     int // topology links + virtual ports
@@ -422,17 +429,46 @@ func (a *arena) alloc(n int) []int32 {
 
 // Simulate runs the workload on the topology and returns the result.
 func Simulate(t topo.Topology, spec *Spec, opt Options) (*Result, error) {
+	return SimulateContext(context.Background(), t, spec, opt)
+}
+
+// SimulateContext runs the workload on the topology under a context.
+// Cancellation is cooperative: the engine checks the context at every
+// epoch boundary (rate recomputations and route preparation batches) and
+// returns an error wrapping ctx.Err(), so a canceled or deadline-expired
+// simulation stops within one epoch instead of running to completion. A
+// background (never-canceled) context costs a single nil check per epoch.
+func SimulateContext(ctx context.Context, t topo.Topology, spec *Spec, opt Options) (*Result, error) {
 	if opt.LinkBandwidth == 0 {
 		opt.LinkBandwidth = DefaultBandwidth
 	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil,
+		ctx: ctx, ctxDone: ctx.Done()}
 	if err := s.prepare(spec); err != nil {
 		return nil, err
 	}
 	return s.run()
+}
+
+// canceled reports whether the run's context has been canceled. It is
+// called at epoch boundaries only, never inside the waterfill hot path,
+// and compiles down to a nil check when no cancelable context is attached.
+func (s *sim) canceled() bool {
+	if s.ctxDone == nil {
+		return false
+	}
+	select {
+	case <-s.ctxDone:
+		return true
+	default:
+		return false
+	}
 }
 
 func (s *sim) injectionLink(ep int32) int32 { return int32(s.numTopoLinks) + ep }
@@ -504,6 +540,12 @@ func (s *sim) prepare(spec *Spec) error {
 	}
 	scratch := make([]int32, 0, 256)
 	for i := range spec.Flows {
+		// Route construction dominates prepare on large systems; honour
+		// cancellation between batches so a canceled cell never has to
+		// finish routing hundreds of thousands of flows first.
+		if i&0xfff == 0 && s.canceled() {
+			return fmt.Errorf("flow: canceled while preparing routes (%d/%d flows): %w", i, f, s.ctx.Err())
+		}
 		if s.mrouter != nil {
 			continue // chosen lazily by chooseRoute
 		}
@@ -832,6 +874,9 @@ func (s *sim) run() (*Result, error) {
 	needRefresh := true
 	completedSince := 0
 	for len(s.active) > 0 || s.pending.Len() > 0 {
+		if s.canceled() {
+			return nil, fmt.Errorf("flow: canceled at t=%g after %d epochs: %w", now, res.Epochs, s.ctx.Err())
+		}
 		if len(s.active) == 0 {
 			// Nothing transmitting: jump to the next latency expiry (or
 			// the next fault event, whichever strikes first — a pending

@@ -1,0 +1,19 @@
+package obs
+
+import "runtime"
+
+// SampleMemory reads the runtime's memory statistics, publishes them as
+// gauges on r (when non-nil), and returns the live heap size in bytes.
+// It is the probe behind the sweep runner's soft memory watchdog; note
+// runtime.ReadMemStats briefly stops the world, so callers should sample
+// on a coarse interval (hundreds of milliseconds), never per cell.
+func SampleMemory(r *Registry) uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if r != nil {
+		r.Gauge("mem.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+		r.Gauge("mem.sys_bytes").Set(float64(ms.Sys))
+		r.Gauge("mem.gc_cycles").Set(float64(ms.NumGC))
+	}
+	return ms.HeapAlloc
+}

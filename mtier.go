@@ -32,6 +32,8 @@
 package mtier
 
 import (
+	"context"
+
 	"mtier/internal/core"
 	"mtier/internal/cost"
 	"mtier/internal/flow"
@@ -123,6 +125,14 @@ const DefaultBandwidth = flow.DefaultBandwidth
 // Simulate runs a workload (already endpoint-indexed) on a topology.
 func Simulate(t Topology, spec *FlowSpec, opt SimOptions) (*SimResult, error) {
 	return flow.Simulate(t, spec, opt)
+}
+
+// SimulateContext is Simulate under a context: a canceled or
+// deadline-expired context aborts the run at its next epoch boundary
+// with an error wrapping ctx.Err(). A background context costs a single
+// nil check per epoch.
+func SimulateContext(ctx context.Context, t Topology, spec *FlowSpec, opt SimOptions) (*SimResult, error) {
+	return flow.SimulateContext(ctx, t, spec, opt)
 }
 
 // PlacePolicy names a task-to-endpoint mapping strategy.

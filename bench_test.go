@@ -138,6 +138,53 @@ func benchEngine(b *testing.B, w mtier.WorkloadKind, pol mtier.PlacePolicy, exac
 	b.ReportMetric(float64(epochs)/b.Elapsed().Seconds(), "epochs/sec")
 }
 
+// Preset-regime pair: the same simulation under the experiment presets
+// the paper sweeps actually run (RelEpsilon 0.01, RefreshFraction 1/16,
+// linear placement), serial versus a GOMAXPROCS worker pool. This is the
+// regime where epoch costs are dominated by the sharded stages (route
+// construction, occupied-list sorts, fill setup, membership batches), so
+// it carries the parallel speedup target: CI compares the pair and fails
+// if the parallel run is slower than the serial one. Results are
+// bit-identical by construction (see internal/flow/parallel_test.go).
+func benchEnginePreset(b *testing.B, workers int) {
+	top, err := mtier.Build(mtier.TopoSpec{
+		Kind: mtier.NestGHC, Endpoints: engineBenchEndpoints, T: 2, U: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := mtier.GenerateWorkload(mtier.AllReduce, mtier.WorkloadParams{
+		Tasks: engineBenchEndpoints, MsgBytes: 1e6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := mtier.Place(spec, mtier.PlaceLinear, engineBenchEndpoints, top.NumEndpoints(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := mtier.SimOptions{
+		LatencyBase:     core.DefaultLatencyBase,
+		LatencyPerHop:   core.DefaultLatencyPerHop,
+		RelEpsilon:      0.01,
+		RefreshFraction: 1.0 / 16,
+		Workers:         workers,
+	}
+	b.ResetTimer()
+	epochs := 0
+	for i := 0; i < b.N; i++ {
+		res, err := mtier.Simulate(top, mapped, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs += res.Epochs
+	}
+	b.ReportMetric(float64(epochs)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
+func BenchmarkEnginePresetAllReduceSerial(b *testing.B)   { benchEnginePreset(b, 1) }
+func BenchmarkEnginePresetAllReduceParallel(b *testing.B) { benchEnginePreset(b, 0) }
+
 func BenchmarkEngineAllReduceIncremental(b *testing.B) {
 	benchEngine(b, mtier.AllReduce, mtier.PlaceRandom, false)
 }

@@ -50,22 +50,23 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 4096, "total number of QFDBs (endpoints)")
-		topos     = flag.String("topos", "torus,fattree,nesttree,nestghc", "comma-separated topology kinds to sweep")
-		t         = flag.Int("t", 4, "subtorus nodes per dimension (hybrid families)")
-		u         = flag.Int("u", 4, "one uplink per u QFDBs (hybrid families)")
-		fractions = flag.String("fractions", "0.01,0.02,0.05,0.1", "comma-separated link-fault fractions (0 is always included as the baseline)")
-		modelName = flag.String("model", "random", "failure model: random | clustered | targeted")
-		clusters  = flag.Int("clusters", 1, "failure epicenters of the clustered model")
-		faultSeed = flag.Int64("faultseed", 1, "fault-draw seed")
-		wName     = flag.String("workload", "allreduce", "workload to run per cell")
-		tasks     = flag.Int("tasks", 0, "task count (0 = workload default)")
-		msg       = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		eps       = flag.Float64("eps", 0.01, "completion batching window")
-		workers   = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
-		csv       = flag.Bool("csv", false, "emit CSV")
-		progress  = flag.Bool("progress", true, "render a live progress line on stderr")
+		n           = flag.Int("n", 4096, "total number of QFDBs (endpoints)")
+		topos       = flag.String("topos", "torus,fattree,nesttree,nestghc", "comma-separated topology kinds to sweep")
+		t           = flag.Int("t", 4, "subtorus nodes per dimension (hybrid families)")
+		u           = flag.Int("u", 4, "one uplink per u QFDBs (hybrid families)")
+		fractions   = flag.String("fractions", "0.01,0.02,0.05,0.1", "comma-separated link-fault fractions (0 is always included as the baseline)")
+		modelName   = flag.String("model", "random", "failure model: random | clustered | targeted")
+		clusters    = flag.Int("clusters", 1, "failure epicenters of the clustered model")
+		faultSeed   = flag.Int64("faultseed", 1, "fault-draw seed")
+		wName       = flag.String("workload", "allreduce", "workload to run per cell")
+		tasks       = flag.Int("tasks", 0, "task count (0 = workload default)")
+		msg         = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		eps         = flag.Float64("eps", 0.01, "completion batching window")
+		workers     = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		simWorkers  = flag.Int("simworkers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
+		csv         = flag.Bool("csv", false, "emit CSV")
+		progress    = flag.Bool("progress", true, "render a live progress line on stderr")
 		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
 		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism check)")
 		journalPath = flag.String("journal", "", "checkpoint every completed cell to this JSONL journal (fresh file)")
@@ -122,7 +123,7 @@ func main() {
 		Clusters:  *clusters,
 		Workload:  w,
 		Params:    workload.Params{Tasks: *tasks, Seed: *seed, MsgBytes: *msg},
-		Sim:       flow.Options{RelEpsilon: *eps},
+		Sim:       flow.Options{RelEpsilon: *eps, Workers: *simWorkers},
 		Workers:   *workers,
 		Runner:    runner,
 		Journal:   journal,

@@ -47,6 +47,7 @@ func main() {
 		noPorts  = flag.Bool("noports", false, "disable injection/ejection port model")
 		adaptive = flag.Bool("adaptive", false, "least-loaded adaptive routing (multi-path topologies)")
 		exact    = flag.Bool("exact", false, "use the reference full-recompute waterfill instead of the incremental engine")
+		workers  = flag.Int("workers", 0, "intra-run worker threads; results are identical for every value (0 = GOMAXPROCS, 1 = serial)")
 		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
 		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
 		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
@@ -108,6 +109,7 @@ func main() {
 			DisablePorts:    *noPorts,
 			AdaptiveRouting: *adaptive,
 			ExactRecompute:  *exact,
+			Workers:         *workers,
 		},
 	}, *traceOut, *epochCSV, *jsonOut)
 	stop()

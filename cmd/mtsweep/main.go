@@ -55,6 +55,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		eps         = flag.Float64("eps", 0.01, "completion batching window")
 		workers     = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
+		simWorkers  = flag.Int("simworkers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
 		csv         = flag.Bool("csv", false, "emit CSV")
 		progress    = flag.Bool("progress", true, "render a live progress line on stderr")
 		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
@@ -118,7 +119,7 @@ func main() {
 		Tasks:    *tasks,
 		MsgBytes: *msg,
 		Workers:  *workers,
-		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact},
+		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: *simWorkers},
 		Runner:   runner,
 		Journal:  journal,
 	})

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,18 +31,19 @@ func main() {
 		one     = flag.String("one", "", "analyse a single topology: torus|fattree|nesttree|nestghc")
 		tFlag   = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
 		uFlag   = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
+		workers = flag.Int("workers", 0, "worker threads for builds and distance measurement; exhaustive results are identical for every value, sampled estimates are a function of (seed, workers) (0 = NumCPU, 1 = serial)")
 		csv     = flag.Bool("csv", false, "emit CSV")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *seed, *csv); err != nil {
+	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *workers, *seed, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "mttopo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(prof *obs.ProfileFlags, one string, n, t, u, samples int, seed int64, csv bool) error {
+func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed int64, csv bool) error {
 	var kind core.TopoKind
 	if one != "" {
 		var err error
@@ -56,13 +58,13 @@ func run(prof *obs.ProfileFlags, one string, n, t, u, samples int, seed int64, c
 	defer stop()
 
 	if one != "" {
-		return analyseOne(kind, n, t, u, samples, seed, csv)
+		return analyseOne(kind, n, t, u, samples, workers, seed, csv)
 	}
-	set, err := core.BuildSet(n, 0)
+	set, err := core.BuildSet(n, workers)
 	if err != nil {
 		return err
 	}
-	tab, err := core.Table1(set, samples, seed)
+	tab, err := core.Table1Context(context.Background(), set, samples, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -70,12 +72,12 @@ func run(prof *obs.ProfileFlags, one string, n, t, u, samples int, seed int64, c
 	return nil
 }
 
-func analyseOne(kind core.TopoKind, n, t, u, samples int, seed int64, csv bool) error {
+func analyseOne(kind core.TopoKind, n, t, u, samples, workers int, seed int64, csv bool) error {
 	top, err := core.BuildTopology(kind, n, t, u)
 	if err != nil {
 		return err
 	}
-	s := metrics.Distances(top, metrics.Options{Samples: samples, Seed: seed})
+	s := metrics.Distances(top, metrics.Options{Samples: samples, Seed: seed, Workers: workers})
 	tab := report.NewTable(fmt.Sprintf("%s — distance distribution", top.Name()), "distance", "pairs", "fraction")
 	for d, c := range s.Histogram {
 		if c == 0 {

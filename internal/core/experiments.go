@@ -99,21 +99,25 @@ func (s *TopoSet) Get(kind TopoKind, pt Point) topo.Topology {
 // diameter for every hybrid configuration, with the fattree and torus
 // references appended.
 func Table1(set *TopoSet, samples int, seed int64) (*report.Table, error) {
-	return Table1Context(context.Background(), set, samples, seed)
+	return Table1Context(context.Background(), set, samples, seed, 0)
 }
 
 // Table1Context is Table1 under a context; cancellation takes effect
-// between distance-measurement cells.
-func Table1Context(ctx context.Context, set *TopoSet, samples int, seed int64) (*report.Table, error) {
+// between distance-measurement cells. workers bounds both the concurrent
+// measurement cells and each measurement's internal worker pool (0 =
+// NumCPU, 1 = fully serial). Exhaustive measurements are identical for
+// every worker count; sampled estimates are a deterministic function of
+// (seed, workers), since each worker samples from its own sub-stream.
+func Table1Context(ctx context.Context, set *TopoSet, samples int, seed int64, workers int) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Table 1 — average distance and diameter (N=%d)", set.Endpoints),
 		"(t,u)", "AvgDist NestGHC", "AvgDist NestTree", "Diam NestGHC", "Diam NestTree")
-	opt := metrics.Options{Samples: samples, Seed: seed}
+	opt := metrics.Options{Samples: samples, Seed: seed, Workers: workers}
 	type row struct {
 		ghc, tree metrics.DistanceStats
 	}
 	rows := make([]row, len(set.Points))
-	err := runCells(ctx, len(set.Points)*2, 0, RunnerOptions{}, func(_ context.Context, i int) error {
+	err := runCells(ctx, len(set.Points)*2, workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		pt := set.Points[i/2]
 		kind := NestGHC
 		if i%2 != 0 {

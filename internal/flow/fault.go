@@ -176,6 +176,14 @@ func (s *sim) applyFault(ev *FaultEvent, now float64) {
 	if killed == 0 {
 		return
 	}
+	if s.batching {
+		// Rerouting rewrites victims' routes, which queued membership ops
+		// reference; land the queue first, then apply the victim churn
+		// unbatched (deactivate must observe the flow's pre-fault route).
+		s.flushMembership()
+		s.batching = false
+		defer func() { s.batching = true }()
+	}
 	if s.stats != nil {
 		s.stats.killedLinks.Add(int64(killed))
 	}

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"mtier/internal/obs"
+	"mtier/internal/par"
 	"mtier/internal/topo"
 )
 
@@ -107,6 +109,17 @@ type Options struct {
 	// DisablePorts turns off the injection/ejection port model, leaving
 	// only topology links as shared resources.
 	DisablePorts bool `json:"disable_ports,omitempty"`
+	// Workers bounds the engine's intra-run parallelism: route
+	// construction, large waterfill setups, membership batches and
+	// active-set scans are sharded across a worker pool (see
+	// parallel.go). 0 means GOMAXPROCS; 1 runs the exact serial code
+	// path. Results are bit-identical for every value — the parallel
+	// stages reproduce the serial engine's arithmetic and orderings
+	// exactly — so Workers is process-local tuning: it is excluded from
+	// run records and therefore from sweep fingerprints and journal cell
+	// keys, and a journal written by a serial run resumes cleanly under
+	// a parallel one.
+	Workers int `json:"-"`
 	// RecordFlowEnds retains each flow's completion time in the result.
 	RecordFlowEnds bool `json:"record_flow_ends,omitempty"`
 	// Trace, when non-nil, receives one CSV record per completed flow:
@@ -154,6 +167,9 @@ func (o *Options) Validate() error {
 	}
 	if o.LatencyPerHop < 0 || math.IsNaN(o.LatencyPerHop) || math.IsInf(o.LatencyPerHop, 0) {
 		return fmt.Errorf("flow: invalid LatencyPerHop %g", o.LatencyPerHop)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("flow: negative Workers %d", o.Workers)
 	}
 	for i, ev := range o.FaultEvents {
 		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
@@ -381,6 +397,17 @@ type sim struct {
 	// Engine counters (tracked only when opt.Metrics is attached).
 	stats *engineStats
 
+	// Intra-run parallelism (see parallel.go). pool is nil when the
+	// effective worker count is 1; batching queues membership changes
+	// for sharded replay instead of applying them in activate and
+	// deactivate.
+	pool     *par.Pool
+	workers  int
+	batching bool
+	memOps   []memOp
+	parTmin  []float64 // per-shard earliest-completion scratch
+	parDone  [][]int32 // per-shard completion buffers
+
 	traceErr error // first Trace write failure; surfaced by run
 
 	// Adaptive routing state.
@@ -450,6 +477,14 @@ func SimulateContext(ctx context.Context, t topo.Topology, spec *Spec, opt Optio
 	}
 	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil,
 		ctx: ctx, ctxDone: ctx.Done()}
+	s.workers = opt.Workers
+	if s.workers == 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.workers > 1 {
+		s.pool = par.NewPool(s.workers)
+		defer s.pool.Close()
+	}
 	if err := s.prepare(spec); err != nil {
 		return nil, err
 	}
@@ -538,33 +573,40 @@ func (s *sim) prepare(spec *Spec) error {
 	if err := s.prepareFaults(); err != nil {
 		return err
 	}
-	scratch := make([]int32, 0, 256)
-	for i := range spec.Flows {
-		// Route construction dominates prepare on large systems; honour
-		// cancellation between batches so a canceled cell never has to
-		// finish routing hundreds of thousands of flows first.
-		if i&0xfff == 0 && s.canceled() {
-			return fmt.Errorf("flow: canceled while preparing routes (%d/%d flows): %w", i, f, s.ctx.Err())
+	switch {
+	case s.mrouter != nil:
+		// Adaptive mode: routes are chosen lazily by chooseRoute at
+		// injection time, when link loads are known.
+	case s.pool != nil && f >= parRouteMin:
+		if err := s.prepareRoutesParallel(spec, withLatency); err != nil {
+			return err
 		}
-		if s.mrouter != nil {
-			continue // chosen lazily by chooseRoute
-		}
-		fl := &spec.Flows[i]
-		if s.ft != nil {
-			var ok bool
-			scratch, ok = s.ft.RouteAppendOK(scratch[:0], int(fl.Src), int(fl.Dst))
-			if !ok {
-				// No surviving path: the flow is lost at injection time.
-				s.markLost(i)
-				continue
+	default:
+		scratch := make([]int32, 0, 256)
+		for i := range spec.Flows {
+			// Route construction dominates prepare on large systems; honour
+			// cancellation between batches so a canceled cell never has to
+			// finish routing hundreds of thousands of flows first.
+			if i&0xfff == 0 && s.canceled() {
+				return fmt.Errorf("flow: canceled while preparing routes (%d/%d flows): %w", i, f, s.ctx.Err())
 			}
-		} else {
-			scratch = s.t.RouteAppend(scratch[:0], int(fl.Src), int(fl.Dst))
+			fl := &spec.Flows[i]
+			if s.ft != nil {
+				var ok bool
+				scratch, ok = s.ft.RouteAppendOK(scratch[:0], int(fl.Src), int(fl.Dst))
+				if !ok {
+					// No surviving path: the flow is lost at injection time.
+					s.markLost(i)
+					continue
+				}
+			} else {
+				scratch = s.t.RouteAppend(scratch[:0], int(fl.Src), int(fl.Dst))
+			}
+			if withLatency {
+				s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
+			}
+			s.routes[i] = s.materialiseRoute(fl, scratch)
 		}
-		if withLatency {
-			s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
-		}
-		s.routes[i] = s.materialiseRoute(fl, scratch)
 	}
 
 	s.remaining = make([]float64, f)
@@ -596,19 +638,30 @@ func (s *sim) prepare(spec *Spec) error {
 	}
 	if s.opt.Metrics != nil {
 		s.stats = newEngineStats(s.opt.Metrics)
+		s.stats.workers.Set(float64(s.workers))
 	}
+	// Batch membership maintenance for sharded replay; the incremental
+	// state is only consulted at fill time, so joins and leaves can be
+	// queued until the next flushMembership (fills and fault events).
+	s.batching = s.pool != nil && !s.opt.ExactRecompute
 	return nil
 }
 
 // materialiseRoute copies a network path into arena storage, wrapping it
 // in the virtual injection/ejection port links unless ports are disabled.
 func (s *sim) materialiseRoute(fl *Flow, path []int32) []int32 {
+	return s.materialiseRouteIn(&s.routeArena, fl, path)
+}
+
+// materialiseRouteIn is materialiseRoute into an explicit arena, so the
+// sharded route construction can give each worker its own.
+func (s *sim) materialiseRouteIn(a *arena, fl *Flow, path []int32) []int32 {
 	if s.opt.DisablePorts {
-		r := s.routeArena.alloc(len(path))
+		r := a.alloc(len(path))
 		copy(r, path)
 		return r
 	}
-	r := s.routeArena.alloc(len(path) + 2)
+	r := a.alloc(len(path) + 2)
 	r[0] = s.injectionLink(fl.Src)
 	copy(r[1:], path)
 	r[len(r)-1] = s.ejectionLink(fl.Dst)
@@ -626,7 +679,11 @@ func (s *sim) activate(id int32, now float64) {
 		s.starts[id] = now
 	}
 	if !s.opt.ExactRecompute {
-		s.inc.join(s, id)
+		if s.batching {
+			s.queueMembership(id, true)
+		} else {
+			s.inc.join(s, id)
+		}
 	}
 	if s.activeOnLink != nil {
 		for _, l := range s.routes[id] {
@@ -645,7 +702,11 @@ func (s *sim) deactivate(id int32) {
 	s.active = s.active[:last]
 	s.activePos[id] = -1
 	if !s.opt.ExactRecompute {
-		s.inc.leave(s, id)
+		if s.batching {
+			s.queueMembership(id, false)
+		} else {
+			s.inc.leave(s, id)
+		}
 	}
 	if s.activeOnLink != nil {
 		for _, l := range s.routes[id] {
@@ -922,10 +983,15 @@ func (s *sim) run() (*Result, error) {
 		}
 
 		// Earliest completion among active flows.
-		tmin := math.Inf(1)
-		for _, id := range s.active {
-			if fin := s.remaining[id] / s.rate[id]; fin < tmin {
-				tmin = fin
+		var tmin float64
+		if s.pool != nil && len(s.active) >= parScanMin {
+			tmin = s.minFinishParallel()
+		} else {
+			tmin = math.Inf(1)
+			for _, id := range s.active {
+				if fin := s.remaining[id] / s.rate[id]; fin < tmin {
+					tmin = fin
+				}
 			}
 		}
 		if math.IsInf(tmin, 1) || tmin < 0 {
@@ -958,12 +1024,16 @@ func (s *sim) run() (*Result, error) {
 		now += dt
 		completed = completed[:0]
 		if dt > 0 {
-			for _, id := range s.active {
-				adv := s.rate[id] * dt
-				if s.remaining[id] <= adv*(1+1e-12) {
-					completed = append(completed, id)
-				} else {
-					s.remaining[id] -= adv
+			if s.pool != nil && len(s.active) >= parScanMin {
+				completed = s.advanceParallel(dt, completed)
+			} else {
+				for _, id := range s.active {
+					adv := s.rate[id] * dt
+					if s.remaining[id] <= adv*(1+1e-12) {
+						completed = append(completed, id)
+					} else {
+						s.remaining[id] -= adv
+					}
 				}
 			}
 		}

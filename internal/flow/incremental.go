@@ -61,8 +61,6 @@
 package flow
 
 import (
-	"slices"
-
 	"mtier/internal/obs"
 )
 
@@ -103,6 +101,16 @@ type incState struct {
 	cpos []int32   // counting-sort scratch: write cursor per count
 	shr  []float64 // counting-sort scratch: cap/count per distinct count
 	arr  []heapEntry
+
+	// Per-worker scratch of the parallel stages (parallel.go); empty
+	// unless the run has a pool.
+	pmax       []int32   // fill setup: per-shard max occupancy count
+	pcnt       [][]int32 // fill setup: per-shard count histograms
+	pcur       [][]int32 // fill setup: per-(shard, count) scatter cursors
+	pdirty     [][]int32 // batch replay: per-worker dirty marks
+	poccDirty  [][]int32 // batch replay: per-worker occupancy-flip marks
+	sortBuf    []int32   // sortIDs: merge double-buffer
+	sortBounds []int32   // sortIDs: run boundaries
 
 	flowSeen []int64 // closure visit stamps, per flow
 	affected []int32 // scratch: flows of the dirty closure
@@ -193,11 +201,11 @@ func (st *incState) leave(s *sim, id int32) {
 // repairOcc brings the id-sorted occupied list up to date with the
 // membership: one merge pass over the list and the (sorted) flipped
 // links, dropping the now-empty and inserting the newly occupied.
-func (st *incState) repairOcc() {
+func (st *incState) repairOcc(s *sim) {
 	if len(st.occDirty) == 0 {
 		return
 	}
-	slices.Sort(st.occDirty)
+	s.sortIDs(st.occDirty)
 	out := st.occScratch[:0]
 	i, d := 0, 0
 	for i < len(st.occSorted) || d < len(st.occDirty) {
@@ -273,6 +281,9 @@ func (s *sim) closure(budget int) bool {
 // covers most of the active set, everything — but from persistent state
 // rather than a rebuild), keeping frozen rates elsewhere.
 func (s *sim) waterfillIncremental() {
+	// Queued joins/leaves (batching mode) must land before the closure
+	// walk reads the membership.
+	s.flushMembership()
 	s.epoch++
 	st := &s.inc
 	target := len(s.active)
@@ -303,10 +314,10 @@ func (s *sim) waterfillIncremental() {
 	var affected, filled int
 	if restricted {
 		affected, filled = len(st.affected), len(st.region)
-		slices.Sort(st.region)
+		s.sortIDs(st.region)
 		s.fillSorted(st.region, affected)
 	} else {
-		st.repairOcc()
+		st.repairOcc(s)
 		affected, filled = target, len(st.occSorted)
 		s.fillSorted(st.occSorted, target)
 	}
@@ -336,51 +347,12 @@ func (s *sim) waterfillIncremental() {
 // (see the identity argument at the top of this file).
 func (s *sim) fillSorted(links []int32, target int) {
 	st := &s.inc
-	// Pass 1: residuals, counts and the occupancy bound for the
-	// counting sort.
-	maxC := int32(0)
-	for _, l := range links {
-		c := st.nActive[l]
-		s.residual[l] = s.cap
-		s.count[l] = c
-		if c > maxC {
-			maxC = c
-		}
-	}
-	if int(maxC) >= len(st.cnt) {
-		n := int(maxC) + 1
-		st.cnt = append(st.cnt, make([]int32, n-len(st.cnt))...)
-		st.cpos = append(st.cpos, make([]int32, n-len(st.cpos))...)
-		st.shr = append(st.shr, make([]float64, n-len(st.shr))...)
-	}
-	for _, l := range links {
-		st.cnt[s.count[l]]++
-	}
-	// Write cursors for descending count = ascending share, one division
-	// per distinct count instead of one per link.
-	off := int32(0)
-	for c := maxC; c >= 1; c-- {
-		if st.cnt[c] == 0 {
-			continue
-		}
-		st.shr[c] = s.cap / float64(c)
-		st.cpos[c] = off
-		off += st.cnt[c]
-	}
-	if cap(st.arr) < len(links) {
-		st.arr = make([]heapEntry, len(links))
+	if s.pool != nil && len(links) >= parFillMin {
+		s.fillSetupParallel(links)
+	} else {
+		s.fillSetupSerial(links)
 	}
 	arr := st.arr[:len(links)]
-	// Pass 2 is stable, so links stay id-ascending within a count
-	// bucket: exactly the (share, link) total order of the reference.
-	for _, l := range links {
-		c := s.count[l]
-		arr[st.cpos[c]] = heapEntry{st.shr[c], l}
-		st.cpos[c]++
-	}
-	for c := maxC; c >= 1; c-- {
-		st.cnt[c] = 0
-	}
 
 	ovf := &s.work
 	ovf.e = ovf.e[:0]
@@ -433,6 +405,61 @@ func (s *sim) fillSorted(links []int32, target int) {
 				s.count[l2]--
 			}
 		}
+	}
+}
+
+// fillSetupSerial resets residuals and counts and counting-sorts the
+// links into st.arr in (share, id) order — the serial reference for
+// fillSetupParallel.
+func (s *sim) fillSetupSerial(links []int32) {
+	st := &s.inc
+	// Pass 1: residuals, counts and the occupancy bound for the
+	// counting sort.
+	maxC := int32(0)
+	for _, l := range links {
+		c := st.nActive[l]
+		s.residual[l] = s.cap
+		s.count[l] = c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Grown independently: st.shr is shared with fillSetupParallel, which
+	// may already have stretched it past the scratch the serial setup uses.
+	if n := int(maxC) + 1; n > len(st.cnt) {
+		st.cnt = append(st.cnt, make([]int32, n-len(st.cnt))...)
+		st.cpos = append(st.cpos, make([]int32, n-len(st.cpos))...)
+	}
+	if n := int(maxC) + 1; n > len(st.shr) {
+		st.shr = append(st.shr, make([]float64, n-len(st.shr))...)
+	}
+	for _, l := range links {
+		st.cnt[s.count[l]]++
+	}
+	// Write cursors for descending count = ascending share, one division
+	// per distinct count instead of one per link.
+	off := int32(0)
+	for c := maxC; c >= 1; c-- {
+		if st.cnt[c] == 0 {
+			continue
+		}
+		st.shr[c] = s.cap / float64(c)
+		st.cpos[c] = off
+		off += st.cnt[c]
+	}
+	if cap(st.arr) < len(links) {
+		st.arr = make([]heapEntry, len(links))
+	}
+	arr := st.arr[:len(links)]
+	// Pass 2 is stable, so links stay id-ascending within a count
+	// bucket: exactly the (share, link) total order of the reference.
+	for _, l := range links {
+		c := s.count[l]
+		arr[st.cpos[c]] = heapEntry{st.shr[c], l}
+		st.cpos[c]++
+	}
+	for c := maxC; c >= 1; c-- {
+		st.cnt[c] = 0
 	}
 }
 
@@ -520,6 +547,15 @@ type engineStats struct {
 	killedLinks   *obs.Counter
 	reroutedFlows *obs.Counter
 	lostFlows     *obs.Counter
+
+	// Intra-run parallelism (see parallel.go): the worker-pool size and
+	// how many times each sharded stage actually ran.
+	workers    *obs.Gauge
+	parRoutes  *obs.Counter
+	parFills   *obs.Counter
+	parBatches *obs.Counter
+	parScans   *obs.Counter
+	parSorts   *obs.Counter
 }
 
 func newEngineStats(reg *obs.Registry) *engineStats {
@@ -534,5 +570,12 @@ func newEngineStats(reg *obs.Registry) *engineStats {
 		killedLinks:   reg.Counter("flow.fault.killed_links"),
 		reroutedFlows: reg.Counter("flow.fault.rerouted_flows"),
 		lostFlows:     reg.Counter("flow.fault.disconnected_flows"),
+
+		workers:    reg.Gauge("flow.workers"),
+		parRoutes:  reg.Counter("flow.shard.routes"),
+		parFills:   reg.Counter("flow.shard.fills"),
+		parBatches: reg.Counter("flow.shard.batches"),
+		parScans:   reg.Counter("flow.shard.scans"),
+		parSorts:   reg.Counter("flow.shard.sorts"),
 	}
 }

@@ -8,8 +8,8 @@ package metrics
 
 import (
 	"runtime"
-	"sync"
 
+	"mtier/internal/par"
 	"mtier/internal/topo"
 	"mtier/internal/xrand"
 )
@@ -110,39 +110,40 @@ func Distances(t topo.Topology, opt Options) DistanceStats {
 }
 
 // exhaustive enumerates all ordered distinct pairs, partitioned by source
-// across workers.
+// across a fork-join pool. The striped src partitioning and shard-order
+// merge are kept exactly as the original goroutine version laid them
+// out, so measured values are unchanged for any worker count (integer
+// histograms and per-worker partial sums merged in a fixed order).
 func exhaustive(t topo.Topology, d distancer, n, workers int) DistanceStats {
 	if workers > n {
 		workers = n
 	}
 	results := make([]DistanceStats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var buf []int32
-			local := &results[w]
-			local.Histogram = make([]int64, 16)
-			sum := 0.0
-			for src := w; src < n; src += workers {
-				for dst := 0; dst < n; dst++ {
-					if src == dst {
-						continue
-					}
-					dist := distanceOf(t, d, &buf, src, dst)
-					sum += float64(dist)
-					local.record(dist)
+	p := par.NewPool(workers)
+	defer p.Close()
+	p.Run(func(w int) {
+		var buf []int32
+		local := &results[w]
+		local.Histogram = make([]int64, 16)
+		sum := 0.0
+		for src := w; src < n; src += workers {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
 				}
+				dist := distanceOf(t, d, &buf, src, dst)
+				sum += float64(dist)
+				local.record(dist)
 			}
-			local.Mean = sum
-		}(w)
-	}
-	wg.Wait()
+		}
+		local.Mean = sum
+	})
 	return merge(results, int64(n)*int64(n-1))
 }
 
-// sampled draws random ordered distinct pairs.
+// sampled draws random ordered distinct pairs, one deterministic
+// sub-stream per worker (seed split by worker index), so the estimate
+// is a pure function of (seed, workers) — scheduling never moves it.
 func sampled(t topo.Topology, d distancer, n int, opt Options) DistanceStats {
 	workers := opt.Workers
 	per := opt.Samples / workers
@@ -150,27 +151,23 @@ func sampled(t topo.Topology, d distancer, n int, opt Options) DistanceStats {
 		per = 1
 	}
 	results := make([]DistanceStats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := xrand.New(opt.Seed).SplitN("metrics", w)
-			var buf []int32
-			local := &results[w]
-			local.Histogram = make([]int64, 16)
-			sum := 0.0
-			for i := 0; i < per; i++ {
-				src := rng.Intn(n)
-				dst := rng.IntnExcept(n, src)
-				dist := distanceOf(t, d, &buf, src, dst)
-				sum += float64(dist)
-				local.record(dist)
-			}
-			local.Mean = sum
-		}(w)
-	}
-	wg.Wait()
+	p := par.NewPool(workers)
+	defer p.Close()
+	p.Run(func(w int) {
+		rng := xrand.New(opt.Seed).SplitN("metrics", w)
+		var buf []int32
+		local := &results[w]
+		local.Histogram = make([]int64, 16)
+		sum := 0.0
+		for i := 0; i < per; i++ {
+			src := rng.Intn(n)
+			dst := rng.IntnExcept(n, src)
+			dist := distanceOf(t, d, &buf, src, dst)
+			sum += float64(dist)
+			local.record(dist)
+		}
+		local.Mean = sum
+	})
 	return merge(results, int64(workers)*int64(per))
 }
 

@@ -1,0 +1,169 @@
+// Package par provides a small fixed-size fork-join worker pool for
+// deterministic data-parallel stages.
+//
+// The pool exists for code whose results must not depend on scheduling:
+// callers split their work into per-worker shards with a deterministic
+// shape (Shard), have every worker write only into its own shard's
+// state, and merge the per-shard results serially in shard order. Run
+// itself guarantees nothing beyond "fn(w) ran once for every w < Workers
+// and all of them finished"; the determinism comes from the sharding
+// discipline, which the flow engine's parallel stages document and the
+// differential tests enforce bit-for-bit.
+//
+// A pool pins its helper goroutines once at construction; each Run is
+// one synchronous fork-join over them, with the caller participating as
+// worker 0, so a serial pool (one worker, or a nil *Pool) degrades to a
+// plain function call with no goroutines and no synchronisation.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool is a fixed-size fork-join worker pool. The zero value is not
+// usable; construct with NewPool. A nil *Pool is valid and serial.
+//
+// Pool methods must not be called concurrently with each other: a pool
+// serves one fork-join at a time (the engine's parallel stages are
+// strictly sequential, each an internal barrier of an otherwise serial
+// algorithm).
+type Pool struct {
+	workers int
+	calls   []chan call // one per helper goroutine (workers-1 of them)
+}
+
+type call struct {
+	fn     func(w int)
+	w      int
+	wg     *sync.WaitGroup
+	panics []any // per-worker capture slots, re-raised by Run
+}
+
+// WorkerPanic wraps a panic that escaped a helper worker's fn, with the
+// worker index and the stack captured at the panic site. Run re-raises
+// it on the forking goroutine so fork-join callers (and their recover
+// layers, e.g. a sweep's supervised runner) see worker failures as
+// ordinary panics.
+type WorkerPanic struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker %d panicked: %v\n%s", p.Worker, p.Value, p.Stack)
+}
+
+// NewPool returns a pool of max(1, workers) workers; workers <= 0 is
+// clamped to GOMAXPROCS. The helper goroutines live until Close.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.calls = make([]chan call, workers-1)
+	for i := range p.calls {
+		ch := make(chan call)
+		p.calls[i] = ch
+		go worker(ch)
+	}
+	return p
+}
+
+func worker(ch chan call) {
+	for c := range ch {
+		run(c)
+	}
+}
+
+// run executes one worker's share, capturing a panic instead of letting
+// it kill the process from an anonymous goroutine.
+func run(c call) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.panics[c.w] = &WorkerPanic{Worker: c.w, Value: v, Stack: debug.Stack()}
+		}
+		c.wg.Done()
+	}()
+	c.fn(c.w)
+}
+
+// Workers returns the pool size; 1 for a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(w) once for every worker index w in [0, Workers) and
+// returns when all have finished — one fork-join. The calling goroutine
+// runs worker 0 itself. If any fn panicked, Run re-panics with the
+// lowest-indexed worker's *WorkerPanic after every worker has finished,
+// so shared state is never abandoned mid-write by a surviving worker.
+func (p *Pool) Run(fn func(w int)) {
+	if p == nil || p.workers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, p.workers)
+	wg.Add(p.workers)
+	for i, ch := range p.calls {
+		ch <- call{fn: fn, w: i + 1, wg: &wg, panics: panics}
+	}
+	run(call{fn: fn, w: 0, wg: &wg, panics: panics})
+	wg.Wait()
+	for _, v := range panics {
+		if v != nil {
+			panic(v)
+		}
+	}
+}
+
+// ForShards partitions [0, n) into Workers contiguous shards (sizes
+// differing by at most one, in index order — the same shape as Shard)
+// and runs fn(shard, lo, hi) for each non-empty shard, one per worker.
+func (p *Pool) ForShards(n int, fn func(shard, lo, hi int)) {
+	w := p.Workers()
+	p.Run(func(shard int) {
+		lo, hi := Shard(n, shard, w)
+		if lo < hi {
+			fn(shard, lo, hi)
+		}
+	})
+}
+
+// Shard returns the half-open range of shard `shard` when [0, n) is
+// split into `workers` contiguous pieces, the first n%workers of them
+// one element larger. It is the pool's sharding shape, exported so
+// merge passes can recompute per-shard boundaries deterministically.
+func Shard(n, shard, workers int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = shard * q
+	if shard < r {
+		lo += shard
+	} else {
+		lo += r
+	}
+	hi = lo + q
+	if shard < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// Close shuts the helper goroutines down. The pool must not be used
+// afterwards. Close on a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.calls {
+		close(ch)
+	}
+	p.calls = nil
+}

@@ -1,0 +1,133 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 101} {
+			next := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Shard(n, w, workers)
+				if lo != next {
+					t.Fatalf("n=%d workers=%d shard %d: lo=%d want %d", n, workers, w, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d workers=%d shard %d: hi=%d < lo=%d", n, workers, w, hi, lo)
+				}
+				if size := hi - lo; size != n/workers && size != n/workers+1 {
+					t.Fatalf("n=%d workers=%d shard %d: unbalanced size %d", n, workers, w, size)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d workers=%d: shards cover [0,%d) not [0,%d)", n, workers, next, n)
+			}
+		}
+	}
+}
+
+func TestRunEveryWorkerOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for round := 0; round < 50; round++ {
+			ran := make([]int32, workers)
+			p.Run(func(w int) { atomic.AddInt32(&ran[w], 1) })
+			for w, c := range ran {
+				if c != 1 {
+					t.Fatalf("workers=%d round=%d: worker %d ran %d times", workers, round, w, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	ran := 0
+	p.Run(func(w int) {
+		if w != 0 {
+			t.Fatalf("nil pool ran worker %d", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("nil pool ran fn %d times", ran)
+	}
+	p.ForShards(10, func(shard, lo, hi int) {
+		if shard != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool shard (%d,%d,%d)", shard, lo, hi)
+		}
+	})
+	p.Close() // must not panic
+}
+
+func TestForShardsDisjointSum(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1001
+	marks := make([]int32, n)
+	p.ForShards(n, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i]++
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("element %d visited %d times", i, m)
+		}
+	}
+	// n smaller than the pool: the surplus shards must stay empty, not
+	// fire with inverted ranges.
+	hit := int32(0)
+	p.ForShards(2, func(shard, lo, hi int) {
+		if hi-lo != 1 {
+			t.Fatalf("shard %d got range [%d,%d)", shard, lo, hi)
+		}
+		atomic.AddInt32(&hit, 1)
+	})
+	if hit != 2 {
+		t.Fatalf("2 elements dispatched to %d shards", hit)
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, bad := range []int{0, 2} { // caller-run worker and a helper
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("panic in worker %d was swallowed", bad)
+				}
+				wp, ok := v.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("recovered %T, want *WorkerPanic", v)
+				}
+				if wp.Worker != bad || wp.Value != "boom" {
+					t.Fatalf("got worker %d value %v", wp.Worker, wp.Value)
+				}
+			}()
+			p.Run(func(w int) {
+				if w == bad {
+					panic("boom")
+				}
+			})
+		}()
+		// The pool must survive a panicked fork-join.
+		ok := make([]int32, p.Workers())
+		p.Run(func(w int) { atomic.AddInt32(&ok[w], 1) })
+		for w, c := range ok {
+			if c != 1 {
+				t.Fatalf("after panic: worker %d ran %d times", w, c)
+			}
+		}
+	}
+}

@@ -1,14 +1,22 @@
 package topo_test
 
-// Route-validity sweeps over the irregular topology families. The regular
-// families (torus, fat-tree, nests) are checked in their own packages; the
+// Route-validity sweeps over the irregular topology families, plus
+// cross-family routing property tests. The regular families (torus,
+// fat-tree, nests) have structural checks in their own packages; the
 // dragonfly and jellyfish routing functions involve global-link selection
 // and randomised wiring respectively, so their routes are validated here
 // with the shared checkers, including the MultiRouter candidate contract.
+// The property tests at the bottom hold for every family at once: route
+// lengths are symmetric, never beat a BFS shortest path over the link
+// table, and the sampled distance estimator tracks the exhaustive one.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
+	"mtier/internal/core"
+	"mtier/internal/metrics"
 	"mtier/internal/topo"
 	"mtier/internal/topo/dragonfly"
 	"mtier/internal/topo/jellyfish"
@@ -57,4 +65,191 @@ func TestJellyfishSeededRoutesValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkAllPairs(t, jf, 1, 1)
+}
+
+// propertyFamilies builds the paper's four-family grid at property-test
+// scale, the hybrids at the (2,4) design point, plus the two irregular
+// families validated above.
+func propertyFamilies(t testing.TB) map[string]topo.Topology {
+	t.Helper()
+	out := make(map[string]topo.Topology)
+	for _, f := range []struct {
+		kind  core.TopoKind
+		tt, u int
+	}{
+		{core.Torus3D, 0, 0}, {core.Fattree, 0, 0}, {core.NestTree, 2, 4}, {core.NestGHC, 2, 4},
+	} {
+		top, err := core.BuildTopology(f.kind, 64, f.tt, f.u)
+		if err != nil {
+			t.Fatalf("building %s: %v", f.kind, err)
+		}
+		out[string(f.kind)] = top
+	}
+	df, err := dragonfly.NewBalanced(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dragonfly"] = df
+	jf, err := jellyfish.New(12, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["jellyfish"] = jf
+	return out
+}
+
+// adjacency expands the link table into an outgoing adjacency list.
+func adjacency(top topo.Topology) [][]int32 {
+	adj := make([][]int32, top.NumVertices())
+	for _, l := range top.Links() {
+		adj[l.From] = append(adj[l.From], l.To)
+	}
+	return adj
+}
+
+// bfsDistances returns hop distances from src to every vertex over the
+// raw link table (-1 where unreachable).
+func bfsDistances(adj [][]int32, src int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// TestRouteLengthSymmetry: every family's deterministic routing yields
+// d(a,b) == d(b,a) — the property that lets Table 1 report one distance
+// distribution per topology instead of one per direction. The paths may
+// differ (D-mod-k picks different intermediate switches each way); only
+// the hop counts must agree.
+func TestRouteLengthSymmetry(t *testing.T) {
+	for name, top := range propertyFamilies(t) {
+		name, top := name, top
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := top.NumEndpoints()
+			var a, b []int32
+			for src := 0; src < n; src++ {
+				for dst := src + 1; dst < n; dst++ {
+					a = top.RouteAppend(a[:0], src, dst)
+					b = top.RouteAppend(b[:0], dst, src)
+					if len(a) != len(b) {
+						t.Fatalf("asymmetric distance: %d->%d is %d hops, %d->%d is %d hops",
+							src, dst, len(a), dst, src, len(b))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouteNeverBeatsBFS: a deterministic route can detour (D-mod-k,
+// dimension order) but can never be shorter than the true shortest path
+// over the link table. A violation means the route skipped links — a
+// corrupted route or link table.
+func TestRouteNeverBeatsBFS(t *testing.T) {
+	for name, top := range propertyFamilies(t) {
+		name, top := name, top
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := top.NumEndpoints()
+			adj := adjacency(top)
+			var buf []int32
+			for src := 0; src < n; src += 3 {
+				dist := bfsDistances(adj, src)
+				for dst := 0; dst < n; dst++ {
+					if dst == src {
+						continue
+					}
+					if dist[dst] < 0 {
+						t.Fatalf("endpoint %d unreachable from %d", dst, src)
+					}
+					buf = top.RouteAppend(buf[:0], src, dst)
+					if len(buf) < dist[dst] {
+						t.Fatalf("route %d->%d has %d hops, below the BFS shortest path of %d",
+							src, dst, len(buf), dist[dst])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSampledDistancesTrackExhaustive: on instances small enough to
+// enumerate, the Monte-Carlo estimator (forced on via ExhaustiveLimit=1)
+// must agree with the exhaustive distribution: mean within a few percent,
+// and no sampled distance outside the true support. The sampled mean is
+// recomputed from the histogram so analytic AvgDistance/Diameter hooks
+// cannot mask a broken sampler.
+func TestSampledDistancesTrackExhaustive(t *testing.T) {
+	for name, top := range propertyFamilies(t) {
+		name, top := name, top
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exact := metrics.Distances(top, metrics.Options{Workers: 2})
+			if !exact.ExactMean {
+				t.Fatal("small instance was not measured exhaustively")
+			}
+			sampled := metrics.Distances(top, metrics.Options{
+				ExhaustiveLimit: 1, // force sampling
+				Samples:         200_000,
+				Seed:            3,
+				Workers:         4,
+			})
+			histMean := func(s metrics.DistanceStats) float64 {
+				var pairs, sum int64
+				for d, c := range s.Histogram {
+					pairs += c
+					sum += int64(d) * c
+				}
+				return float64(sum) / float64(pairs)
+			}
+			em, sm := histMean(exact), histMean(sampled)
+			if rel := math.Abs(sm-em) / em; rel > 0.05 {
+				t.Fatalf("sampled mean %.4f vs exhaustive %.4f: relative error %.2f%% exceeds 5%%", sm, em, 100*rel)
+			}
+			for d, c := range sampled.Histogram {
+				if c == 0 {
+					continue
+				}
+				if d >= len(exact.Histogram) || exact.Histogram[d] == 0 {
+					t.Fatalf("sampled %d pairs at distance %d, which no exhaustive pair has", c, d)
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustiveDistancesWorkerInvariant: the exhaustive measurement is
+// a pure function of the topology — the worker count must not move a
+// single histogram bucket or the mean's bits.
+func TestExhaustiveDistancesWorkerInvariant(t *testing.T) {
+	for name, top := range propertyFamilies(t) {
+		name, top := name, top
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref := metrics.Distances(top, metrics.Options{Workers: 1})
+			for _, w := range []int{2, 3, 8} {
+				got := metrics.Distances(top, metrics.Options{Workers: w})
+				if math.Float64bits(got.Mean) != math.Float64bits(ref.Mean) || got.Max != ref.Max || got.Pairs != ref.Pairs {
+					t.Fatalf("workers=%d moved the stats: mean %v vs %v, max %d vs %d", w, got.Mean, ref.Mean, got.Max, ref.Max)
+				}
+				if fmt.Sprint(got.Histogram) != fmt.Sprint(ref.Histogram) {
+					t.Fatalf("workers=%d moved the histogram: %v vs %v", w, got.Histogram, ref.Histogram)
+				}
+			}
+		})
+	}
 }

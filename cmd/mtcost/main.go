@@ -20,8 +20,9 @@ import (
 
 func main() {
 	var (
-		n   = flag.Int("n", 8192, "total number of QFDBs (endpoints)")
-		csv = flag.Bool("csv", false, "emit CSV")
+		n       = flag.Int("n", 8192, "total number of QFDBs (endpoints)")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		jsonOut = flag.Bool("json", false, "emit the table as a schema'd JSON document")
 	)
 	m := cost.DefaultModel()
 	flag.Float64Var(&m.NodeCost, "nodecost", m.NodeCost, "unit cost of one QFDB")
@@ -44,9 +45,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtcost:", err)
 		os.Exit(1)
 	}
-	if *csv {
+	switch {
+	case *jsonOut:
+		_ = tab.WriteJSON(os.Stdout, "mtier/cost-record/v1")
+	case *csv:
 		_ = tab.WriteCSV(os.Stdout)
-	} else {
+	default:
 		_ = tab.WriteText(os.Stdout)
 	}
 }

@@ -74,6 +74,7 @@ func main() {
 		cellTimeout = flag.Duration("celltimeout", 0, "per-cell deadline (0 = none); timed-out cells are retried")
 		retries     = flag.Int("retries", 0, "extra same-seed attempts for a cell that exceeds -celltimeout")
 		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
+		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -117,13 +118,23 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	err = run(ctx, specs, fracs, *csv, *progress, *records, *fpr, core.DegradationOptions{
+	var srv *obs.Server
+	var metrics *obs.Registry
+	if *obsAddr != "" {
+		metrics = obs.NewRegistry()
+		if srv, err = obs.NewServer(*obsAddr, metrics); err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mtfault: observability endpoint on http://"+srv.Addr())
+	}
+	err = run(ctx, specs, fracs, *csv, *progress, *records, *fpr, srv, core.DegradationOptions{
 		Model:     model,
 		FaultSeed: *faultSeed,
 		Clusters:  *clusters,
 		Workload:  w,
 		Params:    workload.Params{Tasks: *tasks, Seed: *seed, MsgBytes: *msg},
-		Sim:       flow.Options{RelEpsilon: *eps, Workers: *simWorkers},
+		Sim:       flow.Options{RelEpsilon: *eps, Workers: *simWorkers, Metrics: metrics},
 		Workers:   *workers,
 		Runner:    runner,
 		Journal:   journal,
@@ -218,7 +229,7 @@ func parseFractions(list string) ([]float64, error) {
 	return out, nil
 }
 
-func run(ctx context.Context, specs []core.TopoSpec, fracs []float64, csv, progress bool, records string, fpr bool, opt core.DegradationOptions) error {
+func run(ctx context.Context, specs []core.TopoSpec, fracs []float64, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.DegradationOptions) error {
 	var meter *obs.ProgressMeter
 	nFracs := len(fracs)
 	hasZero := false
@@ -232,6 +243,13 @@ func run(ctx context.Context, specs []core.TopoSpec, fracs []float64, csv, progr
 	}
 	if progress {
 		meter = obs.NewProgressMeter(os.Stderr, len(specs)*nFracs)
+	} else if srv != nil {
+		// Writer-less meter: /progress still serves counts without a
+		// terminal line.
+		meter = obs.NewProgressMeter(nil, len(specs)*nFracs)
+	}
+	if srv != nil {
+		srv.SetProgress(meter)
 	}
 
 	var recMu sync.Mutex
@@ -252,8 +270,13 @@ func run(ctx context.Context, specs []core.TopoSpec, fracs []float64, csv, progr
 		}()
 	}
 
-	opt.OnCell = func(spec core.TopoSpec, fraction float64, res *core.RunResult) {
-		meter.Step(fmt.Sprintf("%s @%g%%", spec.Kind, fraction*100))
+	opt.OnCell = func(spec core.TopoSpec, fraction float64, res *core.RunResult, cached bool) {
+		label := fmt.Sprintf("%s @%g%%", spec.Kind, fraction*100)
+		if cached {
+			meter.StepCached(label)
+		} else {
+			meter.Step(label)
+		}
 		if recW != nil {
 			line, err := res.Record().MarshalLine()
 			recMu.Lock()

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mtier/internal/core"
@@ -31,6 +33,7 @@ func main() {
 		jobs     = flag.Int("jobs", 10, "number of synthetic jobs")
 		alloc    = flag.String("alloc", "firstfit", "allocation policy: firstfit|randomfit")
 		seed     = flag.Int64("seed", 1, "job stream seed")
+		jsonOut  = flag.Bool("json", false, "emit the schedule as a schema'd JSON document")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -91,17 +94,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtsched:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("machine: %s (%d endpoints), allocation: %s\n\n", top.Name(), top.NumEndpoints(), *alloc)
-	fmt.Printf("%-28s %8s %8s %10s %10s %10s %8s %6s\n",
-		"job", "tasks", "submit", "start", "end", "run", "wait", "stretch")
 	var end, waits float64
-	for i, e := range events {
+	for _, e := range events {
 		if e.End > end {
 			end = e.End
 		}
 		waits += e.WaitTime
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, *seed, list, events, end, waits); err != nil {
+			fmt.Fprintln(os.Stderr, "mtsched:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("machine: %s (%d endpoints), allocation: %s\n\n", top.Name(), top.NumEndpoints(), *alloc)
+	fmt.Printf("%-28s %8s %8s %10s %10s %10s %8s %6s\n",
+		"job", "tasks", "submit", "start", "end", "run", "wait", "stretch")
+	for i, e := range events {
 		fmt.Printf("%-28s %8d %8.3f %10.4f %10.4f %10.4f %8.4f %6.2f\n",
 			e.Name, list[i].Params.Tasks, e.Submit, e.Start, e.End, e.RunTime, e.WaitTime, e.Stretch)
 	}
 	fmt.Printf("\nmakespan: %.4f s   mean wait: %.4f s\n", end, waits/float64(len(events)))
+}
+
+// schedJob is one scheduled job in the JSON document.
+type schedJob struct {
+	Name     string  `json:"name"`
+	Workload string  `json:"workload"`
+	Tasks    int     `json:"tasks"`
+	Submit   float64 `json:"submit_s"`
+	Start    float64 `json:"start_s"`
+	End      float64 `json:"end_s"`
+	Run      float64 `json:"run_s"`
+	Wait     float64 `json:"wait_s"`
+	Stretch  float64 `json:"stretch"`
+	Flows    int     `json:"flows"`
+}
+
+// schedDocument is the schema'd JSON form of one mtsched run. The
+// scheduler has no per-run RunResult (each job runs its own simulation),
+// so this is its own record type rather than a run record.
+type schedDocument struct {
+	Schema     string     `json:"schema"`
+	Machine    string     `json:"machine"`
+	Endpoints  int        `json:"endpoints"`
+	Allocation string     `json:"allocation"`
+	Seed       int64      `json:"seed"`
+	Jobs       []schedJob `json:"jobs"`
+	MakespanS  float64    `json:"makespan_s"`
+	MeanWaitS  float64    `json:"mean_wait_s"`
+}
+
+func writeJSON(w io.Writer, machine string, endpoints int, alloc string, seed int64, list []sched.Job, events []sched.Event, end, waits float64) error {
+	doc := schedDocument{
+		Schema:     "mtier/sched-record/v1",
+		Machine:    machine,
+		Endpoints:  endpoints,
+		Allocation: alloc,
+		Seed:       seed,
+		Jobs:       make([]schedJob, len(events)),
+		MakespanS:  end,
+	}
+	if len(events) > 0 {
+		doc.MeanWaitS = waits / float64(len(events))
+	}
+	for i, e := range events {
+		doc.Jobs[i] = schedJob{
+			Name:     e.Name,
+			Workload: string(list[i].Workload),
+			Tasks:    list[i].Params.Tasks,
+			Submit:   e.Submit,
+			Start:    e.Start,
+			End:      e.End,
+			Run:      e.RunTime,
+			Wait:     e.WaitTime,
+			Stretch:  e.Stretch,
+			Flows:    e.FlowCount,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"mtier/internal/flow"
 	"mtier/internal/obs"
 	"mtier/internal/place"
+	"mtier/internal/trace"
 	"mtier/internal/workload"
 )
 
@@ -52,6 +54,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
 		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no deadline)")
+		traceEvt = flag.String("traceevents", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
+		hotspots = flag.Int("hotspots", 0, "report the K hottest links and per-tier utilization tables (0 = off)")
+		obsAddr  = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -89,6 +94,16 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	var metrics *obs.Registry
+	if *obsAddr != "" {
+		metrics = obs.NewRegistry()
+		srv, err := obs.NewServer(*obsAddr, metrics)
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mtsim: observability endpoint on http://"+srv.Addr())
+	}
 	err = run(ctx, core.Config{
 		Kind:      kind,
 		Endpoints: *n,
@@ -110,8 +125,10 @@ func main() {
 			AdaptiveRouting: *adaptive,
 			ExactRecompute:  *exact,
 			Workers:         *workers,
+			HotspotK:        *hotspots,
+			Metrics:         metrics,
 		},
-	}, *traceOut, *epochCSV, *jsonOut)
+	}, *traceOut, *epochCSV, *traceEvt, *jsonOut)
 	stop()
 	if err != nil {
 		switch {
@@ -131,7 +148,7 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, cfg core.Config, traceOut, epochCSV string, jsonOut bool) error {
+func run(ctx context.Context, cfg core.Config, traceOut, epochCSV, traceEvt string, jsonOut bool) error {
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -156,10 +173,28 @@ func run(ctx context.Context, cfg core.Config, traceOut, epochCSV string, jsonOu
 		rec = obs.NewEpochRecorder(nil)
 		cfg.Sim.Probe = rec
 	}
+	var flight *trace.Recorder
+	if traceEvt != "" {
+		flight = trace.NewRecorder()
+		cfg.Sim.Tracer = flight
+	}
 	start := time.Now()
 	res, err := core.RunContext(ctx, cfg, nil)
 	if err != nil {
 		return err
+	}
+	if flight != nil {
+		f, err := os.Create(traceEvt)
+		if err != nil {
+			return err
+		}
+		if err := flight.WriteTraceEvents(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace events: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing trace events: %w", err)
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(epochCSV)
@@ -190,5 +225,32 @@ func run(ctx context.Context, cfg core.Config, traceOut, epochCSV string, jsonOu
 	fmt.Printf("phases:              build %.3fs  workload %.3fs  simulate %.3fs\n",
 		res.Phases.BuildSeconds, res.Phases.WorkloadSeconds, res.Phases.SimulateSeconds)
 	fmt.Printf("wall time:           %v\n", time.Since(start))
+	if res.Result.Hotspots != nil {
+		printHotspots(os.Stdout, res.Result.Hotspots)
+	}
 	return nil
+}
+
+// printHotspots renders the hot-spot attribution report: the K hottest
+// links by time-integrated bytes, then the per-tier utilization and
+// path-composition tables.
+func printHotspots(w io.Writer, rep *flow.HotspotReport) {
+	fmt.Fprintf(w, "\nhottest links (top %d by bytes carried):\n", rep.K)
+	fmt.Fprintf(w, "  %6s  %6s  %6s  %-10s  %12s  %6s\n", "link", "from", "to", "tier", "bytes", "util")
+	for _, l := range rep.TopLinks {
+		fmt.Fprintf(w, "  %6d  %6d  %6d  %-10s  %12.4g  %6.3f\n",
+			l.Link, l.From, l.To, l.TierName, l.Bytes, l.Utilization)
+	}
+	fmt.Fprintln(w, "\nper-tier utilization:")
+	fmt.Fprintf(w, "  %-10s  %6s  %6s  %12s  %9s  %9s  %s\n",
+		"tier", "links", "active", "bytes", "mean util", "max util", "histogram 0..1")
+	for _, t := range rep.Tiers {
+		fmt.Fprintf(w, "  %-10s  %6d  %6d  %12.4g  %9.3f  %9.3f  %v\n",
+			t.Name, t.Links, t.ActiveLinks, t.Bytes, t.MeanUtilization, t.MaxUtilization, t.Histogram)
+	}
+	fmt.Fprintln(w, "\nper-tier path composition:")
+	fmt.Fprintf(w, "  %-10s  %10s  %9s  %8s\n", "tier", "flows", "mean hops", "max hops")
+	for _, t := range rep.Tiers {
+		fmt.Fprintf(w, "  %-10s  %10d  %9.3f  %8d\n", t.Name, t.FlowsTraversing, t.MeanHops, t.MaxHops)
+	}
 }

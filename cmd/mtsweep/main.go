@@ -66,6 +66,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "extra same-seed attempts for a cell that exceeds -celltimeout")
 		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
 		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism / resume check)")
+		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -114,12 +115,22 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	err = sweep(ctx, kinds, *n, *workers, *csv, *progress, *records, *fpr, core.PanelOptions{
+	var srv *obs.Server
+	var metrics *obs.Registry
+	if *obsAddr != "" {
+		metrics = obs.NewRegistry()
+		if srv, err = obs.NewServer(*obsAddr, metrics); err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mtsweep: observability endpoint on http://"+srv.Addr())
+	}
+	err = sweep(ctx, kinds, *n, *workers, *csv, *progress, *records, *fpr, srv, core.PanelOptions{
 		Seed:     *seed,
 		Tasks:    *tasks,
 		MsgBytes: *msg,
 		Workers:  *workers,
-		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: *simWorkers},
+		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: *simWorkers, Metrics: metrics},
 		Runner:   runner,
 		Journal:  journal,
 	})
@@ -168,7 +179,7 @@ func openJournal(journalPath, resumePath string) (*core.Journal, error) {
 	}
 }
 
-func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, progress bool, records string, fpr bool, opt core.PanelOptions) error {
+func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
 	start := time.Now()
 	set, err := core.BuildSetContext(ctx, n, workers)
 	if err != nil {
@@ -180,6 +191,13 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 	var meter *obs.ProgressMeter
 	if progress {
 		meter = obs.NewProgressMeter(os.Stderr, len(kinds)*core.PanelCells(set))
+	} else if srv != nil {
+		// No terminal line wanted, but /progress should still serve: an
+		// inert meter (nil writer) tracks counts without drawing.
+		meter = obs.NewProgressMeter(nil, len(kinds)*core.PanelCells(set))
+	}
+	if srv != nil {
+		srv.SetProgress(meter)
 	}
 
 	var recMu sync.Mutex
@@ -208,12 +226,16 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 
 	for _, k := range kinds {
 		w := k
-		opt.OnCell = func(kind core.TopoKind, pt core.Point, res *core.RunResult) {
+		opt.OnCell = func(kind core.TopoKind, pt core.Point, res *core.RunResult, cached bool) {
 			label := fmt.Sprintf("%s %s", w, kind)
 			if pt != (core.Point{}) {
 				label += " " + pt.Label()
 			}
-			meter.Step(label)
+			if cached {
+				meter.StepCached(label)
+			} else {
+				meter.Step(label)
+			}
 			if recW != nil || fpr {
 				line, err := res.Record().MarshalLine()
 				if err == nil && fpr {

@@ -229,12 +229,15 @@ func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tr := cfg.Sim.Tracer
 	if top == nil {
 		t0 := time.Now()
+		sp := tr.Begin("core.build", "phase")
 		top, err = BuildTopology(cfg.Kind, cfg.Endpoints, cfg.T, cfg.U)
 		if err != nil {
 			return nil, err
 		}
+		sp.EndArgs(map[string]any{"topology": top.Name()})
 		phases.BuildSeconds = time.Since(t0).Seconds()
 	}
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
@@ -242,13 +245,16 @@ func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult,
 			return nil, fmt.Errorf("core: topology %s is already fault-wrapped; pass the bare topology with Config.Faults", top.Name())
 		}
 		t0 := time.Now()
+		sp := tr.Begin("core.faults", "phase")
 		set, ferr := fault.Generate(top, *cfg.Faults)
 		if ferr != nil {
 			return nil, ferr
 		}
 		top = fault.Wrap(top, set, cfg.Sim.Metrics)
+		sp.End()
 		phases.BuildSeconds += time.Since(t0).Seconds()
 	}
+	wlSpan := tr.Begin("core.workload", "phase")
 	genStart := time.Now()
 	p := cfg.Params
 	if p.Tasks == 0 {
@@ -292,6 +298,7 @@ func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult,
 		sim.RefreshFraction = 1.0 / 16
 	}
 	phases.WorkloadSeconds = time.Since(genStart).Seconds()
+	wlSpan.EndArgs(map[string]any{"flows": len(spec.Flows), "tasks": p.Tasks})
 	simStart := time.Now()
 	res, err := flow.SimulateContext(ctx, top, mapped, sim)
 	if err != nil {

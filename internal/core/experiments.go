@@ -217,8 +217,10 @@ type PanelOptions struct {
 	// reporting and per-cell run records. It may be called concurrently
 	// from the sweep's worker goroutines; implementations must be
 	// goroutine-safe. Cells spliced from a resume journal fire it too, so
-	// progress meters and record streams stay complete across a resume.
-	OnCell func(kind TopoKind, pt Point, res *RunResult)
+	// progress meters and record streams stay complete across a resume;
+	// cached reports whether the cell came from the journal (progress
+	// meters use it to keep cached splices out of the ETA estimate).
+	OnCell func(kind TopoKind, pt Point, res *RunResult, cached bool)
 	// Runner supervises cell execution: panic isolation, per-cell
 	// deadlines with bounded retry, aggregated errors, and the optional
 	// memory watchdog. The zero value still isolates panics and
@@ -275,13 +277,13 @@ func PanelContext(ctx context.Context, set *TopoSet, w workload.Kind, opt PanelO
 		if !ok {
 			return fmt.Errorf("core: topology set has no %s %s instance", c.kind, c.pt.Label())
 		}
-		res, _, err := runCellJournaled(ctx, opt.Journal, cfg, top)
+		res, cached, err := runCellJournaled(ctx, opt.Journal, cfg, top)
 		if err != nil {
 			return err
 		}
 		makespans[i] = res.Result.Makespan
 		if opt.OnCell != nil {
-			opt.OnCell(c.kind, c.pt, res)
+			opt.OnCell(c.kind, c.pt, res, cached)
 		}
 		return nil
 	})

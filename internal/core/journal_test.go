@@ -257,7 +257,7 @@ func TestDegradationResumeFingerprint(t *testing.T) {
 	var cells atomic.Int64
 	interrupted := base
 	interrupted.Journal = j
-	interrupted.OnCell = func(TopoSpec, float64, *RunResult) {
+	interrupted.OnCell = func(TopoSpec, float64, *RunResult, bool) {
 		if cells.Add(1) == 3 {
 			cancel()
 		}

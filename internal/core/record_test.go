@@ -143,7 +143,7 @@ func TestPanelOnCell(t *testing.T) {
 	var labels []string
 	_, err = Panel(set, workload.Reduce, PanelOptions{
 		Seed: 2,
-		OnCell: func(kind TopoKind, pt Point, res *RunResult) {
+		OnCell: func(kind TopoKind, pt Point, res *RunResult, cached bool) {
 			mu.Lock()
 			defer mu.Unlock()
 			if res == nil || res.Result.Makespan <= 0 {

@@ -35,8 +35,9 @@ type DegradationOptions struct {
 	// OnCell, when non-nil, is invoked once per finished cell — the hook
 	// behind CLI progress and per-cell run records. Called concurrently
 	// from worker goroutines; implementations must be goroutine-safe.
-	// Cells spliced from a resume journal fire it too.
-	OnCell func(spec TopoSpec, fraction float64, res *RunResult)
+	// Cells spliced from a resume journal fire it too; cached reports
+	// whether the cell came from the journal.
+	OnCell func(spec TopoSpec, fraction float64, res *RunResult, cached bool)
 	// Runner supervises cell execution: panic isolation, per-cell
 	// deadlines with bounded retry, aggregated errors, and the optional
 	// memory watchdog.
@@ -148,7 +149,7 @@ func DegradationSweepContext(ctx context.Context, specs []TopoSpec, fractions []
 				Clusters:     opt.Clusters,
 			}
 		}
-		res, _, err := runCellJournaled(ctx, opt.Journal, cfg, tops[si])
+		res, cached, err := runCellJournaled(ctx, opt.Journal, cfg, tops[si])
 		if err != nil {
 			return fmt.Errorf("core: %s at fault fraction %g: %w", spec.Kind, frac, err)
 		}
@@ -163,7 +164,7 @@ func DegradationSweepContext(ctx context.Context, specs []TopoSpec, fractions []
 			Result:       res,
 		}
 		if opt.OnCell != nil {
-			opt.OnCell(spec, frac, res)
+			opt.OnCell(spec, frac, res, cached)
 		}
 		return nil
 	})

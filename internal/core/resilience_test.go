@@ -37,7 +37,7 @@ func TestDegradationSweepShape(t *testing.T) {
 	specs := sweepSpecs()
 	var cells atomic.Int64
 	opt := sweepOptions()
-	opt.OnCell = func(TopoSpec, float64, *RunResult) { cells.Add(1) }
+	opt.OnCell = func(TopoSpec, float64, *RunResult, bool) { cells.Add(1) }
 	rep, err := DegradationSweep(specs, []float64{0.1, 0.02}, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -109,6 +109,38 @@ func (d *Degraded) NumLinks() int { return d.base.NumLinks() }
 // Links exposes the base link table.
 func (d *Degraded) Links() []topo.Link { return d.base.Links() }
 
+// NumTiers forwards the base topology's tier structure (topo.Tiered);
+// link ids are preserved by the wrapper, so tier attribution is too. A
+// non-tiered base reports a single tier.
+func (d *Degraded) NumTiers() int {
+	if td, ok := d.base.(topo.Tiered); ok {
+		return td.NumTiers()
+	}
+	return 1
+}
+
+// TierName forwards topo.Tiered.
+func (d *Degraded) TierName(tier int) string {
+	if td, ok := d.base.(topo.Tiered); ok {
+		return td.TierName(tier)
+	}
+	if tier != 0 {
+		panic(fmt.Sprintf("fault: tier %d out of range", tier))
+	}
+	return "network"
+}
+
+// LinkTier forwards topo.Tiered.
+func (d *Degraded) LinkTier(link int32) int {
+	if td, ok := d.base.(topo.Tiered); ok {
+		return td.LinkTier(link)
+	}
+	if link < 0 || int(link) >= d.base.NumLinks() {
+		panic(fmt.Sprintf("fault: link %d out of range", link))
+	}
+	return 0
+}
+
 // RouteAppend implements topo.Topology. It panics on disconnected pairs;
 // callers that must survive disconnection use RouteAppendOK.
 func (d *Degraded) RouteAppend(buf []int32, src, dst int) []int32 {

@@ -187,6 +187,7 @@ func (s *sim) applyFault(ev *FaultEvent, now float64) {
 	if s.stats != nil {
 		s.stats.killedLinks.Add(int64(killed))
 	}
+	reroutedBefore, lostBefore := s.rerouted, s.lostFlows
 	// Collect victims first: rerouting mutates the active set.
 	s.victims = s.victims[:0]
 	for _, id := range s.active {
@@ -215,5 +216,13 @@ func (s *sim) applyFault(ev *FaultEvent, now float64) {
 	}
 	if len(s.victims) > 0 {
 		s.dirty = true
+	}
+	if s.tracing {
+		s.opt.Tracer.SimInstant("flow.fault", "fault", now, map[string]any{
+			"killed_links": killed,
+			"victims":      len(s.victims),
+			"rerouted":     s.rerouted - reroutedBefore,
+			"lost":         s.lostFlows - lostBefore,
+		})
 	}
 }

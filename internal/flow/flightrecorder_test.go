@@ -1,0 +1,240 @@
+// Flight-recorder tests: the hot-spot attribution and the trace
+// recorder's sim-domain surface must be byte-deterministic across
+// repeated runs and across Workers settings, and the per-tier breakdown
+// must be internally consistent with the aggregate result metrics.
+package flow_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mtier/internal/core"
+	"mtier/internal/fault"
+	"mtier/internal/flow"
+	"mtier/internal/topo"
+	"mtier/internal/trace"
+	"mtier/internal/workload"
+)
+
+func runHotspot(t *testing.T, kind core.TopoKind, tt, u, workers int) *core.RunResult {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Kind:      kind,
+		Endpoints: 64,
+		T:         tt,
+		U:         u,
+		Workload:  workload.AllToAll,
+		Params:    workload.Params{Seed: 7},
+		Sim:       flow.Options{HotspotK: 8, Workers: workers},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHotspotReportNest(t *testing.T) {
+	res := runHotspot(t, core.NestGHC, 2, 4, 1)
+	hs := res.Result.Hotspots
+	if hs == nil {
+		t.Fatal("HotspotK set but no report produced")
+	}
+	if hs.K != 8 {
+		t.Fatalf("K = %d, want 8", hs.K)
+	}
+	if len(hs.TopLinks) == 0 || len(hs.TopLinks) > 8 {
+		t.Fatalf("top links = %d, want 1..8", len(hs.TopLinks))
+	}
+	// The hottest link's utilisation is, by definition, the run's max.
+	if math.Float64bits(hs.TopLinks[0].Utilization) != math.Float64bits(res.Result.MaxLinkUtilization) {
+		t.Fatalf("hottest link utilisation %g != max link utilisation %g",
+			hs.TopLinks[0].Utilization, res.Result.MaxLinkUtilization)
+	}
+	for i := 1; i < len(hs.TopLinks); i++ {
+		a, b := hs.TopLinks[i-1], hs.TopLinks[i]
+		if a.Bytes < b.Bytes || (a.Bytes == b.Bytes && a.Link >= b.Link) {
+			t.Fatalf("top links out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// A nest topology attributes three tiers, bottom-up.
+	if len(hs.Tiers) != 3 {
+		t.Fatalf("tiers = %d, want 3", len(hs.Tiers))
+	}
+	wantNames := []string{"subtorus", "uplink", "fabric"}
+	totalLinks := 0
+	for i, tier := range hs.Tiers {
+		if tier.Tier != i || tier.Name != wantNames[i] {
+			t.Fatalf("tier %d = %q, want %q", i, tier.Name, wantNames[i])
+		}
+		totalLinks += tier.Links
+		sum := 0
+		for _, c := range tier.Histogram {
+			sum += c
+		}
+		if sum != tier.ActiveLinks {
+			t.Fatalf("tier %s histogram sums to %d, want active links %d", tier.Name, sum, tier.ActiveLinks)
+		}
+		if tier.MaxUtilization > res.Result.MaxLinkUtilization {
+			t.Fatalf("tier %s max utilisation %g exceeds run max %g",
+				tier.Name, tier.MaxUtilization, res.Result.MaxLinkUtilization)
+		}
+	}
+	if totalLinks != res.Links {
+		t.Fatalf("tier link counts sum to %d, want %d", totalLinks, res.Links)
+	}
+	// All-to-all crosses the fabric, so every tier must carry traffic.
+	for _, tier := range hs.Tiers {
+		if tier.ActiveLinks == 0 || tier.FlowsTraversing == 0 {
+			t.Fatalf("tier %s saw no traffic: %+v", tier.Name, tier)
+		}
+	}
+}
+
+func TestHotspotFlatTopologySingleTier(t *testing.T) {
+	res := runHotspot(t, core.Torus3D, 0, 0, 1)
+	hs := res.Result.Hotspots
+	if hs == nil || len(hs.Tiers) != 1 {
+		t.Fatalf("flat topology should report one tier, got %+v", hs)
+	}
+	if hs.Tiers[0].Name != "network" {
+		t.Fatalf("flat tier name = %q, want network", hs.Tiers[0].Name)
+	}
+}
+
+func TestHotspotDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		res := runHotspot(t, core.NestTree, 2, 4, workers)
+		b, err := json.Marshal(res.Result.Hotspots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	want := marshal(1)
+	for _, w := range parWorkerCounts {
+		if got := marshal(w); !bytes.Equal(got, want) {
+			t.Fatalf("hotspot report diverged at workers=%d:\n%s\n%s", w, got, want)
+		}
+	}
+	// Repeated run, same workers: byte identity again.
+	if got := marshal(1); !bytes.Equal(got, want) {
+		t.Fatalf("hotspot report not reproducible:\n%s\n%s", got, want)
+	}
+}
+
+// traceSurface runs one cell with a flight recorder attached and returns
+// the deterministic (sim-domain) JSON surface.
+func traceSurface(t *testing.T, workers int) []byte {
+	t.Helper()
+	rec := trace.NewRecorder()
+	_, err := core.Run(core.Config{
+		Kind:      core.NestGHC,
+		Endpoints: 64,
+		T:         2,
+		U:         4,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 3},
+		Sim:       flow.Options{Workers: workers, Tracer: rec},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("tracer attached but no events recorded")
+	}
+	b, err := rec.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	want := traceSurface(t, 1)
+	if !bytes.Contains(want, []byte("flow.simulate")) ||
+		!bytes.Contains(want, []byte("flow.active")) ||
+		!bytes.Contains(want, []byte("flow.bottleneck")) {
+		t.Fatalf("deterministic surface missing sim-domain events: %.400s", want)
+	}
+	if bytes.Contains(want, []byte("flow.prepare")) || bytes.Contains(want, []byte("flow.routes.shard")) {
+		t.Fatalf("wall-clock events leaked into deterministic surface: %.400s", want)
+	}
+	for _, w := range parWorkerCounts {
+		if got := traceSurface(t, w); !bytes.Equal(got, want) {
+			t.Fatalf("trace surface diverged at workers=%d", w)
+		}
+	}
+	if got := traceSurface(t, 1); !bytes.Equal(got, want) {
+		t.Fatal("trace surface not reproducible across repeated runs")
+	}
+}
+
+func TestTraceFaultEvents(t *testing.T) {
+	base, err := core.BuildTopology(core.Torus3D, 27, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fault.Generate(base, fault.Spec{Model: fault.Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fault.Wrap(base, set, nil)
+
+	spec := &flow.Spec{}
+	for i := 0; i < base.NumEndpoints(); i++ {
+		spec.Add(i, (i+5)%base.NumEndpoints(), 1e7)
+	}
+	route := topo.Route(d, 0, 5)
+	rec := trace.NewRecorder()
+	res, err := flow.Simulate(d, spec, flow.Options{
+		Tracer:      rec,
+		FaultEvents: []flow.FaultEvent{{Time: 1e-3, Links: []int32{route[0]}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReroutedFlows == 0 && res.DisconnectedFlows == 0 {
+		t.Fatalf("fault event had no effect: %+v", res)
+	}
+	b, err := rec.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"flow.fault"`)) {
+		t.Fatalf("no fault instant in trace: %.400s", b)
+	}
+	if !bytes.Contains(b, []byte(`"killed_links"`)) {
+		t.Fatalf("fault instant missing args: %.400s", b)
+	}
+}
+
+func TestHotspotInRunRecord(t *testing.T) {
+	res := runHotspot(t, core.NestGHC, 2, 4, 1)
+	fp1, err := res.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fp1, []byte(`"hotspots"`)) || !bytes.Contains(fp1, []byte(`"hotspot_k":8`)) {
+		t.Fatalf("run record missing hotspot section: %.400s", fp1)
+	}
+	if !bytes.Contains(fp1, []byte(`"mtier/run-record/v2"`)) {
+		t.Fatalf("record schema not bumped: %.200s", fp1)
+	}
+	res2 := runHotspot(t, core.NestGHC, 2, 4, 2)
+	fp2, err := res2.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fp1, fp2) {
+		t.Fatal("record fingerprint with hotspots diverged across workers")
+	}
+}
+
+func TestHotspotKValidation(t *testing.T) {
+	opt := flow.Options{HotspotK: -1}
+	if err := opt.Validate(); err == nil {
+		t.Fatal("negative HotspotK accepted")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"mtier/internal/obs"
 	"mtier/internal/par"
 	"mtier/internal/topo"
+	"mtier/internal/trace"
 )
 
 // DefaultBandwidth is the default link capacity in bytes/second: the
@@ -134,6 +135,20 @@ type Options struct {
 	// wall-clock cost. With a nil probe the instrumentation costs a single
 	// branch per epoch.
 	Probe obs.Probe `json:"-"`
+	// Tracer, when non-nil, receives flight-recorder events: wall-clock
+	// spans around route preparation and every waterfill, per-shard spans
+	// from the worker pool, and sim-time epoch counters, bottleneck and
+	// fault instants. Export with trace.Recorder.WriteTraceEvents (Chrome
+	// trace_event JSON). The sim-domain events are deterministic for a
+	// fixed seed, across repeated runs and across Workers settings.
+	Tracer *trace.Recorder `json:"-"`
+	// HotspotK, when positive, computes per-link/per-tier hot-spot
+	// attribution into Result.Hotspots: the K hottest topology links by
+	// time-integrated utilisation plus per-tier utilisation histograms
+	// and path composition (topologies implementing topo.Tiered break
+	// down by tier; others report one tier). Deterministic for a fixed
+	// seed. Zero disables the report.
+	HotspotK int `json:"hotspot_k,omitempty"`
 	// Metrics, when non-nil, receives the engine's aggregate counters
 	// (epochs, full vs. incremental recomputations, dirty-set sizes, links
 	// re-waterfilled). Process-local, excluded from run records.
@@ -171,6 +186,9 @@ func (o *Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("flow: negative Workers %d", o.Workers)
 	}
+	if o.HotspotK < 0 {
+		return fmt.Errorf("flow: negative HotspotK %d", o.HotspotK)
+	}
 	for i, ev := range o.FaultEvents {
 		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
 			return fmt.Errorf("flow: fault event %d: invalid time %g", i, ev.Time)
@@ -206,6 +224,9 @@ type Result struct {
 	// MaxPortUtilization is the busiest injection/ejection port's
 	// utilisation (0 when ports are disabled).
 	MaxPortUtilization float64 `json:"max_port_utilization"`
+	// Hotspots is the per-link/per-tier hot-spot attribution, present
+	// only when Options.HotspotK > 0 (see hotspots.go).
+	Hotspots *HotspotReport `json:"hotspots,omitempty"`
 
 	// The remaining fields are only produced by degraded-mode runs (a
 	// fault-wrapped topology or Options.FaultEvents); they stay zero —
@@ -386,8 +407,10 @@ type sim struct {
 	// opt.ExactRecompute selects the reference full waterfill.
 	inc incState
 
-	// Probe state (tracked only when opt.Probe is attached).
-	probing   bool
+	// Probe state (tracked when opt.Probe or opt.Tracer is attached).
+	probing bool
+	// tracing mirrors opt.Tracer != nil for cheap per-epoch checks.
+	tracing   bool
 	btlLink   int32   // tightest bottleneck link of the last waterfill
 	btlShare  float64 // its per-flow fair share
 	dirtySize int     // dirty seed links consumed by the last waterfill
@@ -475,8 +498,10 @@ func SimulateContext(ctx context.Context, t topo.Topology, spec *Spec, opt Optio
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows, probing: opt.Probe != nil,
-		ctx: ctx, ctxDone: ctx.Done()}
+	s := &sim{t: t, opt: opt, cap: opt.LinkBandwidth, flows: spec.Flows,
+		probing: opt.Probe != nil || opt.Tracer != nil,
+		tracing: opt.Tracer != nil,
+		ctx:     ctx, ctxDone: ctx.Done()}
 	s.workers = opt.Workers
 	if s.workers == 0 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -485,10 +510,22 @@ func SimulateContext(ctx context.Context, t topo.Topology, spec *Spec, opt Optio
 		s.pool = par.NewPool(s.workers)
 		defer s.pool.Close()
 	}
+	sp := opt.Tracer.Begin("flow.prepare", "phase")
 	if err := s.prepare(spec); err != nil {
 		return nil, err
 	}
-	return s.run()
+	sp.EndArgs(map[string]any{"flows": len(spec.Flows), "links": s.numLinks})
+	sp = opt.Tracer.Begin("flow.run", "phase")
+	res, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	sp.EndArgs(map[string]any{"epochs": res.Epochs})
+	opt.Tracer.SimSpan("flow.simulate", "phase", 0, res.Makespan, map[string]any{
+		"flows":  len(spec.Flows),
+		"epochs": res.Epochs,
+	})
+	return res, nil
 }
 
 // canceled reports whether the run's context has been canceled. It is
@@ -968,17 +1005,37 @@ func (s *sim) run() (*Result, error) {
 			needRefresh = false
 			completedSince = 0
 			if s.probing {
-				s.opt.Probe.OnEpoch(obs.EpochSnapshot{
-					Epoch:           res.Epochs,
-					SimTime:         now,
-					ActiveFlows:     len(s.active),
-					BottleneckLink:  s.btlLink,
-					BottleneckShare: s.btlShare,
-					DirtyLinks:      s.dirtySize,
-					AffectedFlows:   s.affSize,
-					FilledLinks:     s.fillSize,
-					WallTime:        time.Since(wallStart),
-				})
+				if s.opt.Probe != nil {
+					s.opt.Probe.OnEpoch(obs.EpochSnapshot{
+						Epoch:           res.Epochs,
+						SimTime:         now,
+						ActiveFlows:     len(s.active),
+						BottleneckLink:  s.btlLink,
+						BottleneckShare: s.btlShare,
+						DirtyLinks:      s.dirtySize,
+						AffectedFlows:   s.affSize,
+						FilledLinks:     s.fillSize,
+						WallTime:        time.Since(wallStart),
+					})
+				}
+				if s.tracing {
+					tr := s.opt.Tracer
+					tr.WallSpanSince("flow.waterfill", "waterfill", wallStart, 0,
+						map[string]any{"epoch": res.Epochs})
+					tr.SimCounter("flow.active", now, map[string]float64{
+						"flows": float64(len(s.active)),
+					})
+					tr.SimCounter("flow.waterfill", now, map[string]float64{
+						"affected_flows": float64(s.affSize),
+						"dirty_links":    float64(s.dirtySize),
+						"filled_links":   float64(s.fillSize),
+					})
+					tr.SimInstant("flow.bottleneck", "epoch", now, map[string]any{
+						"epoch": res.Epochs,
+						"link":  s.btlLink,
+						"share": s.btlShare,
+					})
+				}
 			}
 		}
 
@@ -1103,6 +1160,9 @@ func (s *sim) run() (*Result, error) {
 				res.MaxPortUtilization = u
 			}
 		}
+	}
+	if s.opt.HotspotK > 0 {
+		res.Hotspots = s.computeHotspots(res.Makespan)
 	}
 	return res, nil
 }

@@ -1,0 +1,221 @@
+// Per-link and per-tier hot-spot attribution.
+//
+// The engine already accumulates each topology link's delivered bytes
+// (linkBytes) in the serial completion loop; this file turns that vector
+// into an explanation of *where* the fabric saturated: the K hottest
+// links by time-integrated utilisation, and a per-tier breakdown —
+// utilisation histograms and route composition — for topologies that can
+// attribute links to tiers (topo.Tiered; flat topologies report a single
+// "network" tier). Everything here is a pure function of deterministic
+// engine state, so reports are byte-identical across repeated runs and
+// across Workers settings.
+package flow
+
+import (
+	"sort"
+
+	"mtier/internal/topo"
+)
+
+// HotspotHistBuckets is the number of equal-width utilisation buckets in
+// a tier's histogram: bucket i counts active links with utilisation in
+// [i/10, (i+1)/10), the last bucket absorbing u >= 0.9 (u can exceed 1
+// only by float rounding).
+const HotspotHistBuckets = 10
+
+// LinkHotspot describes one of the hottest links.
+type LinkHotspot struct {
+	// Link is the topology link id.
+	Link int32 `json:"link"`
+	// From and To are the link's endpoint vertex ids.
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+	// Tier is the link's tier index; TierName its name.
+	Tier     int    `json:"tier"`
+	TierName string `json:"tier_name"`
+	// Bytes is the traffic the link delivered over the whole run.
+	Bytes float64 `json:"bytes"`
+	// Utilization is Bytes / (capacity × makespan).
+	Utilization float64 `json:"utilization"`
+}
+
+// TierUsage aggregates one tier's links and the routes crossing them.
+type TierUsage struct {
+	Tier int    `json:"tier"`
+	Name string `json:"name"`
+	// Links is the tier's link count; ActiveLinks the subset that
+	// carried any traffic.
+	Links       int `json:"links"`
+	ActiveLinks int `json:"active_links"`
+	// Bytes is the tier's total delivered traffic (sum over its links).
+	Bytes float64 `json:"bytes"`
+	// MeanUtilization averages over active links only; MaxUtilization is
+	// the tier's hottest link.
+	MeanUtilization float64 `json:"mean_utilization"`
+	MaxUtilization  float64 `json:"max_utilization"`
+	// Histogram buckets active links by utilisation decile.
+	Histogram []int `json:"utilization_histogram"`
+	// Path composition — the "stretch by tier" view: how many routes
+	// cross this tier and how many of their hops it contributes.
+	// Computed over materialised routes (lost flows included: their
+	// routes were provisioned even if the traffic never arrived).
+	FlowsTraversing int `json:"flows_traversing"`
+	// MeanHops is the tier's mean hop count over traversing flows.
+	MeanHops float64 `json:"mean_hops"`
+	MaxHops  int     `json:"max_hops"`
+}
+
+// HotspotReport is the per-link/per-tier attribution of one run.
+type HotspotReport struct {
+	// K is the requested top-link count; TopLinks may be shorter when
+	// fewer links carried traffic.
+	K int `json:"k"`
+	// TopLinks lists the hottest topology links, by bytes descending
+	// (ties broken on ascending link id).
+	TopLinks []LinkHotspot `json:"top_links"`
+	// Tiers holds one entry per tier, bottom-up.
+	Tiers []TierUsage `json:"tiers"`
+}
+
+// tierView resolves a topology's tier structure, defaulting to a single
+// "network" tier for flat topologies.
+type tierView struct {
+	td       topo.Tiered
+	numTiers int
+}
+
+func newTierView(t topo.Topology) tierView {
+	if td, ok := t.(topo.Tiered); ok {
+		return tierView{td: td, numTiers: td.NumTiers()}
+	}
+	return tierView{numTiers: 1}
+}
+
+func (v tierView) tier(link int32) int {
+	if v.td == nil {
+		return 0
+	}
+	return v.td.LinkTier(link)
+}
+
+func (v tierView) name(tier int) string {
+	if v.td == nil {
+		return "network"
+	}
+	return v.td.TierName(tier)
+}
+
+// computeHotspots builds the report from the completed run's linkBytes
+// and routes. Called once at the end of run when Options.HotspotK > 0.
+func (s *sim) computeHotspots(makespan float64) *HotspotReport {
+	view := newTierView(s.t)
+	rep := &HotspotReport{K: s.opt.HotspotK}
+	rep.Tiers = make([]TierUsage, view.numTiers)
+	for i := range rep.Tiers {
+		rep.Tiers[i] = TierUsage{
+			Tier:      i,
+			Name:      view.name(i),
+			Histogram: make([]int, HotspotHistBuckets),
+		}
+	}
+
+	denom := 0.0
+	if makespan > 0 {
+		denom = s.cap * makespan
+	}
+	linkTier := make([]int32, s.numTopoLinks)
+	active := make([]int32, 0, s.numTopoLinks)
+	for l := 0; l < s.numTopoLinks; l++ {
+		ti := view.tier(int32(l))
+		linkTier[l] = int32(ti)
+		tu := &rep.Tiers[ti]
+		tu.Links++
+		if s.linkBytes[l] <= 0 {
+			continue
+		}
+		active = append(active, int32(l))
+		u := 0.0
+		if denom > 0 {
+			u = s.linkBytes[l] / denom
+		}
+		tu.ActiveLinks++
+		tu.Bytes += s.linkBytes[l]
+		tu.MeanUtilization += u
+		if u > tu.MaxUtilization {
+			tu.MaxUtilization = u
+		}
+		b := int(u * HotspotHistBuckets)
+		if b >= HotspotHistBuckets {
+			b = HotspotHistBuckets - 1
+		}
+		tu.Histogram[b]++
+	}
+	for i := range rep.Tiers {
+		if n := rep.Tiers[i].ActiveLinks; n > 0 {
+			rep.Tiers[i].MeanUtilization /= float64(n)
+		}
+	}
+
+	// Route composition per tier: which routes cross it, with how many
+	// hops. Virtual port links are not topology links and are skipped.
+	hops := make([]int, view.numTiers)
+	for id := range s.routes {
+		r := s.routes[id]
+		if r == nil {
+			continue
+		}
+		for i := range hops {
+			hops[i] = 0
+		}
+		for _, l := range r {
+			if int(l) < s.numTopoLinks {
+				hops[linkTier[l]]++
+			}
+		}
+		for i, h := range hops {
+			if h == 0 {
+				continue
+			}
+			tu := &rep.Tiers[i]
+			tu.FlowsTraversing++
+			tu.MeanHops += float64(h)
+			if h > tu.MaxHops {
+				tu.MaxHops = h
+			}
+		}
+	}
+	for i := range rep.Tiers {
+		if n := rep.Tiers[i].FlowsTraversing; n > 0 {
+			rep.Tiers[i].MeanHops /= float64(n)
+		}
+	}
+
+	// Top-K links by delivered bytes; the tie-break on link id makes the
+	// ordering a strict total order, hence deterministic.
+	sort.Slice(active, func(i, j int) bool {
+		a, b := active[i], active[j]
+		if s.linkBytes[a] != s.linkBytes[b] {
+			return s.linkBytes[a] > s.linkBytes[b]
+		}
+		return a < b
+	})
+	k := s.opt.HotspotK
+	if k > len(active) {
+		k = len(active)
+	}
+	links := s.t.Links()
+	rep.TopLinks = make([]LinkHotspot, 0, k)
+	for _, l := range active[:k] {
+		u := 0.0
+		if denom > 0 {
+			u = s.linkBytes[l] / denom
+		}
+		ti := int(linkTier[l])
+		rep.TopLinks = append(rep.TopLinks, LinkHotspot{
+			Link: l, From: links[l].From, To: links[l].To,
+			Tier: ti, TierName: view.name(ti),
+			Bytes: s.linkBytes[l], Utilization: u,
+		})
+	}
+	return rep
+}

@@ -82,6 +82,10 @@ func (s *sim) prepareRoutesParallel(spec *Spec, withLatency bool) error {
 	}
 	var stop atomic.Bool
 	s.pool.ForShards(f, func(shard, lo, hi int) {
+		// One wall-clock trace lane per shard, so the flight recorder
+		// shows route construction stacking across the pool.
+		sp := s.opt.Tracer.BeginTID("flow.routes.shard", "shard", shard+1)
+		defer sp.EndArgs(map[string]any{"shard": shard, "flows": hi - lo})
 		var local arena
 		scratch := make([]int32, 0, 256)
 		for i := lo; i < hi; i++ {

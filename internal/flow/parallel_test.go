@@ -318,7 +318,7 @@ func TestSerialJournalResumesUnderParallel(t *testing.T) {
 	var cells atomic.Int64
 	interrupted := base
 	interrupted.Journal = j
-	interrupted.OnCell = func(core.TopoSpec, float64, *core.RunResult) {
+	interrupted.OnCell = func(core.TopoSpec, float64, *core.RunResult, bool) {
 		if cells.Add(1) == 2 {
 			cancel()
 		}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server exposes a running simulation or sweep over HTTP (the CLIs'
+// -obslisten flag), so a long campaign can be watched instead of waited
+// on:
+//
+//	/metrics         Prometheus text exposition of the registry
+//	/progress        sweep progress + ETA as JSON (ProgressSnapshot)
+//	/debug/pprof/... the standard pprof handlers
+//
+// The handlers are mounted on a private mux — nothing leaks onto
+// http.DefaultServeMux — and serve forever until Close. The registry is
+// fixed at construction; the progress meter can be attached later
+// (sweeps create their meter only once the cell count is known).
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	reg   *Registry
+	meter atomic.Pointer[ProgressMeter]
+}
+
+// NewServer starts serving on addr (e.g. ":9090" or "127.0.0.1:0"). The
+// registry may be nil; /metrics then serves an empty exposition.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	s := &Server{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen request).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetProgress attaches (or replaces) the progress meter served by
+// /progress. Safe to call while serving.
+func (s *Server) SetProgress(m *ProgressMeter) { s.meter.Store(m) }
+
+// Close stops the listener and the handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		return
+	}
+	s.reg.WritePrometheus(w, "mtier") //nolint:errcheck // client went away
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.meter.Load().Snapshot() // nil-safe: zero snapshot
+	json.NewEncoder(w).Encode(snap)   //nolint:errcheck // client went away
+}

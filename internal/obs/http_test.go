@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flow.epochs").Add(5)
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, resp := getBody(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE mtier_flow_epochs counter\nmtier_flow_epochs 5\n") {
+		t.Fatalf("metrics body: %q", body)
+	}
+
+	// Progress before a meter is attached: the zero snapshot.
+	body, resp = getBody(t, base+"/progress")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("progress content type = %q", ct)
+	}
+	if !strings.Contains(body, `"eta_seconds":-1`) {
+		t.Fatalf("zero progress body: %q", body)
+	}
+
+	// Attach a meter mid-flight and see it reflected.
+	m := NewProgressMeter(io.Discard, 10)
+	clock := &fixedClock{t: m.start, step: time.Second}
+	m.now = clock.now
+	m.Step("cell-a")
+	m.StepCached("cell-b")
+	srv.SetProgress(m)
+	body, _ = getBody(t, base+"/progress")
+	for _, want := range []string{`"total":10`, `"done":2`, `"cached":1`, `"last_label":"cell-b [cached]"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("progress body missing %s: %q", want, body)
+		}
+	}
+
+	// pprof index responds.
+	body, resp = getBody(t, base+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.200q", resp.StatusCode, body)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, resp := getBody(t, "http://"+srv.Addr()+"/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("nil registry metrics: status %d body %q", resp.StatusCode, body)
+	}
+}

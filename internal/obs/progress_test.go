@@ -73,6 +73,69 @@ func TestProgressMeterInert(t *testing.T) {
 	nilMeter.Finish()
 }
 
+// TestProgressMeterRateLimit floods the meter inside the redraw window:
+// only the first step and the final step may draw; the thousands of
+// intermediate cached splices are absorbed.
+func TestProgressMeterRateLimit(t *testing.T) {
+	var sb strings.Builder
+	const total = 5000
+	p := NewProgressMeter(&sb, total)
+	clock := &fixedClock{t: p.start, step: time.Microsecond} // all inside one window
+	p.now = clock.now
+
+	for i := 0; i < total; i++ {
+		p.StepCached("cell")
+	}
+	out := sb.String()
+	writes := strings.Count(out, "\r")
+	if writes > 2 {
+		t.Fatalf("rate limit failed: %d redraws for %d steps", writes, total)
+	}
+	// The final step always draws, so completion is visible.
+	if !strings.Contains(out, "[5000/5000]") {
+		t.Fatalf("final step not drawn: %q", out)
+	}
+}
+
+// TestProgressMeterCachedETA: cached cells advance completion but must
+// not dilute the rate estimate.
+func TestProgressMeterCachedETA(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgressMeter(&sb, 10)
+	clock := &fixedClock{t: p.start, step: time.Second}
+	p.now = clock.now
+
+	// Cached-only progress: no simulated cell yet, so no ETA at all.
+	p.StepCached("a")
+	if strings.Contains(sb.String(), "eta") {
+		t.Fatalf("ETA from cached cells only: %q", sb.String())
+	}
+	// One simulated cell at 2s of fake elapsed time (two now() calls so
+	// far): mean excludes the cached cell, so eta = 2s * 8 remaining.
+	p.Step("b")
+	if !strings.Contains(sb.String(), "eta 16s") {
+		t.Fatalf("cached cell diluted the ETA: %q", sb.String())
+	}
+
+	snap := p.Snapshot()
+	if snap.Done != 2 || snap.Cached != 1 || snap.Total != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.ETASeconds <= 0 {
+		t.Fatalf("snapshot ETA = %g", snap.ETASeconds)
+	}
+}
+
+func TestProgressSnapshotInert(t *testing.T) {
+	var nilMeter *ProgressMeter
+	if s := nilMeter.Snapshot(); s.ETASeconds != -1 || s.Total != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if s := NewProgressMeter(nil, 0).Snapshot(); s.ETASeconds != -1 {
+		t.Fatalf("inert snapshot = %+v", s)
+	}
+}
+
 func TestFormatETA(t *testing.T) {
 	cases := map[time.Duration]string{
 		-time.Second:            "0s",

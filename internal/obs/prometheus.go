@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as themselves, histograms
+// as summaries (quantile-labelled samples plus _sum/_count, with _min
+// and _max as companion gauges). Metric names are sanitised — characters
+// outside [a-zA-Z0-9_:] become '_' — and prefixed with namespace when
+// non-empty. Output is sorted by kind then name, so it is deterministic;
+// a golden test pins the ordering.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	s := r.Snapshot()
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	for _, n := range sortedKeys(s.Counters) {
+		name := promName(namespace, n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		name := promName(namespace, n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, ff(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		name := promName(namespace, n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		if h.Count > 0 {
+			for _, q := range []struct {
+				label string
+				v     float64
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, ff(q.v)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, ff(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+		if h.Count > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n# TYPE %s_max gauge\n%s_max %s\n",
+				name, name, ff(h.Min), name, name, ff(h.Max)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName sanitises a registry metric name (dotted, e.g.
+// "flow.waterfill.full") into a Prometheus metric name, with an optional
+// namespace prefix.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

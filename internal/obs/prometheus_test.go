@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format and its ordering:
+// counters, then gauges, then histograms-as-summaries, each sorted by
+// name, dots sanitised to underscores.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flow.epochs").Add(42)
+	r.Counter("flow.waterfill.full").Add(7)
+	r.Gauge("flow.workers").Set(8)
+	h := r.Histogram("fault.path_stretch")
+	h.Observe(1)
+	h.Observe(2)
+	empty := r.Histogram("flow.empty")
+	_ = empty
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "mtier"); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE mtier_flow_epochs counter
+mtier_flow_epochs 42
+# TYPE mtier_flow_waterfill_full counter
+mtier_flow_waterfill_full 7
+# TYPE mtier_flow_workers gauge
+mtier_flow_workers 8
+# TYPE mtier_fault_path_stretch summary
+mtier_fault_path_stretch{quantile="0.5"} 1
+mtier_fault_path_stretch{quantile="0.9"} 2
+mtier_fault_path_stretch{quantile="0.99"} 2
+mtier_fault_path_stretch_sum 3
+mtier_fault_path_stretch_count 2
+# TYPE mtier_fault_path_stretch_min gauge
+mtier_fault_path_stretch_min 1
+# TYPE mtier_fault_path_stretch_max gauge
+mtier_fault_path_stretch_max 2
+# TYPE mtier_flow_empty summary
+mtier_flow_empty_sum 0
+mtier_flow_empty_count 0
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusNoNamespace(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b-c").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a_b_c 1\n") {
+		t.Fatalf("sanitisation failed: %q", sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"flow.epochs":     "flow_epochs",
+		"a-b/c d":         "a_b_c_d",
+		"already_fine:ok": "already_fine:ok",
+	}
+	for in, want := range cases {
+		if got := promName("", in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("ns", "x.y"); got != "ns_x_y" {
+		t.Errorf("namespaced = %q", got)
+	}
+	// A leading digit is padded so the name stays valid.
+	if got := promName("", "9lives"); got != "_9lives" {
+		t.Errorf("leading digit = %q", got)
+	}
+}
+
+// TestRegistryConcurrentStress hammers registration and snapshotting
+// from parallel goroutines; run with -race it proves the registry's
+// concurrency contract (create-on-first-use accessors and Snapshot may
+// interleave freely).
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 300
+	names := []string{"a.count", "b.count", "c.gauge", "d.hist", "e.hist"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := names[(g+i)%len(names)]
+				switch {
+				case strings.HasSuffix(n, ".count"):
+					r.Counter(n).Inc()
+				case strings.HasSuffix(n, ".gauge"):
+					r.Gauge(n).Set(float64(i))
+				default:
+					r.Histogram(n).Observe(float64(i%7) + 0.5)
+				}
+				if i%50 == 0 {
+					_ = r.Snapshot()
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb, "mtier"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var totalCounts int64
+	for _, v := range s.Counters {
+		totalCounts += v
+	}
+	// 2 of 5 names are counters; each goroutine iteration touches one name.
+	want := int64(goroutines * iters * 2 / len(names))
+	if totalCounts != want {
+		t.Fatalf("counter total = %d, want %d", totalCounts, want)
+	}
+}

@@ -8,7 +8,11 @@ import (
 
 // RunRecordSchema identifies the run-record document format. Bump the
 // suffix on breaking changes so downstream tooling can dispatch.
-const RunRecordSchema = "mtier/run-record/v1"
+// History: v1 (PR 1) — config/topology/result/phases/environment;
+// v2 (PR 6) — the result section gains the optional per-link/per-tier
+// hot-spot attribution (flow.HotspotReport) and the config section the
+// hotspot_k option.
+const RunRecordSchema = "mtier/run-record/v2"
 
 // PhaseTimings holds the wall-clock cost of each phase of a simulation
 // cell. These are the only non-deterministic fields of a RunRecord;

@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -117,6 +118,29 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// TableDocument is the schema'd JSON envelope of a Table — the machine
+// counterpart of WriteCSV for pipelines that want typed, versioned
+// records instead of parsing column text.
+type TableDocument struct {
+	Schema string     `json:"schema"`
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// WriteJSON renders the table as a single JSON document stamped with
+// schema (e.g. "mtier/cost-record/v1"), one array entry per row in the
+// header's column order.
+func (t *Table) WriteJSON(w io.Writer, schema string) error {
+	doc := TableDocument{Schema: schema, Title: t.Title, Header: t.Header, Rows: t.Rows}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // String renders the text form.

@@ -51,6 +51,11 @@ type Nest struct {
 	nearest []int32
 	// maxToUp = max hops from any local rank to its designated uplink.
 	maxToUp int
+	// Tier boundaries in the link-id space. Links are built in strict
+	// tier order (subtorus links, then uplinks, then fabric cables), so a
+	// link's tier is determined by its id range: [0, lowerEnd) subtorus,
+	// [lowerEnd, uplinkEnd) uplink, [uplinkEnd, NumLinks) fabric.
+	lowerEnd, uplinkEnd int
 }
 
 // New builds a hybrid topology of numSub subtori of the given shape, with
@@ -119,6 +124,7 @@ func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
 			}
 		}
 	}
+	n.lowerEnd = n.net.NumLinks()
 	// Uplinks: QFDB -> hosting switch.
 	for s := 0; s < numSub; s++ {
 		for i, lr := range n.upLocal {
@@ -127,6 +133,7 @@ func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
 			n.net.AddDuplex(s*n.localN+int(lr), n.swBase+sw)
 		}
 	}
+	n.uplinkEnd = n.net.NumLinks()
 	// Upper tier switch cables.
 	for _, c := range fabric.SwitchCables() {
 		n.net.AddDuplex(n.swBase+int(c[0]), n.swBase+int(c[1]))
@@ -326,4 +333,37 @@ func (n *Nest) Diameter() int {
 // designated uplinked node (0 for u=1, 1 for u=2 and u=4, 3 for u=8).
 func (n *Nest) MaxHopsToUplink() int { return n.maxToUp }
 
+// NumTiers implements topo.Tiered: subtorus links, uplinks, fabric cables.
+func (n *Nest) NumTiers() int { return 3 }
+
+// TierName implements topo.Tiered.
+func (n *Nest) TierName(tier int) string {
+	switch tier {
+	case 0:
+		return "subtorus"
+	case 1:
+		return "uplink"
+	case 2:
+		return "fabric"
+	}
+	panic(fmt.Sprintf("nest: tier %d out of range", tier))
+}
+
+// LinkTier implements topo.Tiered by range over the construction-ordered
+// link id space.
+func (n *Nest) LinkTier(link int32) int {
+	if link < 0 || int(link) >= n.net.NumLinks() {
+		panic(fmt.Sprintf("nest: link %d out of range", link))
+	}
+	switch {
+	case int(link) < n.lowerEnd:
+		return 0
+	case int(link) < n.uplinkEnd:
+		return 1
+	default:
+		return 2
+	}
+}
+
 var _ topo.Topology = (*Nest)(nil)
+var _ topo.Tiered = (*Nest)(nil)

@@ -241,6 +241,23 @@ type MultiRouter interface {
 	RouteChoiceAppend(buf []int32, src, dst, choice int) []int32
 }
 
+// Tiered is implemented by topologies that can attribute every link to a
+// tier of their hierarchy — e.g. the nested topologies' subtorus links,
+// QFDB uplinks and upper-tier fabric cables. The flow engine's hot-spot
+// attribution uses it to break utilisation down by tier; flat topologies
+// simply don't implement it and are reported as a single tier.
+type Tiered interface {
+	Topology
+	// NumTiers returns the number of tiers (>= 1).
+	NumTiers() int
+	// TierName names a tier, e.g. "subtorus"; tiers are 0-based and
+	// ordered bottom-up.
+	TierName(tier int) string
+	// LinkTier returns the tier of a link id. It panics if the id is out
+	// of range.
+	LinkTier(link int32) int
+}
+
 // Fabric is a switch-level interconnect that a population of endpoints can
 // attach to. It is the contract between the hybrid (nested) topologies and
 // their upper tiers: the nest package wires uplinked QFDBs directly to the

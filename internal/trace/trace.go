@@ -1,0 +1,273 @@
+// Package trace is the simulator's flight recorder: a span-based
+// structured tracer that the engine and the experiment drivers emit into
+// around every phase of a run — topology build, route construction,
+// waterfill epochs, fault rerouting — and that exports Chrome
+// trace_event JSON loadable in Perfetto or chrome://tracing.
+//
+// Events live in one of two clock domains, modelled as two trace
+// "processes":
+//
+//   - the wall-clock domain (WallPID): spans measured with time.Now
+//     around real work — route building, waterfill recomputations,
+//     per-shard stages of the worker pool. These explain where the
+//     process spent its time and are inherently non-deterministic.
+//
+//   - the sim-time domain (SimPID): instants and counters stamped with
+//     the simulated clock — epoch markers, bottleneck shifts, fault
+//     events. For a fixed seed these are a pure function of the
+//     simulation and must be byte-identical across runs and across
+//     worker counts.
+//
+// The deterministic surface of a recording is exactly the sim-domain
+// events (plus the static metadata), canonically ordered; DeterministicJSON
+// exports it for fingerprinting while WriteTraceEvents exports everything
+// for humans. Like obs, this package imports nothing from the rest of the
+// module so any layer can depend on it without cycles.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The two clock domains, rendered as separate processes in trace viewers.
+const (
+	// WallPID is the wall-clock domain: real elapsed time since the
+	// recorder was created.
+	WallPID = 1
+	// SimPID is the simulated-time domain: the flow engine's clock.
+	SimPID = 2
+)
+
+// Event is one Chrome trace_event record. Timestamps and durations are in
+// microseconds, per the format; Args values must be JSON-serialisable and,
+// for sim-domain events, deterministic.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Recorder accumulates events. All methods are safe for concurrent use
+// and are no-ops on a nil receiver, so instrumented code can thread an
+// optional *Recorder without guarding every call site.
+type Recorder struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []Event
+	// nowFn is swappable for tests.
+	nowFn func() time.Time
+}
+
+// NewRecorder creates a recorder whose wall clock starts now.
+func NewRecorder() *Recorder {
+	r := &Recorder{nowFn: time.Now}
+	r.t0 = r.nowFn()
+	return r
+}
+
+func (r *Recorder) append(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// wallTS converts an instant to microseconds since the recorder epoch.
+func (r *Recorder) wallTS(t time.Time) float64 {
+	return float64(t.Sub(r.t0)) / float64(time.Microsecond)
+}
+
+// simTS converts simulated seconds to trace microseconds.
+func simTS(sec float64) float64 { return sec * 1e6 }
+
+// Span is an open wall-clock interval; End (or EndArgs) closes it and
+// records the complete event. The zero Span (from a nil recorder) is inert.
+type Span struct {
+	r     *Recorder
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a wall-clock span on thread 0 (the coordinating goroutine).
+func (r *Recorder) Begin(name, cat string) Span {
+	return r.BeginTID(name, cat, 0)
+}
+
+// BeginTID opens a wall-clock span on an explicit thread lane; the worker
+// pool uses one lane per shard so concurrent stages stack visually.
+func (r *Recorder) BeginTID(name, cat string, tid int) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, cat: cat, tid: tid, start: r.nowFn()}
+}
+
+// End closes the span.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span with arguments attached.
+func (s Span) EndArgs(args map[string]any) {
+	if s.r == nil {
+		return
+	}
+	end := s.r.nowFn()
+	s.r.append(Event{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS:  s.r.wallTS(s.start),
+		Dur: float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID: WallPID, TID: s.tid, Args: args,
+	})
+}
+
+// WallSpanSince records a complete wall-clock span from start to now on
+// thread tid, for call sites that already measured the interval.
+func (r *Recorder) WallSpanSince(name, cat string, start time.Time, tid int, args map[string]any) {
+	if r == nil {
+		return
+	}
+	end := r.nowFn()
+	r.append(Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  r.wallTS(start),
+		Dur: float64(end.Sub(start)) / float64(time.Microsecond),
+		PID: WallPID, TID: tid, Args: args,
+	})
+}
+
+// SimSpan records a complete span on the simulated clock.
+func (r *Recorder) SimSpan(name, cat string, startSec, endSec float64, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.append(Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: simTS(startSec), Dur: simTS(endSec - startSec),
+		PID: SimPID, TID: 0, Args: args,
+	})
+}
+
+// SimInstant records a point event on the simulated clock.
+func (r *Recorder) SimInstant(name, cat string, sec float64, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.append(Event{
+		Name: name, Cat: cat, Ph: "i",
+		TS:  simTS(sec),
+		PID: SimPID, TID: 0, Args: args,
+	})
+}
+
+// SimCounter records a counter sample on the simulated clock; viewers
+// render each argument as one series of the named counter track.
+func (r *Recorder) SimCounter(name string, sec float64, values map[string]float64) {
+	if r == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	r.append(Event{
+		Name: name, Ph: "C",
+		TS:  simTS(sec),
+		PID: SimPID, TID: 0, Args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// metaEvents returns the static process-naming metadata for both clock
+// domains.
+func metaEvents() []Event {
+	return []Event{
+		{Name: "process_name", Ph: "M", PID: WallPID, TID: 0, Args: map[string]any{"name": "wall clock"}},
+		{Name: "process_name", Ph: "M", PID: SimPID, TID: 0, Args: map[string]any{"name": "sim time"}},
+	}
+}
+
+// canonicalOrder sorts events by (pid, ts, tid, name, ph, dur): a strict
+// enough order that sim-domain events — whose fields are deterministic —
+// always serialise identically, regardless of the (concurrent,
+// scheduler-dependent) order they were appended in.
+func canonicalOrder(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		return a.Dur < b.Dur
+	})
+}
+
+// Events returns a canonically ordered copy of all recorded events,
+// prefixed with the domain metadata.
+func (r *Recorder) Events() []Event {
+	evs := metaEvents()
+	if r != nil {
+		r.mu.Lock()
+		evs = append(evs, r.events...)
+		r.mu.Unlock()
+	}
+	canonicalOrder(evs)
+	return evs
+}
+
+// document is the top-level Chrome trace_event JSON object form.
+type document struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents writes the full recording — both clock domains — as a
+// Chrome trace_event JSON document, loadable in Perfetto.
+func (r *Recorder) WriteTraceEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(document{TraceEvents: r.Events(), DisplayTimeUnit: "ms"})
+}
+
+// DeterministicJSON marshals the deterministic surface of the recording:
+// sim-domain events plus metadata, canonically ordered, wall-clock events
+// excluded. For a fixed seed the result must be byte-identical across
+// repeated runs and across worker counts; tests and fingerprints rely on
+// this.
+func (r *Recorder) DeterministicJSON() ([]byte, error) {
+	all := r.Events()
+	det := all[:0:0]
+	for _, e := range all {
+		if e.PID != WallPID {
+			det = append(det, e)
+		}
+	}
+	return json.Marshal(document{TraceEvents: det, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock advances a fake wall clock by step on every call. It is
+// goroutine-safe because the concurrent-append test calls it from many
+// goroutines at once.
+type testClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newTestRecorder(step time.Duration) *Recorder {
+	r := NewRecorder()
+	clock := &testClock{t: r.t0, step: step}
+	r.nowFn = clock.now
+	return r
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	sp := r.Begin("x", "y")
+	sp.End()
+	sp.EndArgs(map[string]any{"a": 1})
+	r.SimSpan("x", "y", 0, 1, nil)
+	r.SimInstant("x", "y", 0, nil)
+	r.SimCounter("x", 0, map[string]float64{"v": 1})
+	r.WallSpanSince("x", "y", time.Time{}, 0, nil)
+	if r.Len() != 0 {
+		t.Fatalf("nil recorder Len = %d", r.Len())
+	}
+	// Export from a nil recorder still yields valid metadata-only JSON.
+	b, err := r.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte("process_name")) {
+		t.Fatalf("missing metadata: %s", b)
+	}
+}
+
+func TestWallSpan(t *testing.T) {
+	r := newTestRecorder(time.Millisecond)
+	sp := r.Begin("flow.prepare", "phase")
+	sp.End()
+	evs := r.Events()
+	var found *Event
+	for i := range evs {
+		if evs[i].Name == "flow.prepare" {
+			found = &evs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("span not recorded: %+v", evs)
+	}
+	if found.PID != WallPID || found.Ph != "X" {
+		t.Fatalf("wrong domain/phase: %+v", found)
+	}
+	// One fake-clock tick between Begin and End = 1ms = 1000µs.
+	if found.Dur != 1000 {
+		t.Fatalf("dur = %g µs, want 1000", found.Dur)
+	}
+}
+
+func TestSimEventsAndCanonicalOrder(t *testing.T) {
+	r := NewRecorder()
+	// Append out of order; export must sort by timestamp.
+	r.SimInstant("late", "c", 2.0, nil)
+	r.SimCounter("flow.active", 1.0, map[string]float64{"flows": 7})
+	r.SimSpan("flow.simulate", "phase", 0, 3.0, map[string]any{"epochs": 4})
+	evs := r.Events()
+	// Metadata first (ts 0 on both pids), then sim events by ts.
+	var names []string
+	for _, e := range evs {
+		if e.PID == SimPID && e.Ph != "M" {
+			names = append(names, e.Name)
+		}
+	}
+	want := []string{"flow.simulate", "flow.active", "late"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("order = %v, want %v", names, want)
+	}
+	if evs[len(evs)-1].TS != 2e6 {
+		t.Fatalf("sim seconds not scaled to µs: %+v", evs[len(evs)-1])
+	}
+}
+
+func TestWriteTraceEventsIsValidJSON(t *testing.T) {
+	r := newTestRecorder(time.Millisecond)
+	r.Begin("a", "b").End()
+	r.SimInstant("i", "c", 0.5, map[string]any{"link": 3})
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// metadata (2) + wall span + sim instant
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %s", len(doc.TraceEvents), buf.String())
+	}
+	for _, e := range doc.TraceEvents {
+		if _, ok := e["ph"]; !ok {
+			t.Fatalf("event missing ph: %v", e)
+		}
+	}
+}
+
+func TestDeterministicSurfaceExcludesWall(t *testing.T) {
+	mk := func(wallSpans int) []byte {
+		r := newTestRecorder(time.Millisecond)
+		for i := 0; i < wallSpans; i++ {
+			r.Begin("wall.work", "w").End()
+		}
+		r.SimCounter("flow.active", 1.5, map[string]float64{"flows": 3})
+		r.SimInstant("flow.fault", "fault", 2.5, map[string]any{"killed_links": 2})
+		b, err := r.DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(1), mk(5)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic surface depends on wall events:\n%s\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte("wall.work")) {
+		t.Fatalf("wall event leaked into deterministic surface: %s", a)
+	}
+}
+
+func TestConcurrentAppendDeterministicSurface(t *testing.T) {
+	mk := func() []byte {
+		r := newTestRecorder(time.Microsecond)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					sp := r.BeginTID("shard.routes", "shard", g+1)
+					sp.End()
+					r.SimCounter("flow.active", float64(i), map[string]float64{"flows": float64(i)})
+				}
+			}(g)
+		}
+		wg.Wait()
+		b, err := r.DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("concurrent appends broke deterministic ordering")
+	}
+}

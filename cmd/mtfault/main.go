@@ -63,8 +63,9 @@ func main() {
 		msg         = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		eps         = flag.Float64("eps", 0.01, "completion batching window")
-		workers     = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
-		simWorkers  = flag.Int("simworkers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
+		cellWorkers = flag.Int("cellworkers", 0, "parallel cells (0 = NumCPU)")
+		workers     = flag.Int("workers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
+		simWorkers  = flag.Int("simworkers", 1, "deprecated alias of -workers")
 		csv         = flag.Bool("csv", false, "emit CSV")
 		progress    = flag.Bool("progress", true, "render a live progress line on stderr")
 		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
@@ -79,6 +80,10 @@ func main() {
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
+	simW, err := core.ResolveSimWorkers("mtfault", flag.CommandLine, *workers, *simWorkers, os.Stderr)
+	if err != nil {
+		die(err)
+	}
 	w, err := workload.ParseKind(*wName)
 	if err != nil {
 		die(err)
@@ -134,8 +139,8 @@ func main() {
 		Clusters:  *clusters,
 		Workload:  w,
 		Params:    workload.Params{Tasks: *tasks, Seed: *seed, MsgBytes: *msg},
-		Sim:       flow.Options{RelEpsilon: *eps, Workers: *simWorkers, Metrics: metrics},
-		Workers:   *workers,
+		Sim:       flow.Options{RelEpsilon: *eps, Workers: simW, Metrics: metrics},
+		Workers:   *cellWorkers,
 		Runner:    runner,
 		Journal:   journal,
 	})

@@ -1,179 +1,301 @@
-// Command mtsched exercises the job-scheduling substrate: a synthetic
-// stream of jobs (mixed workloads and sizes) is scheduled FCFS onto one
-// machine under a chosen allocation policy, and the schedule trace is
-// printed with waiting times and stretch.
+// Command mtsched is the open-system traffic driver: a multi-client
+// workload spec (or a built-in default mix) generates a streamed job
+// arrival process, the jobs are scheduled FCFS onto one machine under a
+// chosen allocation policy, and the schedule is reported with per-job
+// waits/stretch and per-SLO-class latency percentiles. The whole pipeline
+// is deterministic: the same spec, seed and machine produce a
+// byte-identical record for every -workers setting.
 //
 // Usage:
 //
-//	mtsched -n 2048 -jobs 12 -alloc firstfit
-//	mtsched -topo torus -alloc randomfit -seed 7
+//	mtsched -spec examples/specs/mixed.yaml -topo nestghc -n 2048
+//	mtsched -jobs 12 -rate 100 -alloc randomfit -json
+//	mtsched -spec spec.yaml -duration 2.5 -shared -json > record.json
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"mtier/internal/arrival"
 	"mtier/internal/core"
 	"mtier/internal/flow"
 	"mtier/internal/obs"
 	"mtier/internal/sched"
 	"mtier/internal/workload"
-	"mtier/internal/xrand"
 )
 
 func main() {
 	var (
-		topoName = flag.String("topo", "nestghc", "topology kind")
-		n        = flag.Int("n", 2048, "machine size (QFDBs)")
-		tFlag    = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
-		uFlag    = flag.Int("u", 2, "one uplink per u QFDBs (hybrids)")
-		jobs     = flag.Int("jobs", 10, "number of synthetic jobs")
-		alloc    = flag.String("alloc", "firstfit", "allocation policy: firstfit|randomfit")
-		seed     = flag.Int64("seed", 1, "job stream seed")
-		jsonOut  = flag.Bool("json", false, "emit the schedule as a schema'd JSON document")
+		topoName   = flag.String("topo", "nestghc", "topology kind")
+		n          = flag.Int("n", 2048, "machine size (QFDBs)")
+		tFlag      = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
+		uFlag      = flag.Int("u", 2, "one uplink per u QFDBs (hybrids)")
+		specPath   = flag.String("spec", "", "multi-client workload spec file (YAML or JSON)")
+		jobs       = flag.Int("jobs", 0, "cap the job stream at this many arrivals (0 = spec value)")
+		duration   = flag.Float64("duration", 0, "cap the arrival stream at this horizon in seconds (0 = spec value)")
+		rate       = flag.Float64("rate", 200, "aggregate arrival rate in jobs/s (built-in spec only)")
+		alloc      = flag.String("alloc", "firstfit", "allocation policy: firstfit|randomfit")
+		seed       = flag.Int64("seed", 1, "experiment seed (overrides the spec seed when set explicitly)")
+		shared     = flag.Bool("shared", false, "replay the schedule on a shared fabric to measure cross-job interference")
+		workers    = flag.Int("workers", 0, "intra-run worker threads; results are identical for every value (0 = GOMAXPROCS, 1 = serial)")
+		simWorkers = flag.Int("simworkers", 0, "deprecated alias of -workers")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		jsonOut    = flag.Bool("json", false, "emit the schedule as a schema'd JSON document")
 	)
+	flag.Var(aliasValue{flag.Lookup("spec").Value}, "workload-spec", "alias of -spec")
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	kind, err := core.ParseTopoKind(*topoName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtsched:", err)
-		os.Exit(1)
+		die(err)
+	}
+	if _, err := sched.ParseAllocPolicy(*alloc); err != nil {
+		die(err)
+	}
+	if *timeout < 0 {
+		die(fmt.Errorf("negative -timeout %v", *timeout))
+	}
+	simW, err := core.ResolveSimWorkers("mtsched", flag.CommandLine, *workers, *simWorkers, os.Stderr)
+	if err != nil {
+		die(err)
+	}
+
+	ctx, stopSignals := core.SignalContext(context.Background(), "mtsched", os.Stderr)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	stop, err := prof.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtsched:", err)
-		os.Exit(1)
+		die(err)
 	}
 	defer stop()
-	top, err := core.BuildTopology(kind, *n, *tFlag, *uFlag)
+
+	tspec := core.TopoSpec{Kind: kind, Endpoints: *n}
+	switch kind {
+	case core.NestTree, core.NestGHC:
+		tspec.T, tspec.U = *tFlag, *uFlag
+	}
+	top, err := core.Build(tspec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtsched:", err)
-		os.Exit(1)
-	}
-	// Synthetic job stream: random workload kinds, sizes between 1/16 and
-	// 1/2 of the machine, Poisson-ish submissions.
-	rng := xrand.New(*seed).Split("jobs")
-	kinds := []workload.Kind{
-		workload.AllReduce, workload.NearNeighbors, workload.UnstructuredApp,
-		workload.Sweep3D, workload.UnstructuredMgnt,
-	}
-	list := make([]sched.Job, *jobs)
-	submit := 0.0
-	for i := range list {
-		k := kinds[rng.Intn(len(kinds))]
-		tasks := top.NumEndpoints() / (2 << rng.Intn(4))
-		if tasks < 2 {
-			tasks = 2
-		}
-		list[i] = sched.Job{
-			Name:     fmt.Sprintf("job-%02d-%s", i, k),
-			Workload: k,
-			Params: workload.Params{
-				Tasks:    tasks,
-				MsgBytes: core.DefaultMsgBytes(k),
-				Seed:     int64(i) + *seed,
-			},
-			Submit: submit,
-		}
-		submit += 0.002 * float64(rng.Intn(10))
+		die(err)
 	}
 
-	s := sched.New(top, sched.AllocPolicy(*alloc), flow.Options{
-		RelEpsilon:      0.01,
-		RefreshFraction: 1.0 / 16,
-		LatencyBase:     core.DefaultLatencyBase,
-		LatencyPerHop:   core.DefaultLatencyPerHop,
-	}, *seed)
-	events, err := s.Run(list)
+	spec, err := loadOrDefaultSpec(*specPath, top.NumEndpoints(), *rate)
+	if err != nil {
+		die(err)
+	}
+	// Explicit CLI bounds/seed override the spec's.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet || spec.Seed == 0 {
+		spec.Seed = *seed
+	}
+	if *jobs > 0 {
+		spec.Jobs = *jobs
+	}
+	if *duration > 0 {
+		spec.Duration = *duration
+	}
+	if err := spec.Validate(); err != nil {
+		die(err)
+	}
+
+	stream, err := sched.JobsFromSpec(spec)
+	if err != nil {
+		die(err)
+	}
+	cfg := sched.Config{
+		Topo:  top,
+		Alloc: sched.AllocPolicy(*alloc),
+		Sim: flow.Options{
+			RelEpsilon:      0.01,
+			RefreshFraction: 1.0 / 16,
+			LatencyBase:     core.DefaultLatencyBase,
+			LatencyPerHop:   core.DefaultLatencyPerHop,
+			Workers:         simW,
+		},
+		Seed:         spec.Seed,
+		SharedFabric: *shared,
+	}
+	schedule, err := sched.RunContext(ctx, cfg, stream)
 	if err != nil {
 		stop()
-		fmt.Fprintln(os.Stderr, "mtsched:", err)
-		os.Exit(1)
-	}
-	var end, waits float64
-	for _, e := range events {
-		if e.End > end {
-			end = e.End
-		}
-		waits += e.WaitTime
-	}
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, *seed, list, events, end, waits); err != nil {
-			fmt.Fprintln(os.Stderr, "mtsched:", err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "mtsched: interrupted — partial schedule discarded:", err)
+			os.Exit(core.SignalExitCode)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "mtsched: run exceeded -timeout %v — partial schedule discarded: %v\n", *timeout, err)
 			os.Exit(1)
+		}
+		die(err)
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, spec, stream, schedule); err != nil {
+			die(err)
 		}
 		return
 	}
-	fmt.Printf("machine: %s (%d endpoints), allocation: %s\n\n", top.Name(), top.NumEndpoints(), *alloc)
-	fmt.Printf("%-28s %8s %8s %10s %10s %10s %8s %6s\n",
-		"job", "tasks", "submit", "start", "end", "run", "wait", "stretch")
-	for i, e := range events {
-		fmt.Printf("%-28s %8d %8.3f %10.4f %10.4f %10.4f %8.4f %6.2f\n",
-			e.Name, list[i].Params.Tasks, e.Submit, e.Start, e.End, e.RunTime, e.WaitTime, e.Stretch)
+	printText(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, spec, stream, schedule)
+}
+
+// aliasValue lets a second flag name write through to an existing flag.
+type aliasValue struct{ flag.Value }
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mtsched:", err)
+	os.Exit(1)
+}
+
+// loadOrDefaultSpec loads the -spec file, or falls back to a built-in
+// two-client mix (latency-sensitive interactive traffic vs bursty batch
+// training) sized to the machine.
+func loadOrDefaultSpec(path string, endpoints int, rate float64) (*workload.OpenSpec, error) {
+	if path != "" {
+		return workload.LoadSpec(path)
 	}
-	fmt.Printf("\nmakespan: %.4f s   mean wait: %.4f s\n", end, waits/float64(len(events)))
+	tasks := endpoints / 8
+	if tasks < 2 {
+		tasks = 2
+	}
+	return &workload.OpenSpec{
+		Schema:        workload.SpecSchema,
+		AggregateRate: rate,
+		Jobs:          16,
+		Clients: []workload.ClientSpec{
+			{
+				Name:         "interactive",
+				RateFraction: 0.5,
+				SLOClass:     workload.SLOCritical,
+				Workload:     workload.AllReduce,
+				Params:       workload.Params{Tasks: tasks, MsgBytes: 1e6},
+			},
+			{
+				Name:         "batch",
+				RateFraction: 0.5,
+				SLOClass:     workload.SLOBatch,
+				Workload:     workload.UnstructuredApp,
+				Arrival:      arrival.Spec{Process: arrival.Gamma, CV: 2},
+				Params:       workload.Params{Tasks: 2 * tasks, MsgBytes: 4e6},
+			},
+		},
+	}, nil
 }
 
 // schedJob is one scheduled job in the JSON document.
 type schedJob struct {
-	Name     string  `json:"name"`
-	Workload string  `json:"workload"`
-	Tasks    int     `json:"tasks"`
-	Submit   float64 `json:"submit_s"`
-	Start    float64 `json:"start_s"`
-	End      float64 `json:"end_s"`
-	Run      float64 `json:"run_s"`
-	Wait     float64 `json:"wait_s"`
-	Stretch  float64 `json:"stretch"`
-	Flows    int     `json:"flows"`
+	Name      string  `json:"name"`
+	Workload  string  `json:"workload"`
+	Client    string  `json:"client"`
+	Class     string  `json:"class"`
+	Tasks     int     `json:"tasks"`
+	Submit    float64 `json:"submit_s"`
+	Start     float64 `json:"start_s"`
+	End       float64 `json:"end_s"`
+	Run       float64 `json:"run_s"`
+	Wait      float64 `json:"wait_s"`
+	Stretch   float64 `json:"stretch"`
+	Flows     int     `json:"flows"`
+	FabricEnd float64 `json:"fabric_end_s,omitempty"`
 }
 
-// schedDocument is the schema'd JSON form of one mtsched run. The
-// scheduler has no per-run RunResult (each job runs its own simulation),
-// so this is its own record type rather than a run record.
+// schedDocument is the schema'd JSON form of one mtsched run.
+// History: v1 — closed-system synthetic stream (machine, jobs, makespan,
+// mean wait). v2 (PR 7) — open-system redesign: the generating spec is
+// echoed, jobs carry client/SLO class (and shared-fabric endings when
+// requested), and per-class latency percentiles plus Jain fairness are
+// reported.
 type schedDocument struct {
-	Schema     string     `json:"schema"`
-	Machine    string     `json:"machine"`
-	Endpoints  int        `json:"endpoints"`
-	Allocation string     `json:"allocation"`
-	Seed       int64      `json:"seed"`
-	Jobs       []schedJob `json:"jobs"`
-	MakespanS  float64    `json:"makespan_s"`
-	MeanWaitS  float64    `json:"mean_wait_s"`
+	Schema       string               `json:"schema"`
+	Machine      string               `json:"machine"`
+	Endpoints    int                  `json:"endpoints"`
+	Allocation   string               `json:"allocation"`
+	Seed         int64                `json:"seed"`
+	Spec         *workload.OpenSpec   `json:"spec,omitempty"`
+	Jobs         []schedJob           `json:"jobs"`
+	MakespanS    float64              `json:"makespan_s"`
+	MeanWaitS    float64              `json:"mean_wait_s"`
+	JainFairness float64              `json:"jain_fairness"`
+	Classes      []sched.ClassMetrics `json:"classes"`
+	Fabric       *flow.Result         `json:"fabric,omitempty"`
 }
 
-func writeJSON(w io.Writer, machine string, endpoints int, alloc string, seed int64, list []sched.Job, events []sched.Event, end, waits float64) error {
+func buildDocument(machine string, endpoints int, alloc string, spec *workload.OpenSpec, jobs []sched.Job, sch *sched.Schedule) schedDocument {
 	doc := schedDocument{
-		Schema:     "mtier/sched-record/v1",
-		Machine:    machine,
-		Endpoints:  endpoints,
-		Allocation: alloc,
-		Seed:       seed,
-		Jobs:       make([]schedJob, len(events)),
-		MakespanS:  end,
+		Schema:       "mtier/sched-record/v2",
+		Machine:      machine,
+		Endpoints:    endpoints,
+		Allocation:   alloc,
+		Seed:         spec.Seed,
+		Spec:         spec,
+		Jobs:         make([]schedJob, len(sch.Events)),
+		MakespanS:    sch.MakespanS,
+		MeanWaitS:    sch.MeanWaitS,
+		JainFairness: sch.JainFairness,
+		Classes:      sch.Classes,
+		Fabric:       sch.Fabric,
 	}
-	if len(events) > 0 {
-		doc.MeanWaitS = waits / float64(len(events))
-	}
-	for i, e := range events {
+	for i, e := range sch.Events {
 		doc.Jobs[i] = schedJob{
-			Name:     e.Name,
-			Workload: string(list[i].Workload),
-			Tasks:    list[i].Params.Tasks,
-			Submit:   e.Submit,
-			Start:    e.Start,
-			End:      e.End,
-			Run:      e.RunTime,
-			Wait:     e.WaitTime,
-			Stretch:  e.Stretch,
-			Flows:    e.FlowCount,
+			Name:      e.Name,
+			Workload:  string(jobs[i].Workload),
+			Client:    spec.Clients[e.Client].Name,
+			Class:     e.Class,
+			Tasks:     jobs[i].Params.Tasks,
+			Submit:    e.Submit,
+			Start:     e.Start,
+			End:       e.End,
+			Run:       e.RunTime,
+			Wait:      e.WaitTime,
+			Stretch:   e.Stretch,
+			Flows:     e.FlowCount,
+			FabricEnd: e.FabricEnd,
 		}
 	}
+	return doc
+}
+
+func writeJSON(w io.Writer, machine string, endpoints int, alloc string, spec *workload.OpenSpec, jobs []sched.Job, sch *sched.Schedule) error {
+	doc := buildDocument(machine, endpoints, alloc, spec, jobs, sch)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+func printText(w io.Writer, machine string, endpoints int, alloc string, spec *workload.OpenSpec, jobs []sched.Job, sch *sched.Schedule) {
+	fmt.Fprintf(w, "machine: %s (%d endpoints), allocation: %s, %d jobs from %d clients\n\n",
+		machine, endpoints, alloc, len(jobs), len(spec.Clients))
+	fmt.Fprintf(w, "%-24s %-10s %6s %8s %10s %10s %8s %7s\n",
+		"job", "class", "tasks", "submit", "start", "end", "wait", "stretch")
+	for i, e := range sch.Events {
+		fmt.Fprintf(w, "%-24s %-10s %6d %8.4f %10.4f %10.4f %8.4f %7.2f\n",
+			e.Name, e.Class, jobs[i].Params.Tasks, e.Submit, e.Start, e.End, e.WaitTime, e.Stretch)
+	}
+	fmt.Fprintf(w, "\nmakespan: %.4f s   mean wait: %.4f s   Jain fairness: %.3f\n",
+		sch.MakespanS, sch.MeanWaitS, sch.JainFairness)
+	fmt.Fprintf(w, "\n%-12s %5s %10s %10s %10s %10s %9s\n",
+		"class", "jobs", "p50 lat", "p95 lat", "p99 lat", "mean wait", "stretch")
+	for _, cm := range sch.Classes {
+		fmt.Fprintf(w, "%-12s %5d %10.4f %10.4f %10.4f %10.4f %9.2f\n",
+			cm.Class, cm.Jobs, cm.P50LatencyS, cm.P95LatencyS, cm.P99LatencyS, cm.MeanWaitS, cm.MeanStretch)
+	}
+	if sch.Fabric != nil {
+		fmt.Fprintf(w, "\nshared fabric: makespan %.4f s, max link util %.3f, mean link util %.3f\n",
+			sch.Fabric.Makespan, sch.Fabric.MaxLinkUtilization, sch.Fabric.MeanLinkUtilization)
+	}
 }

@@ -24,6 +24,7 @@
 //	mtsweep -set light -records cells.jsonl    # per-cell run records
 //	mtsweep -set light -journal sweep.jsonl    # checkpointed campaign
 //	mtsweep -set light -resume sweep.jsonl     # finish an interrupted one
+//	mtsweep -spec spec.yaml -n 2048            # open-system campaign
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"mtier/internal/flow"
 	"mtier/internal/obs"
 	"mtier/internal/report"
+	"mtier/internal/sched"
 	"mtier/internal/workload"
 )
 
@@ -54,8 +56,12 @@ func main() {
 		msg         = flag.Float64("msg", 0, "base message size in bytes (0 = workload default)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		eps         = flag.Float64("eps", 0.01, "completion batching window")
-		workers     = flag.Int("workers", 0, "parallel cells (0 = NumCPU)")
-		simWorkers  = flag.Int("simworkers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
+		cellWorkers = flag.Int("cellworkers", 0, "parallel cells (0 = NumCPU)")
+		workers     = flag.Int("workers", 1, "intra-run worker threads per cell; results are identical for every value (0 = GOMAXPROCS)")
+		simWorkers  = flag.Int("simworkers", 1, "deprecated alias of -workers")
+		specPath    = flag.String("spec", "", "open-system campaign: run this multi-client workload spec over every topology of the set")
+		allocName   = flag.String("alloc", "firstfit", "allocation policy for -spec campaigns: firstfit|randomfit")
+		shared      = flag.Bool("shared", false, "replay each -spec cell's schedule on a shared fabric")
 		csv         = flag.Bool("csv", false, "emit CSV")
 		progress    = flag.Bool("progress", true, "render a live progress line on stderr")
 		records     = flag.String("records", "", "append one JSON run record per cell to this file (JSONL)")
@@ -71,22 +77,46 @@ func main() {
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
+	simW, err := core.ResolveSimWorkers("mtsweep", flag.CommandLine, *workers, *simWorkers, os.Stderr)
+	if err != nil {
+		die(err)
+	}
+
 	var kinds []workload.Kind
-	switch {
-	case *wName != "":
-		k, err := workload.ParseKind(*wName)
-		if err != nil {
+	var spec *workload.OpenSpec
+	var alloc sched.AllocPolicy
+	if *specPath != "" {
+		// Open-system campaign: the spec's clients define the workload
+		// mix, so the closed-system workload selectors do not apply.
+		if *setName != "" || *wName != "" {
+			die(fmt.Errorf("-spec replaces -set/-workload: the spec's clients define the job mix"))
+		}
+		if *journalPath != "" || *resumePath != "" {
+			die(fmt.Errorf("-journal/-resume do not support -spec campaigns yet"))
+		}
+		if spec, err = workload.LoadSpec(*specPath); err != nil {
 			die(err)
 		}
-		kinds = []workload.Kind{k}
-	case *setName == "heavy":
-		kinds = workload.HeavyKinds()
-	case *setName == "light":
-		kinds = workload.LightKinds()
-	case *setName == "all" || *setName == "":
-		kinds = workload.Kinds()
-	default:
-		die(fmt.Errorf("unknown set %q (valid: heavy, light, all)", *setName))
+		if alloc, err = sched.ParseAllocPolicy(*allocName); err != nil {
+			die(err)
+		}
+	} else {
+		switch {
+		case *wName != "":
+			k, err := workload.ParseKind(*wName)
+			if err != nil {
+				die(err)
+			}
+			kinds = []workload.Kind{k}
+		case *setName == "heavy":
+			kinds = workload.HeavyKinds()
+		case *setName == "light":
+			kinds = workload.LightKinds()
+		case *setName == "all" || *setName == "":
+			kinds = workload.Kinds()
+		default:
+			die(fmt.Errorf("unknown set %q (valid: heavy, light, all)", *setName))
+		}
 	}
 
 	runner := core.RunnerOptions{
@@ -125,15 +155,20 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintln(os.Stderr, "mtsweep: observability endpoint on http://"+srv.Addr())
 	}
-	err = sweep(ctx, kinds, *n, *workers, *csv, *progress, *records, *fpr, srv, core.PanelOptions{
+	panelOpt := core.PanelOptions{
 		Seed:     *seed,
 		Tasks:    *tasks,
 		MsgBytes: *msg,
-		Workers:  *workers,
-		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: *simWorkers, Metrics: metrics},
+		Workers:  *cellWorkers,
+		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: simW, Metrics: metrics},
 		Runner:   runner,
 		Journal:  journal,
-	})
+	}
+	if spec != nil {
+		err = sweepSpec(ctx, spec, *n, alloc, *shared, *csv, *progress, *records, *fpr, srv, panelOpt)
+	} else {
+		err = sweep(ctx, kinds, *n, *cellWorkers, *csv, *progress, *records, *fpr, srv, panelOpt)
+	}
 	if journal != nil {
 		if cerr := journal.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "mtsweep: closing journal:", cerr)
@@ -179,9 +214,9 @@ func openJournal(journalPath, resumePath string) (*core.Journal, error) {
 	}
 }
 
-func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
+func sweep(ctx context.Context, kinds []workload.Kind, n, cellWorkers int, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
 	start := time.Now()
-	set, err := core.BuildSetContext(ctx, n, workers)
+	set, err := core.BuildSetContext(ctx, n, cellWorkers)
 	if err != nil {
 		return err
 	}
@@ -200,23 +235,11 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 		srv.SetProgress(meter)
 	}
 
-	var recMu sync.Mutex
-	var recW *bufio.Writer
-	if records != "" {
-		f, err := os.Create(records)
-		if err != nil {
-			return err
-		}
-		recW = bufio.NewWriter(f)
-		defer func() {
-			if err := recW.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "mtsweep: flushing records:", err)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "mtsweep: closing records:", err)
-			}
-		}()
+	sink, err := openRecordSink(records)
+	if err != nil {
+		return err
 	}
+	defer sink.Close()
 
 	// Per-cell fingerprints keyed by cell identity: cells complete
 	// concurrently, so the digest is assembled in sorted-key order at the
@@ -236,7 +259,7 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 			} else {
 				meter.Step(label)
 			}
-			if recW != nil || fpr {
+			if sink != nil || fpr {
 				line, err := res.Record().MarshalLine()
 				if err == nil && fpr {
 					fp, ferr := res.Record().Fingerprint()
@@ -246,14 +269,11 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 						fpMu.Unlock()
 					}
 				}
-				if recW != nil {
-					recMu.Lock()
-					defer recMu.Unlock()
+				if sink != nil {
 					if err == nil {
-						_, err = recW.Write(line)
-					}
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "\nmtsweep: writing record:", err)
+						sink.Write(line)
+					} else {
+						fmt.Fprintln(os.Stderr, "\nmtsweep: encoding record:", err)
 					}
 				}
 			}
@@ -271,18 +291,150 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, workers int, csv, prog
 	}
 	meter.Finish()
 	if fpr {
-		keys := make([]string, 0, len(fps))
-		for k := range fps {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		h := sha256.New()
-		for _, k := range keys {
-			h.Write(fps[k])
-		}
-		fmt.Printf("fingerprint %x\n", h.Sum(nil))
+		printFingerprint(fps)
 	}
 	return nil
+}
+
+// sweepSpec runs the open-system campaign: one multi-client job stream
+// (a pure function of the spec, so every cell schedules the identical
+// arrivals) placed onto every topology of the set — differences between
+// rows are purely architectural.
+func sweepSpec(ctx context.Context, spec *workload.OpenSpec, n int, alloc sched.AllocPolicy, shared, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
+	start := time.Now()
+	set, err := core.BuildSetContext(ctx, n, opt.Workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mtsweep: built %d-endpoint topology set in %v\n", n, time.Since(start))
+
+	var meter *obs.ProgressMeter
+	if progress {
+		meter = obs.NewProgressMeter(os.Stderr, core.PanelCells(set))
+	} else if srv != nil {
+		meter = obs.NewProgressMeter(nil, core.PanelCells(set))
+	}
+	if srv != nil {
+		srv.SetProgress(meter)
+	}
+
+	sink, err := openRecordSink(records)
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+
+	var fpMu sync.Mutex
+	fps := make(map[string][]byte)
+
+	tab, err := core.OpenPanelContext(ctx, set, spec, core.OpenPanelOptions{
+		Alloc:        alloc,
+		Sim:          opt,
+		SharedFabric: shared,
+		OnCell: func(cell *core.OpenCell) {
+			label := fmt.Sprint(cell.Kind)
+			if cell.Pt != (core.Point{}) {
+				label += " " + cell.Pt.Label()
+			}
+			meter.Step(label)
+			if sink == nil && !fpr {
+				return
+			}
+			rec := cell.Record(core.OpenConfig{
+				Kind:       cell.Kind,
+				Endpoints:  n,
+				T:          cell.Pt.T,
+				U:          cell.Pt.U,
+				Allocation: alloc,
+				Spec:       spec,
+			})
+			if fpr {
+				if fp, ferr := rec.Fingerprint(); ferr == nil {
+					fpMu.Lock()
+					fps[fmt.Sprintf("%s/%s", cell.Kind, cell.Pt.Label())] = fp
+					fpMu.Unlock()
+				}
+			}
+			if sink != nil {
+				if line, lerr := rec.MarshalLine(); lerr == nil {
+					sink.Write(line)
+				} else {
+					fmt.Fprintln(os.Stderr, "\nmtsweep: encoding record:", lerr)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if meter != nil {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+	if csv {
+		_ = tab.WriteCSV(os.Stdout)
+	} else {
+		_ = tab.WriteText(os.Stdout)
+		fmt.Println()
+	}
+	meter.Finish()
+	if fpr {
+		printFingerprint(fps)
+	}
+	return nil
+}
+
+// recordSink streams one JSON line per completed cell to a JSONL file,
+// serialising concurrent writers. A nil sink discards everything.
+type recordSink struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func openRecordSink(path string) (*recordSink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &recordSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (s *recordSink) Write(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(line); err != nil {
+		fmt.Fprintln(os.Stderr, "\nmtsweep: writing record:", err)
+	}
+}
+
+func (s *recordSink) Close() {
+	if s == nil {
+		return
+	}
+	if err := s.w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep: flushing records:", err)
+	}
+	if err := s.f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep: closing records:", err)
+	}
+}
+
+// printFingerprint digests the per-cell fingerprints in sorted-key order
+// (cells complete concurrently) and prints the campaign checksum.
+func printFingerprint(fps map[string][]byte) {
+	keys := make([]string, 0, len(fps))
+	for k := range fps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write(fps[k])
+	}
+	fmt.Printf("fingerprint %x\n", h.Sum(nil))
 }
 
 func emit(fig *report.Figure, csv bool) {

@@ -73,7 +73,12 @@ func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed
 }
 
 func analyseOne(kind core.TopoKind, n, t, u, samples, workers int, seed int64, csv bool) error {
-	top, err := core.BuildTopology(kind, n, t, u)
+	spec := core.TopoSpec{Kind: kind, Endpoints: n}
+	switch kind {
+	case core.NestTree, core.NestGHC:
+		spec.T, spec.U = t, u
+	}
+	top, err := core.Build(spec)
 	if err != nil {
 		return err
 	}

@@ -33,20 +33,21 @@ func main() {
 	}
 
 	for _, alloc := range []sched.AllocPolicy{sched.FirstFit, sched.RandomFit} {
-		s := sched.New(machine, alloc, flow.Options{RelEpsilon: 0.01}, 99)
-		events, err := s.Run(jobs)
+		schedule, err := sched.Run(sched.Config{
+			Topo:  machine,
+			Alloc: alloc,
+			Sim:   flow.Options{RelEpsilon: 0.01},
+			Seed:  99,
+		}, jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("allocation policy: %s\n", alloc)
-		var lastEnd float64
-		for _, e := range events {
+		for _, e := range schedule.Events {
 			fmt.Printf("  %-12s submit=%.3f start=%.3f end=%.4f wait=%.4f run=%.4f stretch=%.2f\n",
 				e.Name, e.Submit, e.Start, e.End, e.WaitTime, e.RunTime, e.Stretch)
-			if e.End > lastEnd {
-				lastEnd = e.End
-			}
 		}
-		fmt.Printf("  campaign finished at t=%.4f s\n\n", lastEnd)
+		fmt.Printf("  campaign finished at t=%.4f s (mean wait %.4f s)\n\n",
+			schedule.MakespanS, schedule.MeanWaitS)
 	}
 }

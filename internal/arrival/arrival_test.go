@@ -1,0 +1,190 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"mtier/internal/xrand"
+)
+
+func TestParseProcess(t *testing.T) {
+	for _, p := range Processes() {
+		got, err := ParseProcess(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParseProcess(%q) = %q, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProcess("uniform"); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{}, true}, // zero value = Poisson
+		{Spec{Process: Poisson}, true},
+		{Spec{Process: Gamma, CV: 2}, true},
+		{Spec{Process: Gamma}, false},              // missing CV
+		{Spec{Process: Gamma, CV: -1}, false},      // negative CV
+		{Spec{Process: Weibull, Shape: 0.7}, true}, //
+		{Spec{Process: Weibull}, false},            // missing shape
+		{Spec{Process: Weibull, Shape: -2}, false}, //
+		{Spec{Process: Process("burst")}, false},   // unknown
+		{Spec{Process: Gamma, CV: math.NaN()}, false},
+	}
+	for i, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%+v): err = %v, want ok=%v", i, c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestSamplerPositiveAndMeanRoughlyRight(t *testing.T) {
+	specs := []Spec{
+		{Process: Poisson},
+		{Process: Gamma, CV: 2},
+		{Process: Gamma, CV: 0.5},
+		{Process: Weibull, Shape: 0.7},
+		{Process: Weibull, Shape: 2},
+	}
+	const rate, n = 4.0, 20000
+	for _, spec := range specs {
+		s, err := NewSampler(spec, rate, xrand.New(7).Split("test"))
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			dt := s.Next()
+			if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+				t.Fatalf("%+v: non-positive inter-arrival %g", spec, dt)
+			}
+			sum += dt
+		}
+		mean := sum / n
+		if mean < 0.7/rate || mean > 1.3/rate {
+			t.Errorf("%+v: empirical mean inter-arrival %g, want ≈ %g", spec, mean, 1/rate)
+		}
+	}
+}
+
+func TestSamplerRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSampler(Spec{}, rate, xrand.New(1)); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+}
+
+func TestMergeDeterministicAndOrdered(t *testing.T) {
+	specs := []Spec{{Process: Poisson}, {Process: Gamma, CV: 2}, {Process: Weibull, Shape: 0.7}}
+	rates := []float64{2, 1, 0.5}
+	a, err := Merge(specs, rates, xrand.New(42), 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Merge(specs, rates, xrand.New(42), 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("got %d/%d events, want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("merge not deterministic at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Time < a[i-1].Time {
+			t.Fatalf("merge out of order at %d: %g after %g", i, a[i].Time, a[i-1].Time)
+		}
+	}
+	// Per-client sequence numbers are contiguous from 0.
+	seq := make(map[int]int)
+	for _, ev := range a {
+		if ev.Seq != seq[ev.Client] {
+			t.Fatalf("client %d: seq %d, want %d", ev.Client, ev.Seq, seq[ev.Client])
+		}
+		seq[ev.Client]++
+	}
+}
+
+func TestMergeClientStreamsIndependentOfSiblings(t *testing.T) {
+	// Client 0's arrival instants must not depend on what other clients
+	// are in the spec: sub-streams are derived by index, not shared.
+	solo, err := Merge([]Spec{{}}, []float64{2}, xrand.New(9), 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Merge([]Spec{{}, {Process: Gamma, CV: 2}}, []float64{2, 5}, xrand.New(9), 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixed0 []float64
+	for _, ev := range mixed {
+		if ev.Client == 0 {
+			mixed0 = append(mixed0, ev.Time)
+		}
+	}
+	if len(mixed0) < 10 {
+		t.Fatalf("only %d client-0 events in mixed stream", len(mixed0))
+	}
+	for i := 0; i < 10; i++ {
+		if solo[i].Time != mixed0[i] {
+			t.Fatalf("client-0 stream changed with siblings: event %d %g vs %g", i, solo[i].Time, mixed0[i])
+		}
+	}
+}
+
+func TestMergeHorizon(t *testing.T) {
+	a, err := Merge([]Spec{{}}, []float64{10}, xrand.New(3), 0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no events inside horizon")
+	}
+	for _, ev := range a {
+		if ev.Time > 5.0 {
+			t.Fatalf("event at %g past horizon", ev.Time)
+		}
+	}
+}
+
+func TestMergeRejectsUnbounded(t *testing.T) {
+	if _, err := Merge([]Spec{{}}, []float64{1}, xrand.New(1), 0, 0); err == nil {
+		t.Fatal("unbounded stream accepted")
+	}
+	if _, err := Merge(nil, nil, xrand.New(1), 10, 0); err == nil {
+		t.Fatal("empty client list accepted")
+	}
+	if _, err := Merge([]Spec{{}}, []float64{1, 2}, xrand.New(1), 10, 0); err == nil {
+		t.Fatal("mismatched specs/rates accepted")
+	}
+}
+
+// TestGoldenPoissonStream pins the first arrivals of a seeded Poisson
+// stream, so an accidental change to draw order or the exponential
+// transform shows up as a diff here rather than as silently different
+// schedules everywhere downstream.
+func TestGoldenPoissonStream(t *testing.T) {
+	a, err := Merge([]Spec{{}}, []float64{1}, xrand.New(1), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{}
+	src := xrand.New(1).SplitN("arrival", 0)
+	acc := 0.0
+	for i := 0; i < 4; i++ {
+		acc += src.Expovariate(1)
+		want = append(want, acc)
+	}
+	for i := range want {
+		if a[i].Time != want[i] {
+			t.Fatalf("event %d: %g, want %g", i, a[i].Time, want[i])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+)
+
+var simWorkersWarned sync.Once
+
+// ResolveSimWorkers reconciles the canonical -workers flag with the
+// deprecated -simworkers spelling. Every CLI accepts -workers for
+// intra-run simulation threads (results are identical for every value);
+// -simworkers remains as an alias that warns once on stderr so old
+// scripts keep working while they migrate. Setting both explicitly is an
+// error — silently preferring one would hide a disagreement.
+func ResolveSimWorkers(prog string, fs *flag.FlagSet, workers, simWorkers int, stderr io.Writer) (int, error) {
+	var workersSet, simSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers":
+			workersSet = true
+		case "simworkers":
+			simSet = true
+		}
+	})
+	if workersSet && simSet {
+		return 0, fmt.Errorf("both -workers and -simworkers set; -simworkers is a deprecated alias of -workers, drop it")
+	}
+	if simSet {
+		simWorkersWarned.Do(func() {
+			fmt.Fprintf(stderr, "%s: -simworkers is deprecated; use -workers\n", prog)
+		})
+		return simWorkers, nil
+	}
+	return workers, nil
+}

@@ -8,8 +8,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mtier/internal/fault"
@@ -97,12 +99,20 @@ func PaperPoints() []Point {
 	return pts
 }
 
+var buildTopologyDeprecated sync.Once
+
 // BuildTopology constructs a topology of the given family with n endpoints.
 // t and u are only used by the hybrid families; other families ignore
-// them, preserving the historical signature. New code should prefer
-// Build, whose TopoSpec validation rejects misapplied parameters instead
-// of discarding them.
+// them, preserving the historical signature.
+//
+// Deprecated: use Build, whose TopoSpec validation rejects misapplied
+// parameters instead of discarding them. This wrapper logs a one-shot
+// deprecation notice to stderr; it will be removed once downstream
+// callers have migrated.
 func BuildTopology(kind TopoKind, n, t, u int) (topo.Topology, error) {
+	buildTopologyDeprecated.Do(func() {
+		fmt.Fprintln(os.Stderr, "core: BuildTopology is deprecated; use Build(TopoSpec)")
+	})
 	spec := TopoSpec{Kind: kind, Endpoints: n}
 	switch kind {
 	case NestTree, NestGHC:
@@ -233,7 +243,15 @@ func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult,
 	if top == nil {
 		t0 := time.Now()
 		sp := tr.Begin("core.build", "phase")
-		top, err = BuildTopology(cfg.Kind, cfg.Endpoints, cfg.T, cfg.U)
+		// Config documents T/U as ignored by the flat families, so the
+		// spec is assembled conditionally rather than strictly: replayed
+		// records may carry hybrid parameters alongside a flat kind.
+		spec := TopoSpec{Kind: cfg.Kind, Endpoints: cfg.Endpoints}
+		switch cfg.Kind {
+		case NestTree, NestGHC:
+			spec.T, spec.U = cfg.T, cfg.U
+		}
+		top, err = Build(spec)
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ func diffFamilies(t testing.TB, n int) map[string]topo.Topology {
 	}{
 		{Torus3D, 0, 0}, {Fattree, 0, 0}, {NestTree, 2, 4}, {NestGHC, 2, 4},
 	} {
-		top, err := BuildTopology(f.kind, n, f.tt, f.u)
+		top, err := Build(TopoSpec{Kind: f.kind, Endpoints: n, T: f.tt, U: f.u})
 		if err != nil {
 			t.Fatalf("building %s: %v", f.kind, err)
 		}

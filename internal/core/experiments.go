@@ -56,7 +56,7 @@ func BuildSetContext(ctx context.Context, n int, workers int) (*TopoSet, error) 
 	var mu sync.Mutex
 	err := runCells(ctx, len(jobs), workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		j := jobs[i]
-		t, err := BuildTopology(j.kind, n, j.pt.T, j.pt.U)
+		t, err := Build(TopoSpec{Kind: j.kind, Endpoints: n, T: j.pt.T, U: j.pt.U})
 		if err != nil {
 			return fmt.Errorf("core: building %s %s: %w", j.kind, j.pt.Label(), err)
 		}
@@ -183,7 +183,7 @@ func Table2(n int, model cost.Model) (*report.Table, error) {
 			fmt.Sprintf("%.2f", est[0].PowerOverheadPct), fmt.Sprintf("%.2f", est[1].PowerOverheadPct))
 	}
 	// The standalone fattree as upper bound: every QFDB uplinked.
-	ft, err := BuildTopology(Fattree, n, 0, 0)
+	ft, err := Build(TopoSpec{Kind: Fattree, Endpoints: n})
 	if err != nil {
 		return nil, err
 	}

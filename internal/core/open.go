@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mtier/internal/obs"
+	"mtier/internal/report"
+	"mtier/internal/sched"
+	"mtier/internal/workload"
+)
+
+// OpenConfig is the config section of an open-system campaign cell's run
+// record: the machine design point plus the generating workload spec, so
+// the cell can be replayed from its record alone.
+type OpenConfig struct {
+	Kind       TopoKind           `json:"kind"`
+	Endpoints  int                `json:"endpoints"`
+	T          int                `json:"t,omitempty"`
+	U          int                `json:"u,omitempty"`
+	Allocation sched.AllocPolicy  `json:"allocation"`
+	Spec       *workload.OpenSpec `json:"spec"`
+}
+
+// OpenCell is the outcome of one open-system campaign cell: a full
+// multi-client schedule on one topology of the set.
+type OpenCell struct {
+	Kind     TopoKind
+	Pt       Point
+	Topology string
+	Schedule *sched.Schedule
+	// SimSeconds is the cell's wall-clock scheduling+simulation time.
+	SimSeconds float64
+}
+
+// Record builds the cell's self-describing run record (schema v3): the
+// sched section carries the per-class metrics, the result section the
+// shared-fabric simulation outcome when one ran.
+func (c *OpenCell) Record(cfg OpenConfig) *obs.RunRecord {
+	type schedSection struct {
+		Allocation   sched.AllocPolicy    `json:"allocation"`
+		Jobs         int                  `json:"jobs"`
+		MakespanS    float64              `json:"makespan_s"`
+		MeanWaitS    float64              `json:"mean_wait_s"`
+		JainFairness float64              `json:"jain_fairness"`
+		Classes      []sched.ClassMetrics `json:"classes"`
+	}
+	flows := 0
+	for i := range c.Schedule.Events {
+		flows += c.Schedule.Events[i].FlowCount
+	}
+	return &obs.RunRecord{
+		Schema: obs.RunRecordSchema,
+		Config: cfg,
+		Topology: obs.TopologyInfo{
+			Name:      c.Topology,
+			Endpoints: cfg.Endpoints,
+		},
+		Flows: flows,
+		Seed:  cfg.Spec.Seed,
+		Sched: schedSection{
+			Allocation:   cfg.Allocation,
+			Jobs:         len(c.Schedule.Events),
+			MakespanS:    c.Schedule.MakespanS,
+			MeanWaitS:    c.Schedule.MeanWaitS,
+			JainFairness: c.Schedule.JainFairness,
+			Classes:      c.Schedule.Classes,
+		},
+		Result: c.Schedule.Fabric,
+		Phases: obs.PhaseTimings{SimulateSeconds: c.SimSeconds},
+		Env:    obs.CaptureEnvironment(),
+	}
+}
+
+// OpenPanelOptions configures an open-system campaign over a topology set.
+type OpenPanelOptions struct {
+	// Alloc is the endpoint-allocation policy (empty = FirstFit).
+	Alloc sched.AllocPolicy
+	// Sim tunes the per-job flow simulations.
+	Sim PanelOptions
+	// SharedFabric replays each cell's schedule on a shared fabric.
+	SharedFabric bool
+	// OnCell, when non-nil, fires once per completed cell (concurrently;
+	// implementations must be goroutine-safe).
+	OnCell func(cell *OpenCell)
+}
+
+// OpenPanelContext runs a multi-client workload spec over every topology
+// of the set — the open-system analogue of PanelContext. Each cell
+// schedules the same deterministic job stream (a pure function of the
+// spec) onto its topology, so differences between rows are purely
+// architectural. Returns the campaign table: per-topology makespan, mean
+// wait, Jain fairness and the strictest class's tail latency.
+func OpenPanelContext(ctx context.Context, set *TopoSet, spec *workload.OpenSpec, opt OpenPanelOptions) (*report.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := sched.JobsFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	type cellID struct {
+		kind TopoKind
+		pt   Point
+	}
+	var cells []cellID
+	for _, pt := range set.Points {
+		cells = append(cells, cellID{NestGHC, pt}, cellID{NestTree, pt})
+	}
+	cells = append(cells, cellID{Fattree, Point{}}, cellID{Torus3D, Point{}})
+
+	alloc := opt.Alloc
+	if alloc == "" {
+		alloc = sched.FirstFit
+	}
+	results := make([]*OpenCell, len(cells))
+	err = runCells(ctx, len(cells), opt.Sim.Workers, opt.Sim.Runner, func(ctx context.Context, i int) error {
+		c := cells[i]
+		top, ok := set.Lookup(c.kind, c.pt)
+		if !ok {
+			return fmt.Errorf("core: topology set has no %s %s instance", c.kind, c.pt.Label())
+		}
+		start := time.Now()
+		sch, err := sched.RunContext(ctx, sched.Config{
+			Topo:         top,
+			Alloc:        alloc,
+			Sim:          opt.Sim.Sim,
+			Seed:         spec.Seed,
+			SharedFabric: opt.SharedFabric,
+		}, jobs)
+		if err != nil {
+			return fmt.Errorf("core: open cell %s %s: %w", c.kind, c.pt.Label(), err)
+		}
+		cell := &OpenCell{
+			Kind:       c.kind,
+			Pt:         c.pt,
+			Topology:   top.Name(),
+			Schedule:   sch,
+			SimSeconds: time.Since(start).Seconds(),
+		}
+		results[i] = cell
+		if opt.OnCell != nil {
+			opt.OnCell(cell)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	strictest := ""
+	if len(results) > 0 && len(results[0].Schedule.Classes) > 0 {
+		strictest = results[0].Schedule.Classes[0].Class
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Open system — %d jobs, %d clients (N=%d)", len(jobs), len(spec.Clients), set.Endpoints),
+		"topology", "makespan_s", "mean_wait_s", "jain",
+		fmt.Sprintf("p99_%s_s", strictest))
+	for _, cell := range results {
+		label := string(kindLegend(cell.Kind))
+		if cell.Pt != (Point{}) {
+			label += " " + cell.Pt.Label()
+		}
+		p99 := 0.0
+		if len(cell.Schedule.Classes) > 0 {
+			p99 = cell.Schedule.Classes[0].P99LatencyS
+		}
+		tab.AddRow(label,
+			fmt.Sprintf("%.6f", cell.Schedule.MakespanS),
+			fmt.Sprintf("%.6f", cell.Schedule.MeanWaitS),
+			fmt.Sprintf("%.3f", cell.Schedule.JainFairness),
+			fmt.Sprintf("%.6f", p99))
+	}
+	return tab, nil
+}

@@ -113,7 +113,7 @@ func TestRunRecordContents(t *testing.T) {
 // TestRunPhasesPrebuilt: sweeps supply prebuilt topologies, so the build
 // phase must read zero while the others are populated.
 func TestRunPhasesPrebuilt(t *testing.T) {
-	top, err := BuildTopology(Torus3D, 64, 0, 0)
+	top, err := Build(TopoSpec{Kind: Torus3D, Endpoints: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -172,7 +172,7 @@ func TestTraceDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestTraceFaultEvents(t *testing.T) {
-	base, err := core.BuildTopology(core.Torus3D, 27, 0, 0)
+	base, err := core.Build(core.TopoSpec{Kind: core.Torus3D, Endpoints: 27})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestHotspotInRunRecord(t *testing.T) {
 	if !bytes.Contains(fp1, []byte(`"hotspots"`)) || !bytes.Contains(fp1, []byte(`"hotspot_k":8`)) {
 		t.Fatalf("run record missing hotspot section: %.400s", fp1)
 	}
-	if !bytes.Contains(fp1, []byte(`"mtier/run-record/v2"`)) {
+	if !bytes.Contains(fp1, []byte(`"mtier/run-record/v3"`)) {
 		t.Fatalf("record schema not bumped: %.200s", fp1)
 	}
 	res2 := runHotspot(t, core.NestGHC, 2, 4, 2)

@@ -41,6 +41,12 @@ type Flow struct {
 	// Deps lists the flow ids that must complete before this flow is
 	// injected.
 	Deps []int32
+	// Start is a release time in seconds: the flow may not begin moving
+	// data before this instant, even once its dependencies complete. Zero
+	// (the default) keeps the classic dependency-only semantics. The
+	// open-system scheduler uses it to inject whole jobs into a shared
+	// fabric at their scheduled start times.
+	Start float64
 }
 
 // Spec is a workload: a DAG of flows.
@@ -53,6 +59,15 @@ type Spec struct {
 func (s *Spec) Add(src, dst int, bytes float64, deps ...int32) int32 {
 	id := int32(len(s.Flows))
 	s.Flows = append(s.Flows, Flow{Src: int32(src), Dst: int32(dst), Bytes: bytes, Deps: deps})
+	return id
+}
+
+// AddAt appends a flow released no earlier than `start` seconds and
+// returns its id. Alongside Add it lets one Spec interleave several jobs
+// on a shared fabric, each gated to its own activation epoch.
+func (s *Spec) AddAt(src, dst int, bytes, start float64, deps ...int32) int32 {
+	id := int32(len(s.Flows))
+	s.Flows = append(s.Flows, Flow{Src: int32(src), Dst: int32(dst), Bytes: bytes, Start: start, Deps: deps})
 	return id
 }
 
@@ -567,6 +582,9 @@ func (s *sim) prepare(spec *Spec) error {
 		if fl.Bytes < 0 || math.IsNaN(fl.Bytes) || math.IsInf(fl.Bytes, 0) {
 			return fmt.Errorf("flow %d: invalid size %g", i, fl.Bytes)
 		}
+		if fl.Start < 0 || math.IsNaN(fl.Start) || math.IsInf(fl.Start, 0) {
+			return fmt.Errorf("flow %d: invalid start time %g", i, fl.Start)
+		}
 		for _, d := range fl.Deps {
 			if d < 0 || int(d) >= f {
 				return fmt.Errorf("flow %d: dependency %d out of range", i, d)
@@ -903,9 +921,20 @@ func (s *sim) inject(id int32, now float64) {
 			return
 		}
 	}
+	// Dependencies are satisfied, but the flow may still be gated by its
+	// release time; it holds in the pending heap until then.
+	rel := now
+	if fl := &s.flows[id]; fl.Start > now {
+		rel = fl.Start
+	}
 	if s.flows[id].Bytes <= 0 || len(s.routes[id]) == 0 {
 		// Nothing to transmit, or a self-flow with ports disabled: the
-		// transfer never occupies a shared resource and completes at once.
+		// transfer never occupies a shared resource and completes the
+		// instant it is released.
+		if rel > now {
+			heap.Push(&s.pending, pendEntry{at: rel, id: id})
+			return
+		}
 		s.ends[id] = now
 		s.done++
 		if s.starts != nil {
@@ -915,8 +944,12 @@ func (s *sim) inject(id int32, now float64) {
 		s.release(id, now)
 		return
 	}
-	if s.latency != nil && s.latency[id] > 0 {
-		heap.Push(&s.pending, pendEntry{at: now + s.latency[id], id: id})
+	at := rel
+	if s.latency != nil {
+		at += s.latency[id]
+	}
+	if at > now {
+		heap.Push(&s.pending, pendEntry{at: at, id: id})
 		return
 	}
 	s.activate(id, now)
@@ -945,6 +978,20 @@ func (s *sim) trace(id int32, end float64) {
 func (s *sim) activateDue(now float64) {
 	for s.pending.Len() > 0 && s.pending.at[0] <= now*(1+1e-15) {
 		e := heap.Pop(&s.pending).(pendEntry)
+		if s.flows[e.id].Bytes <= 0 || len(s.routes[e.id]) == 0 {
+			// A release-gated degenerate flow: it occupies no link, so it
+			// completes the moment its start time arrives. Its release may
+			// cascade into fresh injections (and pending-heap pushes),
+			// which this loop then drains in the same pass.
+			s.ends[e.id] = now
+			s.done++
+			if s.starts != nil {
+				s.starts[e.id] = now
+			}
+			s.trace(e.id, now)
+			s.release(e.id, now)
+			continue
+		}
 		if s.deadCount > 0 && s.routeCrossesDead(e.id) {
 			if !s.rerouteFlow(e.id) {
 				s.loseFlow(e.id, now, s.flows[e.id].Bytes, false)

@@ -179,7 +179,7 @@ func TestParallelMatchesSerialFaultEvents(t *testing.T) {
 		f := f
 		t.Run(string(f.kind), func(t *testing.T) {
 			t.Parallel()
-			base, err := core.BuildTopology(f.kind, n, f.tt, f.u)
+			base, err := core.Build(core.TopoSpec{Kind: f.kind, Endpoints: n, T: f.tt, U: f.u})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -381,7 +381,7 @@ func cellFingerprints(t *testing.T, rep *core.DegradationReport) map[string][]by
 // silent serial fallback.
 func TestNegativeWorkersRejected(t *testing.T) {
 	t.Parallel()
-	top, err := core.BuildTopology(core.Torus3D, 8, 0, 0)
+	top, err := core.Build(core.TopoSpec{Kind: core.Torus3D, Endpoints: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,183 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+// Release-time (Flow.Start) semantics: the open-system scheduler gates
+// whole jobs on a shared fabric with per-flow start times, so the hook
+// has to delay activation, compose with dependencies and latency, and
+// stay bit-identical when unused.
+
+func TestStartDelaysActivation(t *testing.T) {
+	tor := ring(t, 8)
+	spec := &Spec{}
+	spec.AddAt(0, 1, 1.25e9, 2.0) // 1 second of transfer, released at t=2
+	res, err := Simulate(tor, spec, Options{RecordFlowEnds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-3) > 1e-9 {
+		t.Fatalf("makespan = %g, want 3 (release 2 + transfer 1)", res.Makespan)
+	}
+	if math.Abs(res.FlowEnds[0]-3) > 1e-9 {
+		t.Fatalf("flow end = %g, want 3", res.FlowEnds[0])
+	}
+}
+
+func TestStartAvoidsContentionWhenStaggered(t *testing.T) {
+	// Two 1-second flows over the same link: simultaneous release shares
+	// the link (makespan 2), staggering past the first completion avoids
+	// contention entirely (makespan 1 + 1).
+	tor := ring(t, 8)
+	together := &Spec{}
+	together.Add(0, 2, 1.25e9)
+	together.Add(0, 2, 1.25e9)
+	resTogether, err := Simulate(tor, together, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staggered := &Spec{}
+	staggered.Add(0, 2, 1.25e9)
+	staggered.AddAt(0, 2, 1.25e9, 1.0)
+	resStaggered, err := Simulate(tor, staggered, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resTogether.Makespan-2) > 1e-9 {
+		t.Fatalf("simultaneous makespan = %g, want 2", resTogether.Makespan)
+	}
+	if math.Abs(resStaggered.Makespan-2) > 1e-9 {
+		t.Fatalf("staggered makespan = %g, want 2 (1s release + 1s uncontended)", resStaggered.Makespan)
+	}
+	// And the first flow must have finished at t=1, uncontended.
+	staggered2 := &Spec{}
+	staggered2.Add(0, 2, 1.25e9)
+	staggered2.AddAt(0, 2, 1.25e9, 1.0)
+	res2, err := Simulate(tor, staggered2, Options{RecordFlowEnds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.FlowEnds[0]-1) > 1e-9 {
+		t.Fatalf("first flow end = %g, want 1 (no contention before release)", res2.FlowEnds[0])
+	}
+}
+
+func TestStartComposesWithDeps(t *testing.T) {
+	// Dependency finishes at t=1; the dependent's release time of 3 wins
+	// over its dependency-readiness.
+	tor := ring(t, 8)
+	spec := &Spec{}
+	a := spec.Add(0, 1, 1.25e9)
+	spec.AddAt(2, 3, 1.25e9, 3.0, a)
+	res, err := Simulate(tor, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan = %g, want 4 (release 3 + transfer 1)", res.Makespan)
+	}
+	// The opposite order: dependency readiness (t=1) after release (t=0.5)
+	// means the dependency gate wins.
+	spec2 := &Spec{}
+	b := spec2.Add(0, 1, 1.25e9)
+	spec2.AddAt(2, 3, 1.25e9, 0.5, b)
+	res2, err := Simulate(tor, spec2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Makespan-2) > 1e-9 {
+		t.Fatalf("makespan = %g, want 2 (dep ends at 1 + transfer 1)", res2.Makespan)
+	}
+}
+
+func TestStartZeroByteCompletesAtRelease(t *testing.T) {
+	// A zero-byte flow with a release time is a pure synchronisation
+	// point: it completes exactly at its start time and releases its
+	// dependents then.
+	tor := ring(t, 8)
+	spec := &Spec{}
+	gate := spec.AddAt(0, 1, 0, 2.5)
+	spec.Add(2, 3, 1.25e9, gate)
+	res, err := Simulate(tor, spec, Options{RecordFlowEnds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowEnds[0]-2.5) > 1e-9 {
+		t.Fatalf("gate end = %g, want 2.5", res.FlowEnds[0])
+	}
+	if math.Abs(res.Makespan-3.5) > 1e-9 {
+		t.Fatalf("makespan = %g, want 3.5", res.Makespan)
+	}
+}
+
+func TestStartComposesWithLatency(t *testing.T) {
+	// Latency is paid after release: a flow released at t=1 with 0.5s of
+	// startup latency starts moving data at 1.5.
+	tor := ring(t, 8)
+	spec := &Spec{}
+	spec.AddAt(0, 1, 1.25e9, 1.0)
+	res, err := Simulate(tor, spec, Options{LatencyBase: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-2.5) > 1e-9 {
+		t.Fatalf("makespan = %g, want 2.5 (release 1 + latency 0.5 + transfer 1)", res.Makespan)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	tor := ring(t, 8)
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		spec := &Spec{}
+		spec.AddAt(0, 1, 1e6, bad)
+		if _, err := Simulate(tor, spec, Options{}); err == nil {
+			t.Errorf("start time %g accepted", bad)
+		}
+	}
+}
+
+func TestStartWorkerInvariance(t *testing.T) {
+	// A release-gated multi-job mix must produce identical results for
+	// every worker setting — the scheduler's shared-fabric determinism
+	// guarantee rests on this.
+	tor := cube(t, 4)
+	build := func() *Spec {
+		spec := &Spec{}
+		for j := 0; j < 6; j++ {
+			start := float64(j) * 0.3
+			var prev int32 = -1
+			for i := 0; i < 20; i++ {
+				src, dst := (j*11+i)%64, (j*7+i*3+1)%64
+				if src == dst {
+					dst = (dst + 1) % 64
+				}
+				var deps []int32
+				if prev >= 0 {
+					deps = append(deps, prev)
+				}
+				prev = spec.AddAt(src, dst, 1e7*float64(1+i%3), start, deps...)
+			}
+		}
+		return spec
+	}
+	base, err := Simulate(tor, build(), Options{Workers: 1, RecordFlowEnds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		res, err := Simulate(tor, build(), Options{Workers: workers, RecordFlowEnds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != base.Makespan {
+			t.Fatalf("workers=%d: makespan %g != %g", workers, res.Makespan, base.Makespan)
+		}
+		for i := range base.FlowEnds {
+			if res.FlowEnds[i] != base.FlowEnds[i] {
+				t.Fatalf("workers=%d: flow %d end %g != %g", workers, i, res.FlowEnds[i], base.FlowEnds[i])
+			}
+		}
+	}
+}

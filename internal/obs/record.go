@@ -11,8 +11,12 @@ import (
 // History: v1 (PR 1) — config/topology/result/phases/environment;
 // v2 (PR 6) — the result section gains the optional per-link/per-tier
 // hot-spot attribution (flow.HotspotReport) and the config section the
-// hotspot_k option.
-const RunRecordSchema = "mtier/run-record/v2"
+// hotspot_k option;
+// v3 (PR 7) — an optional sched section carries open-system scheduling
+// outcomes (per-SLO-class latency percentiles, waits, stretch, Jain
+// fairness) for records produced by spec-driven campaigns; absent on
+// plain single-workload runs.
+const RunRecordSchema = "mtier/run-record/v3"
 
 // PhaseTimings holds the wall-clock cost of each phase of a simulation
 // cell. These are the only non-deterministic fields of a RunRecord;
@@ -75,8 +79,12 @@ type RunRecord struct {
 	Flows    int          `json:"flows"`
 	Seed     int64        `json:"seed"`
 	Result   any          `json:"result"`
-	Phases   PhaseTimings `json:"phases"`
-	Env      Environment  `json:"environment"`
+	// Sched carries the open-system scheduling outcome when the record
+	// was produced by a spec-driven campaign cell (schema v3); nil — and
+	// absent from the JSON form — on plain single-workload runs.
+	Sched  any          `json:"sched,omitempty"`
+	Phases PhaseTimings `json:"phases"`
+	Env    Environment  `json:"environment"`
 }
 
 // WriteJSON writes the record as indented JSON.

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"sort"
+
+	"mtier/internal/workload"
+)
+
+// ClassMetrics aggregates the jobs of one SLO class: sojourn-latency
+// percentiles (submit → end, the metric an open-system client actually
+// experiences), wait and stretch distributions.
+type ClassMetrics struct {
+	// Class is the SLO class name.
+	Class string `json:"class"`
+	// Jobs is the number of jobs in the class.
+	Jobs int `json:"jobs"`
+	// P50/P95/P99LatencyS are nearest-rank percentiles of the sojourn
+	// time (wait + run), in seconds.
+	P50LatencyS float64 `json:"p50_latency_s"`
+	P95LatencyS float64 `json:"p95_latency_s"`
+	P99LatencyS float64 `json:"p99_latency_s"`
+	// MeanWaitS / MaxWaitS summarise queueing delay.
+	MeanWaitS float64 `json:"mean_wait_s"`
+	MaxWaitS  float64 `json:"max_wait_s"`
+	// MeanStretch / MaxStretch summarise slowdown ((wait+run)/run).
+	MeanStretch float64 `json:"mean_stretch"`
+	MaxStretch  float64 `json:"max_stretch"`
+}
+
+// percentile returns the nearest-rank q-th percentile (q in (0,1]) of a
+// sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.9999999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// jain computes Jain's fairness index (Σx)² / (n·Σx²): 1 for a perfectly
+// even vector, 1/n when one element dominates.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// summarise fills the schedule's aggregate and per-class metrics from its
+// events. Classes appear strictest first; classes with no jobs are
+// omitted.
+func (sch *Schedule) summarise() {
+	byClass := make(map[string][]int, 4)
+	stretches := make([]float64, 0, len(sch.Events))
+	var waitSum float64
+	for i := range sch.Events {
+		ev := &sch.Events[i]
+		if ev.End > sch.MakespanS {
+			sch.MakespanS = ev.End
+		}
+		waitSum += ev.WaitTime
+		stretches = append(stretches, ev.Stretch)
+		byClass[ev.Class] = append(byClass[ev.Class], i)
+	}
+	if len(sch.Events) > 0 {
+		sch.MeanWaitS = waitSum / float64(len(sch.Events))
+	}
+	sch.JainFairness = jain(stretches)
+	sch.Classes = sch.Classes[:0]
+	for _, class := range workload.SLOClasses() {
+		idxs := byClass[class]
+		if len(idxs) == 0 {
+			continue
+		}
+		m := ClassMetrics{Class: class, Jobs: len(idxs)}
+		lat := make([]float64, 0, len(idxs))
+		for _, i := range idxs {
+			ev := &sch.Events[i]
+			lat = append(lat, ev.WaitTime+ev.RunTime)
+			m.MeanWaitS += ev.WaitTime
+			if ev.WaitTime > m.MaxWaitS {
+				m.MaxWaitS = ev.WaitTime
+			}
+			m.MeanStretch += ev.Stretch
+			if ev.Stretch > m.MaxStretch {
+				m.MaxStretch = ev.Stretch
+			}
+		}
+		m.MeanWaitS /= float64(len(idxs))
+		m.MeanStretch /= float64(len(idxs))
+		sort.Float64s(lat)
+		m.P50LatencyS = percentile(lat, 0.50)
+		m.P95LatencyS = percentile(lat, 0.95)
+		m.P99LatencyS = percentile(lat, 0.99)
+		sch.Classes = append(sch.Classes, m)
+	}
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"fmt"
+
+	"mtier/internal/arrival"
+	"mtier/internal/workload"
+	"mtier/internal/xrand"
+)
+
+// JobsFromSpec expands a multi-client workload spec into the
+// deterministic merged job stream the scheduler consumes: arrival
+// instants come from each client's seeded arrival process, per-job
+// workload seeds from per-job sub-streams of the spec seed. The same
+// spec always yields the same jobs, independent of client order in the
+// file and of any scheduler or simulator setting.
+func JobsFromSpec(spec *workload.OpenSpec) ([]Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	specs := make([]arrival.Spec, len(spec.Clients))
+	rates := make([]float64, len(spec.Clients))
+	for i := range spec.Clients {
+		specs[i] = spec.Clients[i].Arrival
+		rates[i] = spec.AggregateRate * spec.Clients[i].RateFraction
+	}
+	src := xrand.New(spec.Seed)
+	stream, err := arrival.Merge(specs, rates, src, spec.Jobs, spec.Duration)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	jobs := make([]Job, len(stream))
+	for g, ev := range stream {
+		client := &spec.Clients[ev.Client]
+		params := client.Params
+		// Each job gets its own workload seed (salted by the client's
+		// Params.Seed), so two jobs of the same client draw different
+		// random DAGs while the whole stream stays a pure function of the
+		// spec seed.
+		params.Seed = params.Seed ^ src.SplitN("job", g).Int63()
+		jobs[g] = Job{
+			Name:     fmt.Sprintf("%s-%03d", client.Name, ev.Seq),
+			Workload: client.Workload,
+			Params:   params,
+			Submit:   ev.Time,
+			Class:    client.Class(),
+			Client:   ev.Client,
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mtier/internal/arrival"
+	"mtier/internal/flow"
+	"mtier/internal/workload"
+)
+
+func testSpec() *workload.OpenSpec {
+	return &workload.OpenSpec{
+		Seed:          11,
+		AggregateRate: 20,
+		Jobs:          24,
+		Clients: []workload.ClientSpec{
+			{
+				Name: "interactive", RateFraction: 0.5, SLOClass: workload.SLOCritical,
+				Workload: workload.AllReduce,
+				Params:   workload.Params{Tasks: 8, MsgBytes: 1e6},
+			},
+			{
+				Name: "batch-train", RateFraction: 0.5, SLOClass: workload.SLOBatch,
+				Workload: workload.UnstructuredApp,
+				Arrival:  arrival.Spec{Process: arrival.Gamma, CV: 2},
+				Params:   workload.Params{Tasks: 16, MsgBytes: 4e6},
+			},
+		},
+	}
+}
+
+func TestJobsFromSpecDeterministic(t *testing.T) {
+	a, err := JobsFromSpec(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobsFromSpec(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 24 {
+		t.Fatalf("got %d jobs, want 24", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("JobsFromSpec not deterministic")
+	}
+	seen := map[string]bool{}
+	for i, job := range a {
+		if i > 0 && job.Submit < a[i-1].Submit {
+			t.Fatalf("job %d out of submit order", i)
+		}
+		if seen[job.Name] {
+			t.Fatalf("duplicate job name %q", job.Name)
+		}
+		seen[job.Name] = true
+		if job.Class != workload.SLOCritical && job.Class != workload.SLOBatch {
+			t.Fatalf("job %d class %q", i, job.Class)
+		}
+	}
+	// Per-job workload seeds must differ (each job draws its own DAG).
+	if a[0].Params.Seed == a[1].Params.Seed {
+		t.Fatal("consecutive jobs share a workload seed")
+	}
+}
+
+func TestJobsFromSpecRejectsInvalid(t *testing.T) {
+	spec := testSpec()
+	spec.Clients[0].RateFraction = 0.9 // fractions no longer sum to 1
+	if _, err := JobsFromSpec(spec); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestOpenSystemEndToEnd runs a full spec through the scheduler and
+// checks the per-class metrics: every class present, percentiles ordered,
+// fairness in (0, 1].
+func TestOpenSystemEndToEnd(t *testing.T) {
+	m := machine(t)
+	jobs, err := JobsFromSpec(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := Run(Config{Topo: m, Alloc: FirstFit, Sim: flow.Options{RelEpsilon: 0.01}, Seed: 11}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Events) != len(jobs) {
+		t.Fatalf("%d events for %d jobs", len(sch.Events), len(jobs))
+	}
+	if len(sch.Classes) != 2 {
+		t.Fatalf("got %d classes, want 2: %+v", len(sch.Classes), sch.Classes)
+	}
+	if sch.Classes[0].Class != workload.SLOCritical || sch.Classes[1].Class != workload.SLOBatch {
+		t.Fatalf("classes out of strictness order: %s, %s", sch.Classes[0].Class, sch.Classes[1].Class)
+	}
+	total := 0
+	for _, cm := range sch.Classes {
+		total += cm.Jobs
+		if cm.P50LatencyS <= 0 || cm.P50LatencyS > cm.P95LatencyS || cm.P95LatencyS > cm.P99LatencyS {
+			t.Fatalf("class %s percentiles disordered: %+v", cm.Class, cm)
+		}
+		if cm.MeanStretch < 1 || cm.MaxStretch < cm.MeanStretch {
+			t.Fatalf("class %s stretch metrics inconsistent: %+v", cm.Class, cm)
+		}
+	}
+	if total != len(jobs) {
+		t.Fatalf("class job counts sum to %d, want %d", total, len(jobs))
+	}
+	if sch.JainFairness <= 0 || sch.JainFairness > 1 || math.IsNaN(sch.JainFairness) {
+		t.Fatalf("Jain fairness %g out of (0,1]", sch.JainFairness)
+	}
+	if sch.MakespanS <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+// TestSharedFabricReplay checks the merged-simulation path: fabric ends
+// exist for every job, are never earlier than the isolated estimate's
+// start, and the whole schedule stays deterministic across worker counts.
+func TestSharedFabricReplay(t *testing.T) {
+	m := machine(t)
+	jobs, err := JobsFromSpec(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Topo: m, Alloc: FirstFit, Sim: flow.Options{RelEpsilon: 0.01}, Seed: 11, SharedFabric: true}
+	sch, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Fabric == nil {
+		t.Fatal("no fabric result")
+	}
+	for i, ev := range sch.Events {
+		if ev.FabricEnd < ev.Start {
+			t.Fatalf("job %d fabric end %g before its start %g", i, ev.FabricEnd, ev.Start)
+		}
+	}
+	if sch.Fabric.Makespan < sch.MakespanS*0.5 {
+		t.Fatalf("fabric makespan %g implausibly small vs isolated %g", sch.Fabric.Makespan, sch.MakespanS)
+	}
+
+	// Worker invariance: the open-system pipeline must be bit-identical
+	// for every -workers setting.
+	for _, workers := range []int{1, 4} {
+		cfgW := cfg
+		cfgW.Sim.Workers = workers
+		again, err := Run(cfgW, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Events, sch.Events) {
+			t.Fatalf("events differ at workers=%d", workers)
+		}
+		if again.Fabric.Makespan != sch.Fabric.Makespan {
+			t.Fatalf("fabric makespan differs at workers=%d: %g vs %g",
+				workers, again.Fabric.Makespan, sch.Fabric.Makespan)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(xs, c.q); got != c.want {
+			t.Errorf("percentile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty sample should give 0")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := jain([]float64{1, 1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("even vector: %g, want 1", j)
+	}
+	if j := jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("concentrated vector: %g, want 0.25", j)
+	}
+	if j := jain(nil); j != 0 {
+		t.Errorf("empty vector: %g, want 0", j)
+	}
+}

@@ -79,7 +79,7 @@ func propertyFamilies(t testing.TB) map[string]topo.Topology {
 	}{
 		{core.Torus3D, 0, 0}, {core.Fattree, 0, 0}, {core.NestTree, 2, 4}, {core.NestGHC, 2, 4},
 	} {
-		top, err := core.BuildTopology(f.kind, 64, f.tt, f.u)
+		top, err := core.Build(core.TopoSpec{Kind: f.kind, Endpoints: 64, T: f.tt, U: f.u})
 		if err != nil {
 			t.Fatalf("building %s: %v", f.kind, err)
 		}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mtier/internal/arrival"
+)
+
+// SpecSchema identifies the multi-client workload-spec document format
+// accepted by -spec flags (YAML or JSON). History: v1 (PR 7) — seed,
+// aggregate rate, jobs/duration bounds, client list with rate fractions,
+// arrival processes, SLO classes and per-client workload parameters.
+const SpecSchema = "mtier/workload-spec/v1"
+
+// SLO tiers a client population can be pinned to. Classes are labels for
+// metric grouping — the scheduler itself stays FCFS — mirroring the
+// critical/standard/batch/background tiers of BLIS's workload specs.
+const (
+	SLOCritical   = "critical"
+	SLOStandard   = "standard"
+	SLOBatch      = "batch"
+	SLOBackground = "background"
+)
+
+// SLOClasses lists every valid SLO class, strictest first.
+func SLOClasses() []string {
+	return []string{SLOCritical, SLOStandard, SLOBatch, SLOBackground}
+}
+
+// ParseSLOClass validates an SLO class name; empty defaults to standard.
+func ParseSLOClass(s string) (string, error) {
+	c := strings.ToLower(strings.TrimSpace(s))
+	if c == "" {
+		return SLOStandard, nil
+	}
+	for _, valid := range SLOClasses() {
+		if c == valid {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("unknown slo_class %q (valid: %s)", s, strings.Join(SLOClasses(), ", "))
+}
+
+// ClientSpec describes one client population of an open-system workload:
+// what fraction of the aggregate arrival rate it contributes, how its
+// arrivals are distributed over time, and what traffic each arrival
+// submits to the machine.
+type ClientSpec struct {
+	// Name labels the client's jobs ("interactive", "batch-train", ...).
+	Name string `json:"name"`
+	// RateFraction is this client's share of the aggregate arrival rate.
+	// Fractions must be positive and sum to 1 across the spec.
+	RateFraction float64 `json:"rate_fraction"`
+	// Arrival picks the inter-arrival process (default Poisson).
+	Arrival arrival.Spec `json:"arrival,omitempty"`
+	// Workload names the traffic model each job runs (one of the paper's
+	// eleven kinds or a collective).
+	Workload Kind `json:"workload"`
+	// Params configures the workload generator; Params.Tasks is the number
+	// of endpoints each job needs. Params.Seed is a per-client salt —
+	// individual jobs draw their own derived seeds on top of it.
+	Params Params `json:"params"`
+	// SLOClass assigns the client's jobs to an SLO tier for per-class
+	// latency/fairness accounting (default "standard").
+	SLOClass string `json:"slo_class,omitempty"`
+}
+
+// OpenSpec is a multi-client open-system workload: clients submit jobs
+// over simulated time at AggregateRate jobs/second, split across the
+// client list by rate fraction. It is the document form behind the
+// -spec flags, loadable from YAML or JSON via LoadSpec.
+type OpenSpec struct {
+	// Schema, when present, must equal SpecSchema.
+	Schema string `json:"schema,omitempty"`
+	// Seed drives every stochastic choice of the spec: arrival streams,
+	// per-job workload seeds, and random-fit allocation.
+	Seed int64 `json:"seed,omitempty"`
+	// AggregateRate is the total job arrival rate in jobs/second.
+	AggregateRate float64 `json:"aggregate_rate"`
+	// Jobs bounds the stream by count (0 = unbounded; Duration must then
+	// be set).
+	Jobs int `json:"jobs,omitempty"`
+	// Duration bounds the stream by a horizon in seconds (0 = unbounded;
+	// Jobs must then be set). Both bounds may be combined.
+	Duration float64 `json:"duration,omitempty"`
+	// Clients lists the client populations.
+	Clients []ClientSpec `json:"clients"`
+}
+
+// Validate checks the spec strictly, with one precise error per defect —
+// misconfigured campaigns must fail at load time with an actionable
+// message, not deep inside a sweep. It mirrors the validation style of
+// BLIS's workload-spec loader.
+func (s *OpenSpec) Validate() error {
+	if s.Schema != "" && s.Schema != SpecSchema {
+		return fmt.Errorf("workload spec: schema %q, want %q", s.Schema, SpecSchema)
+	}
+	if s.AggregateRate <= 0 || math.IsNaN(s.AggregateRate) || math.IsInf(s.AggregateRate, 0) {
+		return fmt.Errorf("workload spec: aggregate_rate must be positive and finite, got %g", s.AggregateRate)
+	}
+	if s.Jobs < 0 {
+		return fmt.Errorf("workload spec: jobs must be non-negative, got %d", s.Jobs)
+	}
+	if s.Duration < 0 || math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
+		return fmt.Errorf("workload spec: duration must be non-negative and finite, got %g", s.Duration)
+	}
+	if s.Jobs == 0 && s.Duration == 0 {
+		return fmt.Errorf("workload spec: need jobs or duration to bound the arrival stream")
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("workload spec: no clients")
+	}
+	names := make(map[string]bool, len(s.Clients))
+	sum := 0.0
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		who := fmt.Sprintf("client %d (%q)", i, c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("workload spec: client %d: name is required", i)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("workload spec: duplicate client name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.RateFraction <= 0 || math.IsNaN(c.RateFraction) || math.IsInf(c.RateFraction, 0) {
+			return fmt.Errorf("workload spec: %s: rate_fraction must be positive, got %g", who, c.RateFraction)
+		}
+		sum += c.RateFraction
+		if err := validSpecKind(c.Workload); err != nil {
+			return fmt.Errorf("workload spec: %s: %w", who, err)
+		}
+		if err := c.Arrival.Validate(); err != nil {
+			return fmt.Errorf("workload spec: %s: %w", who, err)
+		}
+		if _, err := ParseSLOClass(c.SLOClass); err != nil {
+			return fmt.Errorf("workload spec: %s: %w", who, err)
+		}
+		if c.Params.Tasks < 2 {
+			return fmt.Errorf("workload spec: %s: params.tasks must be at least 2, got %d", who, c.Params.Tasks)
+		}
+		if c.Params.MsgBytes < 0 || math.IsNaN(c.Params.MsgBytes) || math.IsInf(c.Params.MsgBytes, 0) {
+			return fmt.Errorf("workload spec: %s: params.msg_bytes must be non-negative and finite, got %g", who, c.Params.MsgBytes)
+		}
+		if c.Params.HotFraction < 0 || c.Params.HotFraction > 1 || math.IsNaN(c.Params.HotFraction) {
+			return fmt.Errorf("workload spec: %s: params.hot_fraction %g out of [0,1]", who, c.Params.HotFraction)
+		}
+		if c.Params.HotWeight < 0 || c.Params.HotWeight > 1 || math.IsNaN(c.Params.HotWeight) {
+			return fmt.Errorf("workload spec: %s: params.hot_weight %g out of [0,1]", who, c.Params.HotWeight)
+		}
+		for field, v := range map[string]int{
+			"rounds": c.Params.Rounds, "wavefronts": c.Params.Wavefronts,
+			"flows_per_task": c.Params.FlowsPerTask, "chain_length": c.Params.ChainLength,
+		} {
+			if v < 0 {
+				return fmt.Errorf("workload spec: %s: params.%s must be non-negative, got %d", who, field, v)
+			}
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload spec: client rate fractions sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// validSpecKind accepts the paper's eleven workloads plus the collective
+// extensions — everything Generate can actually build.
+func validSpecKind(k Kind) error {
+	if _, err := ParseKind(string(k)); err == nil {
+		return nil
+	}
+	for _, e := range ExtendedKinds() {
+		if k == e {
+			return nil
+		}
+	}
+	all := append(Kinds(), ExtendedKinds()...)
+	names := make([]string, len(all))
+	for i, v := range all {
+		names[i] = string(v)
+	}
+	return fmt.Errorf("workload: unknown kind %q (valid: %s)", k, strings.Join(names, ", "))
+}
+
+// Class returns the client's effective SLO class with the default
+// resolved. Call only on validated specs.
+func (c *ClientSpec) Class() string {
+	cls, err := ParseSLOClass(c.SLOClass)
+	if err != nil {
+		return c.SLOClass
+	}
+	return cls
+}
+
+// ParseSpec decodes a workload spec from YAML or JSON bytes and
+// validates it. JSON documents must start with '{'; anything else is
+// treated as YAML. Unknown fields are rejected in both syntaxes, so a
+// typo'd key fails loudly instead of silently meaning its default.
+func ParseSpec(data []byte) (*OpenSpec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var jsonBytes []byte
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		jsonBytes = data
+	} else {
+		tree, err := decodeYAMLSubset(data)
+		if err != nil {
+			return nil, fmt.Errorf("workload spec: %w", err)
+		}
+		jsonBytes, err = json.Marshal(tree)
+		if err != nil {
+			return nil, fmt.Errorf("workload spec: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	spec := &OpenSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("workload spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// LoadSpec reads and parses a workload-spec file (.yaml/.yml/.json; the
+// syntax is sniffed from the content, so the extension is advisory).
+func LoadSpec(path string) (*OpenSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload spec: %w", err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return spec, nil
+}

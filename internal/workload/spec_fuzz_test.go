@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec exercises the YAML-subset and JSON spec decoders against
+// arbitrary bytes: any input may be rejected, but none may panic, and any
+// accepted spec must re-validate (accept-then-invalid would mean Validate
+// and ParseSpec disagree about what a well-formed spec is).
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(validSpecYAML))
+	f.Add([]byte(`{"aggregate_rate": 1, "jobs": 5, "clients": [{"name": "a", "rate_fraction": 1, "workload": "reduce", "params": {"tasks": 4}}]}`))
+	f.Add([]byte("aggregate_rate: 1\njobs: 3\nclients:\n  - name: solo\n    rate_fraction: 1.0\n    workload: flood\n    params:\n      tasks: 4\n"))
+	f.Add([]byte("clients:\n  - name: x\n"))
+	f.Add([]byte("a: {b: [1, {c: 2}]}\n"))
+	f.Add([]byte("- 1\n- 2\n"))
+	f.Add([]byte("a: 'quoted # hash'\nb: \"1e9\"\n"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("---"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted a spec Validate rejects: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpecYAML is a fully-populated two-client spec used as the base for
+// the malformed-spec table: each case below breaks exactly one thing.
+const validSpecYAML = `schema: mtier/workload-spec/v1
+seed: 42
+aggregate_rate: 2.0
+jobs: 40
+duration: 100.0
+clients:
+  - name: interactive
+    rate_fraction: 0.5
+    slo_class: critical
+    workload: allreduce
+    arrival:
+      process: poisson
+    params:
+      tasks: 8
+  - name: batch-train
+    rate_fraction: 0.5
+    slo_class: batch
+    workload: unstructuredapp
+    arrival:
+      process: gamma
+      cv: 2.0
+    params:
+      tasks: 16
+`
+
+func TestParseSpecValidYAML(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 || spec.AggregateRate != 2.0 || spec.Jobs != 40 {
+		t.Fatalf("header mis-decoded: %+v", spec)
+	}
+	if len(spec.Clients) != 2 {
+		t.Fatalf("got %d clients, want 2", len(spec.Clients))
+	}
+	c := spec.Clients[1]
+	if c.Name != "batch-train" || c.Workload != UnstructuredApp ||
+		c.Arrival.CV != 2.0 || c.Params.Tasks != 16 || c.Class() != SLOBatch {
+		t.Fatalf("client 1 mis-decoded: %+v", c)
+	}
+	if spec.Clients[0].Class() != SLOCritical {
+		t.Fatalf("client 0 class = %q", spec.Clients[0].Class())
+	}
+}
+
+func TestParseSpecValidJSON(t *testing.T) {
+	doc := `{
+	  "aggregate_rate": 1.5,
+	  "jobs": 10,
+	  "clients": [
+	    {"name": "a", "rate_fraction": 1.0, "workload": "reduce",
+	     "params": {"tasks": 4}}
+	  ]
+	}`
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Clients[0].Class() != SLOStandard {
+		t.Fatalf("empty slo_class should default to standard, got %q", spec.Clients[0].Class())
+	}
+	if spec.Clients[0].Arrival.Validate() != nil {
+		t.Fatal("empty arrival spec should validate as Poisson")
+	}
+}
+
+// mutate applies a line-level edit to the valid YAML spec.
+func mutate(t *testing.T, from, to string) []byte {
+	t.Helper()
+	if !strings.Contains(validSpecYAML, from) {
+		t.Fatalf("base spec does not contain %q", from)
+	}
+	return []byte(strings.Replace(validSpecYAML, from, to, 1))
+}
+
+// TestParseSpecMalformed is the spec-validation table the CI job runs:
+// every malformed document must fail with a message precise enough to fix
+// the file from, asserted by substring.
+func TestParseSpecMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     []byte
+		wantErr string
+	}{
+		{
+			"wrong schema",
+			mutate(t, "schema: mtier/workload-spec/v1", "schema: mtier/workload-spec/v9"),
+			`schema "mtier/workload-spec/v9", want "mtier/workload-spec/v1"`,
+		},
+		{
+			"zero aggregate rate",
+			mutate(t, "aggregate_rate: 2.0", "aggregate_rate: 0"),
+			"aggregate_rate must be positive and finite, got 0",
+		},
+		{
+			"negative aggregate rate",
+			mutate(t, "aggregate_rate: 2.0", "aggregate_rate: -3"),
+			"aggregate_rate must be positive and finite, got -3",
+		},
+		{
+			"unbounded stream",
+			mutate(t, "jobs: 40\nduration: 100.0", "jobs: 0\nduration: 0"),
+			"need jobs or duration to bound the arrival stream",
+		},
+		{
+			"negative jobs",
+			mutate(t, "jobs: 40", "jobs: -1"),
+			"jobs must be non-negative, got -1",
+		},
+		{
+			"negative duration",
+			mutate(t, "duration: 100.0", "duration: -5"),
+			"duration must be non-negative and finite, got -5",
+		},
+		{
+			"no clients",
+			[]byte("aggregate_rate: 1\njobs: 5\nclients: []\n"),
+			"no clients",
+		},
+		{
+			"missing client name",
+			mutate(t, "name: interactive", "name: ''"),
+			"client 0: name is required",
+		},
+		{
+			"duplicate client name",
+			mutate(t, "name: batch-train", "name: interactive"),
+			`duplicate client name "interactive"`,
+		},
+		{
+			"fractions do not sum to 1",
+			mutate(t, "rate_fraction: 0.5\n    slo_class: batch", "rate_fraction: 0.25\n    slo_class: batch"),
+			"client rate fractions sum to 0.75, want 1",
+		},
+		{
+			"non-positive fraction",
+			mutate(t, "rate_fraction: 0.5\n    slo_class: critical", "rate_fraction: -0.5\n    slo_class: critical"),
+			`client 0 ("interactive"): rate_fraction must be positive, got -0.5`,
+		},
+		{
+			"unknown workload",
+			mutate(t, "workload: allreduce", "workload: blackhole"),
+			`unknown kind "blackhole"`,
+		},
+		{
+			"unknown slo class",
+			mutate(t, "slo_class: critical", "slo_class: platinum"),
+			`unknown slo_class "platinum"`,
+		},
+		{
+			"unknown arrival process",
+			mutate(t, "process: poisson", "process: uniform"),
+			`unknown process "uniform"`,
+		},
+		{
+			"gamma without cv",
+			mutate(t, "process: gamma\n      cv: 2.0", "process: gamma"),
+			"gamma process needs a positive cv, got 0",
+		},
+		{
+			"tasks too small",
+			mutate(t, "tasks: 8", "tasks: 1"),
+			"params.tasks must be at least 2, got 1",
+		},
+		{
+			"unknown top-level field",
+			mutate(t, "seed: 42", "seed: 42\nburstiness: 3"),
+			`unknown field "burstiness"`,
+		},
+		{
+			"unknown client field",
+			mutate(t, "slo_class: critical", "slo_class: critical\n    priority: 9"),
+			`unknown field "priority"`,
+		},
+		{
+			"yaml tab indentation",
+			[]byte("aggregate_rate: 1\n\tjobs: 5\n"),
+			"tabs are not allowed",
+		},
+		{
+			"yaml duplicate key",
+			[]byte("jobs: 5\njobs: 6\n"),
+			`duplicate key "jobs"`,
+		},
+		{
+			"yaml multi-document",
+			[]byte("---\njobs: 5\n"),
+			"multi-document streams are not supported",
+		},
+		{
+			"yaml anchor",
+			[]byte("jobs: &j 5\n"),
+			"anchors/aliases are not supported",
+		},
+		{
+			"yaml multiline scalar",
+			[]byte("notes: |\n  hello\n"),
+			"multiline scalars are not supported",
+		},
+		{
+			"empty document",
+			[]byte("   \n# only a comment\n"),
+			"empty document",
+		},
+		{
+			"malformed json",
+			[]byte(`{"aggregate_rate": `),
+			"unexpected EOF",
+		},
+		{
+			"json type mismatch",
+			[]byte(`{"aggregate_rate": "fast", "jobs": 1, "clients": []}`),
+			"cannot unmarshal string",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec(c.doc)
+			if err == nil {
+				t.Fatalf("malformed spec accepted:\n%s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseSLOClass(t *testing.T) {
+	for _, cls := range SLOClasses() {
+		got, err := ParseSLOClass(cls)
+		if err != nil || got != cls {
+			t.Fatalf("ParseSLOClass(%q) = %q, %v", cls, got, err)
+		}
+	}
+	if got, err := ParseSLOClass(""); err != nil || got != SLOStandard {
+		t.Fatalf("empty class = %q, %v; want standard", got, err)
+	}
+	if got, err := ParseSLOClass("  Critical "); err != nil || got != SLOCritical {
+		t.Fatalf("normalised class = %q, %v", got, err)
+	}
+}
+
+func TestValidSpecKindAcceptsCollectives(t *testing.T) {
+	for _, k := range append(Kinds(), ExtendedKinds()...) {
+		if err := validSpecKind(k); err != nil {
+			t.Errorf("kind %q rejected: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// decodeYAMLSubset parses the YAML subset used by workload-spec files
+// into the same shapes encoding/json produces (map[string]any, []any,
+// string, float64, bool, nil). The subset covers what a spec needs and
+// nothing more:
+//
+//   - block mappings ("key: value", "key:" + indented body)
+//   - block sequences ("- item", "- key: value" + indented continuation)
+//   - flow mappings and sequences with scalar elements ("{a: 1}", "[x, y]")
+//   - scalars: null, booleans, integers, floats (incl. 1e6 notation),
+//     single/double-quoted and plain strings
+//   - comments ("# ..." full-line or trailing) and blank lines
+//
+// Anchors, aliases, multi-document streams, multiline scalars and tabs
+// are rejected with positioned errors rather than mis-parsed. There is no
+// external YAML dependency to lean on, and a strict tiny dialect beats a
+// permissive misreading of an unsupported construct.
+func decodeYAMLSubset(data []byte) (any, error) {
+	p := &yamlParser{}
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 && !inQuotes(line, i) {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.ContainsRune(line, '\t') {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", ln+1)
+		}
+		if strings.HasPrefix(strings.TrimSpace(line), "---") {
+			return nil, fmt.Errorf("yaml line %d: multi-document streams are not supported", ln+1)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		p.lines = append(p.lines, yamlLine{no: ln + 1, indent: indent, text: strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected de-indent / trailing content", p.lines[next].no)
+	}
+	return v, nil
+}
+
+// inQuotes reports whether byte position i of the line falls inside a
+// quoted string (so a '#' there is content, not a comment).
+func inQuotes(line string, i int) bool {
+	var quote byte
+	for j := 0; j < i; j++ {
+		switch c := line[j]; {
+		case quote == 0 && (c == '\'' || c == '"'):
+			quote = c
+		case quote == c:
+			quote = 0
+		}
+	}
+	return quote != 0
+}
+
+type yamlLine struct {
+	no     int
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+}
+
+// parseBlock parses the run of lines starting at index i whose indent is
+// exactly `indent`, returning the value and the index of the first
+// unconsumed line.
+func (p *yamlParser) parseBlock(i, indent int) (any, int, error) {
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *yamlParser) parseMapping(i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yaml line %d: unexpected indent", ln.no)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break // sequence at the same level belongs to the caller's key
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml line %d: duplicate key %q", ln.no, key)
+		}
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, ln.no)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// "key:" — the value is the more-indented block below (or a
+		// same-indent sequence), or null when the body is missing.
+		i++
+		switch {
+		case i < len(p.lines) && p.lines[i].indent > indent:
+			v, next, err := p.parseBlock(i, p.lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+		case i < len(p.lines) && p.lines[i].indent == indent &&
+			(strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-"):
+			v, next, err := p.parseSequence(i, indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+		default:
+			m[key] = nil
+		}
+	}
+	return m, i, nil
+}
+
+func (p *yamlParser) parseSequence(i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if item == "" {
+			// "-" alone: item is the indented block below.
+			i++
+			if i >= len(p.lines) || p.lines[i].indent <= indent {
+				return nil, i, fmt.Errorf("yaml line %d: empty sequence item", ln.no)
+			}
+			v, next, err := p.parseBlock(i, p.lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		if key, rest, err := splitKey(yamlLine{no: ln.no, text: item}); err == nil {
+			// "- key: value": an inline mapping start. Continuation lines
+			// are indented past the dash and merge into the same map.
+			m := map[string]any{}
+			if rest != "" {
+				v, verr := parseScalarOrFlow(rest, ln.no)
+				if verr != nil {
+					return nil, i, verr
+				}
+				m[key] = v
+				i++
+			} else {
+				i++
+				if i < len(p.lines) && p.lines[i].indent > indent+2 {
+					v, next, verr := p.parseBlock(i, p.lines[i].indent)
+					if verr != nil {
+						return nil, i, verr
+					}
+					m[key] = v
+					i = next
+				} else {
+					m[key] = nil
+				}
+			}
+			if i < len(p.lines) && p.lines[i].indent > indent {
+				rest, next, err := p.parseMapping(i, p.lines[i].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				for k, v := range rest.(map[string]any) {
+					if _, dup := m[k]; dup {
+						return nil, i, fmt.Errorf("yaml line %d: duplicate key %q", p.lines[i].no, k)
+					}
+					m[k] = v
+				}
+				i = next
+			}
+			seq = append(seq, m)
+			continue
+		}
+		v, err := parseScalarOrFlow(item, ln.no)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, v)
+		i++
+	}
+	return seq, i, nil
+}
+
+// splitKey splits "key: rest" (or "key:") at the first colon outside
+// quotes, rejecting lines that are not mapping entries.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	idx := -1
+	for j := 0; j < len(ln.text); j++ {
+		if ln.text[j] == ':' && !inQuotes(ln.text, j) {
+			if j+1 == len(ln.text) || ln.text[j+1] == ' ' {
+				idx = j
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", ln.no, ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	key = unquote(key)
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: empty key", ln.no)
+	}
+	return key, strings.TrimSpace(ln.text[idx+1:]), nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow mapping, a flow
+// sequence, or a scalar.
+func parseScalarOrFlow(s string, lineNo int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow mapping %q", lineNo, s)
+		}
+		m := map[string]any{}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if strings.TrimSpace(part) == "" {
+				continue
+			}
+			key, rest, err := splitKey(yamlLine{no: lineNo, text: strings.TrimSpace(part)})
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m[key]; dup {
+				return nil, fmt.Errorf("yaml line %d: duplicate key %q", lineNo, key)
+			}
+			v, err := parseScalarOrFlow(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+		return m, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence %q", lineNo, s)
+		}
+		seq := []any{}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if strings.TrimSpace(part) == "" {
+				continue
+			}
+			v, err := parseScalarOrFlow(strings.TrimSpace(part), lineNo)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*"):
+		return nil, fmt.Errorf("yaml line %d: anchors/aliases are not supported", lineNo)
+	case s == "|" || s == ">" || strings.HasPrefix(s, "| ") || strings.HasPrefix(s, "> "):
+		return nil, fmt.Errorf("yaml line %d: multiline scalars are not supported", lineNo)
+	}
+	return parseScalar(s), nil
+}
+
+// splitFlow splits a flow body on top-level commas (quotes respected).
+func splitFlow(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// parseScalar interprets an unquoted YAML scalar with JSON-compatible
+// typing: null, booleans, numbers (as float64, matching encoding/json's
+// interface decoding), everything else a string.
+func parseScalar(s string) any {
+	if s == "" || s == "~" || s == "null" {
+		return nil
+	}
+	if s == "true" {
+		return true
+	}
+	if s == "false" {
+		return false
+	}
+	if (s[0] == '\'' || s[0] == '"') && len(s) >= 2 && s[len(s)-1] == s[0] {
+		return unquote(s)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecodeYAMLSubsetShapes(t *testing.T) {
+	doc := `
+# top comment
+name: "open system"   # trailing comment
+rate: 2.5
+big: 1e6
+neg: -3
+on: true
+off: false
+none: ~
+also_none: null
+empty:
+flow_map: {a: 1, b: two, c: [1, 2]}
+flow_seq: [x, 'y z', 3]
+nested:
+  inner: 1
+  deeper:
+    leaf: ok
+items:
+  - plain
+  - key: v
+    extra: 2
+  - 42
+`
+	got, err := decodeYAMLSubset([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "open system",
+		"rate": 2.5,
+		"big":  1e6,
+		"neg":  -3.0,
+		"on":   true, "off": false,
+		"none": nil, "also_none": nil, "empty": nil,
+		"flow_map": map[string]any{"a": 1.0, "b": "two", "c": []any{1.0, 2.0}},
+		"flow_seq": []any{"x", "y z", 3.0},
+		"nested": map[string]any{
+			"inner":  1.0,
+			"deeper": map[string]any{"leaf": "ok"},
+		},
+		"items": []any{
+			"plain",
+			map[string]any{"key": "v", "extra": 2.0},
+			42.0,
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded tree mismatch:\n got: %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestDecodeYAMLSubsetTopLevelSequence(t *testing.T) {
+	got, err := decodeYAMLSubset([]byte("- 1\n- 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []any{1.0, 2.0}) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestDecodeYAMLSubsetErrors(t *testing.T) {
+	cases := []struct {
+		doc, wantErr string
+	}{
+		{"a: 1\n\tb: 2\n", "tabs are not allowed"},
+		{"---\na: 1\n", "multi-document"},
+		{"a: &x 1\n", "anchors/aliases"},
+		{"a: *x\n", "anchors/aliases"},
+		{"a: |\n  text\n", "multiline scalars"},
+		{"a: 1\na: 2\n", `duplicate key "a"`},
+		{"a: {x: 1, x: 2}\n", `duplicate key "x"`},
+		{"just a bare line\n", "expected \"key: value\""},
+		{"a: {unterminated\n", "unterminated flow mapping"},
+		{"a: [unterminated\n", "unterminated flow sequence"},
+		{"", "empty document"},
+		{"a:\n    b: 1\n  c: 2\n", "unexpected"},
+	}
+	for _, c := range cases {
+		if _, err := decodeYAMLSubset([]byte(c.doc)); err == nil {
+			t.Errorf("accepted malformed doc %q", c.doc)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("doc %q: error %q does not mention %q", c.doc, err, c.wantErr)
+		}
+	}
+}
+
+func TestDecodeYAMLSubsetQuotedHash(t *testing.T) {
+	got, err := decodeYAMLSubset([]byte("a: \"not # a comment\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	if m["a"] != "not # a comment" {
+		t.Fatalf("quoted hash mis-parsed: %#v", m["a"])
+	}
+}

@@ -60,6 +60,16 @@ func (s *Source) Int63() int64 { return s.rng.Int63() }
 // Float64 returns a uniform float64 in [0, 1).
 func (s *Source) Float64() float64 { return s.rng.Float64() }
 
+// NormFloat64 returns a standard-normal sample (mean 0, stddev 1).
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// Expovariate returns an exponential sample with the given mean, via
+// inverse-CDF on a single uniform draw (one draw per sample keeps the
+// stream layout easy to reason about in golden tests).
+func (s *Source) Expovariate(mean float64) float64 {
+	return -math.Log(1-s.rng.Float64()) * mean
+}
+
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 

@@ -9,7 +9,7 @@ import (
 // TestFacadeEndToEnd exercises the public API exactly as the package doc
 // advertises it.
 func TestFacadeEndToEnd(t *testing.T) {
-	machine, err := mtier.BuildTopology(mtier.NestGHC, 512, 2, 4)
+	machine, err := mtier.Build(mtier.TopoSpec{Kind: mtier.NestGHC, Endpoints: 512, T: 2, U: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadePlacement(t *testing.T) {
-	machine, err := mtier.BuildTopology(mtier.Fattree, 512, 0, 0)
+	machine, err := mtier.Build(mtier.TopoSpec{Kind: mtier.Fattree, Endpoints: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestFacadePlacement(t *testing.T) {
 }
 
 func TestFacadeMetricsAndCost(t *testing.T) {
-	machine, err := mtier.BuildTopology(mtier.Torus3D, 512, 0, 0)
+	machine, err := mtier.Build(mtier.TopoSpec{Kind: mtier.Torus3D, Endpoints: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFacadeMetricsAndCost(t *testing.T) {
 }
 
 func TestFacadeEnergyAndAdaptive(t *testing.T) {
-	machine, err := mtier.BuildTopology(mtier.GHCFlat, 256, 0, 0)
+	machine, err := mtier.Build(mtier.TopoSpec{Kind: mtier.GHCFlat, Endpoints: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFacadeEnergyAndAdaptive(t *testing.T) {
 
 func TestFacadeExtensionKinds(t *testing.T) {
 	for _, kind := range []mtier.TopoKind{mtier.Thintree, mtier.Dragonfly, mtier.Jellyfish} {
-		top, err := mtier.BuildTopology(kind, 200, 0, 0)
+		top, err := mtier.Build(mtier.TopoSpec{Kind: kind, Endpoints: 200})
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}

@@ -23,6 +23,7 @@ func main() {
 		n       = flag.Int("n", 8192, "total number of QFDBs (endpoints)")
 		csv     = flag.Bool("csv", false, "emit CSV")
 		jsonOut = flag.Bool("json", false, "emit the table as a schema'd JSON document")
+		obsAddr = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	m := cost.DefaultModel()
 	flag.Float64Var(&m.NodeCost, "nodecost", m.NodeCost, "unit cost of one QFDB")
@@ -38,6 +39,15 @@ func main() {
 	if perr != nil {
 		fmt.Fprintln(os.Stderr, "mtcost:", perr)
 		os.Exit(1)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtcost:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mtcost: observability endpoint on http://"+srv.Addr())
 	}
 	tab, err := core.Table2(*n, m)
 	stop()

@@ -11,10 +11,14 @@
 //	mtsched -spec examples/specs/mixed.yaml -topo nestghc -n 2048
 //	mtsched -jobs 12 -rate 100 -alloc randomfit -json
 //	mtsched -spec spec.yaml -duration 2.5 -shared -json > record.json
+//	mtsched -spec spec.yaml -topo torus -n 64 -record > run-record.json
+//	mtsched -spec spec.yaml -topo torus -n 64 -fingerprint  # digest only
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -47,6 +51,9 @@ func main() {
 		simWorkers = flag.Int("simworkers", 0, "deprecated alias of -workers")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		jsonOut    = flag.Bool("json", false, "emit the schedule as a schema'd JSON document")
+		recordOut  = flag.Bool("record", false, "emit the schema v3 run record (the document mtserve's /v1/open serves) instead of the sched document")
+		fpOut      = flag.Bool("fingerprint", false, "print only the hex sha256 of the run record's canonical (timing-stripped) form")
+		obsAddr    = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	flag.Var(aliasValue{flag.Lookup("spec").Value}, "workload-spec", "alias of -spec")
 	prof := obs.AddProfileFlags(flag.CommandLine)
@@ -79,6 +86,16 @@ func main() {
 		die(err)
 	}
 	defer stop()
+	var metrics *obs.Registry
+	if *obsAddr != "" {
+		metrics = obs.NewRegistry()
+		srv, err := obs.NewServer(*obsAddr, metrics)
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mtsched: observability endpoint on http://"+srv.Addr())
+	}
 
 	tspec := core.TopoSpec{Kind: kind, Endpoints: *n}
 	switch kind {
@@ -114,24 +131,18 @@ func main() {
 		die(err)
 	}
 
-	stream, err := sched.JobsFromSpec(spec)
-	if err != nil {
-		die(err)
+	// The run itself goes through core.OpenRun — the exact pipeline the
+	// mtserve daemon executes for /v1/open — so -record and -fingerprint
+	// are byte-comparable with the service's responses.
+	or := core.OpenRun{
+		Topo:    tspec,
+		Spec:    spec,
+		Alloc:   sched.AllocPolicy(*alloc),
+		Shared:  *shared,
+		Workers: simW,
+		Metrics: metrics,
 	}
-	cfg := sched.Config{
-		Topo:  top,
-		Alloc: sched.AllocPolicy(*alloc),
-		Sim: flow.Options{
-			RelEpsilon:      0.01,
-			RefreshFraction: 1.0 / 16,
-			LatencyBase:     core.DefaultLatencyBase,
-			LatencyPerHop:   core.DefaultLatencyPerHop,
-			Workers:         simW,
-		},
-		Seed:         spec.Seed,
-		SharedFabric: *shared,
-	}
-	schedule, err := sched.RunContext(ctx, cfg, stream)
+	cell, err := or.RunContext(ctx, top)
 	if err != nil {
 		stop()
 		switch {
@@ -145,13 +156,25 @@ func main() {
 		die(err)
 	}
 
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, spec, stream, schedule); err != nil {
+	switch {
+	case *fpOut:
+		fp, err := cell.Record(or.Config()).Fingerprint()
+		if err != nil {
 			die(err)
 		}
-		return
+		sum := sha256.Sum256(fp)
+		fmt.Println(hex.EncodeToString(sum[:]))
+	case *recordOut:
+		if err := cell.Record(or.Config()).WriteJSON(os.Stdout); err != nil {
+			die(err)
+		}
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, cell.Topology, top.NumEndpoints(), *alloc, spec, cell.Jobs, cell.Schedule); err != nil {
+			die(err)
+		}
+	default:
+		printText(os.Stdout, cell.Topology, top.NumEndpoints(), *alloc, spec, cell.Jobs, cell.Schedule)
 	}
-	printText(os.Stdout, top.Name(), top.NumEndpoints(), *alloc, spec, stream, schedule)
 }
 
 // aliasValue lets a second flag name write through to an existing flag.

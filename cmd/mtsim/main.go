@@ -15,6 +15,8 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +54,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "intra-run worker threads; results are identical for every value (0 = GOMAXPROCS, 1 = serial)")
 		traceOut = flag.String("trace", "", "write a per-flow completion trace (CSV) to this file")
 		jsonOut  = flag.Bool("json", false, "emit the run record as JSON on stdout instead of text")
+		fpOut    = flag.Bool("fingerprint", false, "print only the hex sha256 of the run record's canonical (timing-stripped) form")
 		epochCSV = flag.String("epochcsv", "", "write the per-epoch congestion time series (CSV) to this file")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no deadline)")
 		traceEvt = flag.String("traceevents", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
@@ -128,7 +131,7 @@ func main() {
 			HotspotK:        *hotspots,
 			Metrics:         metrics,
 		},
-	}, *traceOut, *epochCSV, *traceEvt, *jsonOut)
+	}, *traceOut, *epochCSV, *traceEvt, *jsonOut, *fpOut)
 	stop()
 	if err != nil {
 		switch {
@@ -148,7 +151,7 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, cfg core.Config, traceOut, epochCSV, traceEvt string, jsonOut bool) error {
+func run(ctx context.Context, cfg core.Config, traceOut, epochCSV, traceEvt string, jsonOut, fpOut bool) error {
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -208,6 +211,17 @@ func run(ctx context.Context, cfg core.Config, traceOut, epochCSV, traceEvt stri
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("closing epoch series: %w", err)
 		}
+	}
+	if fpOut {
+		// The same digest mtserve returns in X-Mtier-Record-Sha256, so CI
+		// can assert CLI/daemon record identity without diffing documents.
+		fp, err := res.Record().Fingerprint()
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(fp)
+		fmt.Println(hex.EncodeToString(sum[:]))
+		return nil
 	}
 	if jsonOut {
 		return res.Record().WriteJSON(os.Stdout)

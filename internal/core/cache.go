@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"mtier/internal/fault"
+	"mtier/internal/obs"
+	"mtier/internal/topo"
+)
+
+// canonicalKey is the shared content-addressing primitive behind cell
+// keys and topology keys: the hex sha256 of the value's canonical JSON
+// form. encoding/json emits struct fields in declaration order and map
+// keys sorted, so the bytes — and with them the key — are stable across
+// processes.
+func canonicalKey(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// topoIdentity is the canonical build input of one topology instance:
+// the spec plus the optional fault scenario degrading it. Everything
+// that determines the built (and wrapped) instance is in here, so equal
+// keys mean interchangeable instances.
+type topoIdentity struct {
+	Spec   TopoSpec    `json:"spec"`
+	Faults *fault.Spec `json:"faults,omitempty"`
+}
+
+// TopoKey returns the content address of a topology instance: the hex
+// sha256 of the canonical JSON of its build inputs. A nil or empty fault
+// spec keys identically to no fault spec at all, matching RunContext's
+// treatment of empty fault sets as pristine machines.
+func TopoKey(spec TopoSpec, faults *fault.Spec) (string, error) {
+	id := topoIdentity{Spec: spec}
+	if faults != nil && !faults.Empty() {
+		id.Faults = faults
+	}
+	key, err := canonicalKey(id)
+	if err != nil {
+		return "", fmt.Errorf("core: keying topology spec: %w", err)
+	}
+	return key, nil
+}
+
+// topoEntry is one cache slot. ready is closed once the build finished
+// (top or err set); waiters block on it, which is what de-duplicates
+// concurrent builds of the same instance.
+type topoEntry struct {
+	ready   chan struct{}
+	top     topo.Topology
+	err     error
+	lastUse int64
+}
+
+// TopoCache is a content-addressed, singleflight-de-duplicated cache of
+// immutable built topologies, keyed by TopoKey. Built instances (and
+// fault-wrapped instances, whose lazily-populated BFS detour caches are
+// themselves concurrency-safe) are shared by reference: topologies are
+// immutable after construction, so any number of simulations can route
+// over one instance at once — sweeps have always relied on this, and
+// the cache extends it across independently submitted requests.
+//
+// Concurrent Gets for the same key build once: the first caller builds,
+// the rest wait for its result. Failed builds are not cached, so a
+// transient failure does not poison the key. When the cache exceeds its
+// entry budget the least-recently-used completed entry is evicted —
+// in-flight builds are never evicted, and evicted instances stay valid
+// for the callers already holding them.
+type TopoCache struct {
+	mu      sync.Mutex
+	max     int
+	seq     int64
+	entries map[string]*topoEntry
+
+	reg        *obs.Registry
+	cHits      *obs.Counter
+	cMisses    *obs.Counter
+	cEvictions *obs.Counter
+	gEntries   *obs.Gauge
+}
+
+// DefaultTopoCacheEntries bounds a zero-configured cache. Topology
+// instances at service scale run to hundreds of megabytes, so the cap is
+// deliberately small; raise it for caches of small design-grid cells.
+const DefaultTopoCacheEntries = 64
+
+// NewTopoCache returns a cache holding at most maxEntries built
+// instances (0 = DefaultTopoCacheEntries). The registry is optional;
+// when non-nil the cache maintains cache.topo.{hits,misses,evictions}
+// counters and the cache.topo.entries gauge, and fault-wrapped instances
+// report their fault.* metrics through it.
+func NewTopoCache(maxEntries int, reg *obs.Registry) *TopoCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultTopoCacheEntries
+	}
+	c := &TopoCache{max: maxEntries, entries: make(map[string]*topoEntry)}
+	if reg != nil {
+		c.reg = reg
+		c.cHits = reg.Counter("cache.topo.hits")
+		c.cMisses = reg.Counter("cache.topo.misses")
+		c.cEvictions = reg.Counter("cache.topo.evictions")
+		c.gEntries = reg.Gauge("cache.topo.entries")
+	}
+	return c
+}
+
+// Len returns the number of cached (including in-flight) entries.
+func (c *TopoCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cache's lifetime hit/miss/eviction counts (zero
+// without a registry).
+func (c *TopoCache) Stats() (hits, misses, evictions int64) {
+	if c.cHits == nil {
+		return 0, 0, 0
+	}
+	return c.cHits.Value(), c.cMisses.Value(), c.cEvictions.Value()
+}
+
+// Get returns the built (and, with a non-empty fault spec, degraded)
+// topology for the spec, building it exactly once per key no matter how
+// many callers ask concurrently. hit reports whether the instance was
+// served from cache. A canceled ctx abandons the wait — the build itself
+// keeps running and lands in the cache for the next caller.
+func (c *TopoCache) Get(ctx context.Context, spec TopoSpec, faults *fault.Spec) (t topo.Topology, hit bool, err error) {
+	key, err := TopoKey(spec, faults)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.seq++
+		e.lastUse = c.seq
+		c.mu.Unlock()
+		c.count(c.cHits)
+		select {
+		case <-e.ready:
+			return e.top, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &topoEntry{ready: make(chan struct{})}
+	c.seq++
+	e.lastUse = c.seq
+	c.entries[key] = e
+	c.evictLocked()
+	c.setEntriesGauge()
+	c.mu.Unlock()
+	c.count(c.cMisses)
+
+	e.top, e.err = c.build(spec, faults)
+	close(e.ready)
+	if e.err != nil {
+		// Never cache a failure: deterministic errors re-derive cheaply
+		// and transient ones (memory pressure) deserve a retry.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.setEntriesGauge()
+		c.mu.Unlock()
+	}
+	return e.top, false, e.err
+}
+
+// build constructs the instance outside the cache lock.
+func (c *TopoCache) build(spec TopoSpec, faults *fault.Spec) (topo.Topology, error) {
+	top, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if faults != nil && !faults.Empty() {
+		set, err := fault.Generate(top, *faults)
+		if err != nil {
+			return nil, err
+		}
+		top = fault.Wrap(top, set, c.reg)
+	}
+	return top, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits its budget. Called with c.mu held.
+func (c *TopoCache) evictLocked() {
+	for len(c.entries) > c.max {
+		victim := ""
+		oldest := int64(0)
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // never evict an in-flight build
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = k, e.lastUse
+			}
+		}
+		if victim == "" {
+			return // everything in flight; over-budget transiently
+		}
+		delete(c.entries, victim)
+		c.count(c.cEvictions)
+	}
+}
+
+func (c *TopoCache) setEntriesGauge() {
+	if c.gEntries != nil {
+		c.gEntries.Set(float64(len(c.entries)))
+	}
+}
+
+func (c *TopoCache) count(ctr *obs.Counter) {
+	if ctr != nil {
+		ctr.Inc()
+	}
+}

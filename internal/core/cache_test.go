@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mtier/internal/fault"
+	"mtier/internal/obs"
+	"mtier/internal/workload"
+)
+
+func TestTopoKeyStable(t *testing.T) {
+	spec := TopoSpec{Kind: NestGHC, Endpoints: 64, T: 2, U: 2}
+	k1, err := TopoKey(spec, nil)
+	if err != nil {
+		t.Fatalf("TopoKey: %v", err)
+	}
+	k2, _ := TopoKey(spec, nil)
+	if k1 != k2 {
+		t.Errorf("same spec keyed differently: %s vs %s", k1, k2)
+	}
+	// An empty fault spec must key identically to none at all (both mean
+	// a pristine machine).
+	k3, _ := TopoKey(spec, &fault.Spec{Model: fault.Random})
+	if k3 != k1 {
+		t.Errorf("empty fault spec changed the key: %s vs %s", k3, k1)
+	}
+	// A real fault scenario is a different instance.
+	k4, _ := TopoKey(spec, &fault.Spec{Model: fault.Random, LinkFraction: 0.05, Seed: 7})
+	if k4 == k1 {
+		t.Error("faulted instance keyed identically to the pristine one")
+	}
+	// And so is a different design point.
+	k5, _ := TopoKey(TopoSpec{Kind: NestGHC, Endpoints: 64, T: 2, U: 4}, nil)
+	if k5 == k1 {
+		t.Error("different (t,u) keyed identically")
+	}
+}
+
+// TestTopoCacheSingleflight races many getters for one instance: it
+// must build exactly once and every caller must get that one instance.
+func TestTopoCacheSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewTopoCache(4, reg)
+	spec := TopoSpec{Kind: NestGHC, Endpoints: 16, T: 2, U: 2}
+	const n = 16
+	tops := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			top, _, err := c.Get(context.Background(), spec, nil)
+			if err != nil {
+				t.Errorf("Get %d: %v", i, err)
+				return
+			}
+			tops[i] = top
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if tops[i] != tops[0] {
+			t.Errorf("caller %d got a different instance", i)
+		}
+	}
+	hits, misses, _ := c.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", misses)
+	}
+	if hits != n-1 {
+		t.Errorf("hits = %d, want %d", hits, n-1)
+	}
+}
+
+// TestTopoCacheEviction overfills a two-entry cache and checks LRU
+// eviction keeps it at budget.
+func TestTopoCacheEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewTopoCache(2, reg)
+	specs := []TopoSpec{
+		{Kind: NestGHC, Endpoints: 16, T: 2, U: 2},
+		{Kind: NestGHC, Endpoints: 32, T: 2, U: 2},
+		{Kind: NestGHC, Endpoints: 64, T: 2, U: 2},
+	}
+	for _, s := range specs {
+		if _, _, err := c.Get(context.Background(), s, nil); err != nil {
+			t.Fatalf("Get %+v: %v", s, err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	// The oldest entry was evicted, so re-asking for it is a miss again.
+	if _, hit, err := c.Get(context.Background(), specs[0], nil); err != nil || hit {
+		t.Errorf("evicted entry: hit=%v err=%v, want a rebuild", hit, err)
+	}
+}
+
+// TestTopoCacheFailedBuildNotCached checks a failing build is not
+// poisoned into the cache.
+func TestTopoCacheFailedBuildNotCached(t *testing.T) {
+	c := NewTopoCache(4, obs.NewRegistry())
+	bad := TopoSpec{Kind: NestGHC, Endpoints: 10, T: 2, U: 2} // does not tile
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(context.Background(), bad, nil); err == nil {
+			t.Fatalf("attempt %d: Get of an invalid spec succeeded", i)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed builds left %d cache entries", c.Len())
+	}
+	_, misses, _ := c.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (failures are never cached)", misses)
+	}
+}
+
+// TestRunContextAcceptsCachedDegraded is the contract the service cache
+// relies on: RunContext accepts a pre-wrapped *fault.Degraded whose
+// generating spec matches Config.Faults (sharing its BFS detour cache),
+// and rejects one wrapped with a different scenario.
+func TestRunContextAcceptsCachedDegraded(t *testing.T) {
+	fs := fault.Spec{Model: fault.Random, LinkFraction: 0.05, Seed: 3}
+	spec := TopoSpec{Kind: NestGHC, Endpoints: 16, T: 2, U: 2}
+	c := NewTopoCache(4, obs.NewRegistry())
+	top, _, err := c.Get(context.Background(), spec, &fs)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, ok := top.(*fault.Degraded); !ok {
+		t.Fatalf("cached instance is %T, want *fault.Degraded", top)
+	}
+	cfg := Config{
+		Kind: NestGHC, Endpoints: 16, T: 2, U: 2,
+		Workload: workload.AllReduce,
+		Params:   workload.Params{Seed: 1},
+		Faults:   &fs,
+	}
+	res, err := RunContext(context.Background(), cfg, top)
+	if err != nil {
+		t.Fatalf("RunContext on the cached degraded instance: %v", err)
+	}
+
+	// The same config run on a bare topology (RunContext wraps it itself)
+	// must produce an identical record fingerprint — the cache changes
+	// nothing about the physics.
+	bare, _, err := c.Get(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("Get bare: %v", err)
+	}
+	res2, err := RunContext(context.Background(), cfg, bare)
+	if err != nil {
+		t.Fatalf("RunContext on the bare instance: %v", err)
+	}
+	fp1, err := res.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := res2.Record().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fp1) != string(fp2) {
+		t.Error("cached-degraded and wrap-on-demand runs fingerprint differently")
+	}
+
+	// A mismatched scenario must be refused, not silently mis-simulated.
+	other := fault.Spec{Model: fault.Random, LinkFraction: 0.2, Seed: 9}
+	cfg.Faults = &other
+	if _, err := RunContext(context.Background(), cfg, top); err == nil {
+		t.Error("RunContext accepted a topology wrapped with a different fault spec")
+	}
+}
+
+// TestCellKeyCanonical pins the journal key's delegation to the shared
+// canonical-JSON digest: equal configs key equal, different seeds do not.
+func TestCellKeyCanonical(t *testing.T) {
+	cfg := Config{Kind: NestGHC, Endpoints: 16, T: 2, U: 2, Workload: workload.AllReduce, Params: workload.Params{Seed: 1}}
+	k1, err := CellKey(cfg)
+	if err != nil {
+		t.Fatalf("CellKey: %v", err)
+	}
+	k2, _ := CellKey(cfg)
+	if k1 != k2 {
+		t.Error("equal configs keyed differently")
+	}
+	cfg.Params.Seed = 2
+	k3, _ := CellKey(cfg)
+	if k3 == k1 {
+		t.Error("different seeds keyed identically")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(k1))
+	}
+}

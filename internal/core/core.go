@@ -259,18 +259,27 @@ func RunContext(ctx context.Context, cfg Config, top topo.Topology) (*RunResult,
 		phases.BuildSeconds = time.Since(t0).Seconds()
 	}
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
-		if _, wrapped := top.(*fault.Degraded); wrapped {
-			return nil, fmt.Errorf("core: topology %s is already fault-wrapped; pass the bare topology with Config.Faults", top.Name())
+		if d, wrapped := top.(*fault.Degraded); wrapped {
+			// A pre-wrapped instance is accepted only when its fault set
+			// was generated from this exact spec — shared topology caches
+			// (TopoCache) hand these in so concurrent requests reuse one
+			// BFS detour cache. Any other wrapper is still an error:
+			// running it would silently double-degrade the fabric or run
+			// the wrong scenario.
+			if d.Faults().Spec() != *cfg.Faults {
+				return nil, fmt.Errorf("core: topology %s is fault-wrapped with a different spec; pass the bare topology with Config.Faults", top.Name())
+			}
+		} else {
+			t0 := time.Now()
+			sp := tr.Begin("core.faults", "phase")
+			set, ferr := fault.Generate(top, *cfg.Faults)
+			if ferr != nil {
+				return nil, ferr
+			}
+			top = fault.Wrap(top, set, cfg.Sim.Metrics)
+			sp.End()
+			phases.BuildSeconds += time.Since(t0).Seconds()
 		}
-		t0 := time.Now()
-		sp := tr.Begin("core.faults", "phase")
-		set, ferr := fault.Generate(top, *cfg.Faults)
-		if ferr != nil {
-			return nil, ferr
-		}
-		top = fault.Wrap(top, set, cfg.Sim.Metrics)
-		sp.End()
-		phases.BuildSeconds += time.Since(t0).Seconds()
 	}
 	wlSpan := tr.Begin("core.workload", "phase")
 	genStart := time.Now()

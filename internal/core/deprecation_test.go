@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// countingWriter is a goroutine-safe stderr stand-in that counts writes.
+type countingWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	n   int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	return w.buf.Write(p)
+}
+
+// TestDeprecationNoticesGoroutineSafe hammers both one-shot deprecation
+// notices from many goroutines at once: under -race this pins the
+// sync.Once guards (a plain bool flag here would be a data race), and
+// the warning writer must see at most one line no matter the
+// interleaving.
+func TestDeprecationNoticesGoroutineSafe(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	w := &countingWriter{}
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The deprecated build wrapper (notice to os.Stderr).
+			if _, err := BuildTopology(NestGHC, 16, 2, 2); err != nil {
+				t.Errorf("BuildTopology: %v", err)
+			}
+			// The deprecated -simworkers alias, each goroutine with its own
+			// parsed flag set (the Once guard is package-global).
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			workers := fs.Int("workers", 0, "")
+			simWorkers := fs.Int("simworkers", 0, "")
+			if err := fs.Parse([]string{"-simworkers", "3"}); err != nil {
+				t.Errorf("parsing flags: %v", err)
+				return
+			}
+			got, err := ResolveSimWorkers("test", fs, *workers, *simWorkers, w)
+			if err != nil {
+				t.Errorf("ResolveSimWorkers: %v", err)
+				return
+			}
+			if got != 3 {
+				t.Errorf("ResolveSimWorkers = %d, want 3", got)
+			}
+		}()
+	}
+	wg.Wait()
+	// At most one notice ever (zero if another test in this process
+	// already tripped the Once).
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n > 1 {
+		t.Errorf("deprecation notice written %d times, want at most 1:\n%s", w.n, w.buf.String())
+	}
+	if w.n == 1 && !strings.Contains(w.buf.String(), "-simworkers is deprecated") {
+		t.Errorf("unexpected notice: %q", w.buf.String())
+	}
+}
+
+// TestResolveSimWorkersConflict still refuses both spellings at once.
+func TestResolveSimWorkersConflict(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workers := fs.Int("workers", 0, "")
+	simWorkers := fs.Int("simworkers", 0, "")
+	if err := fs.Parse([]string{"-workers", "2", "-simworkers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveSimWorkers("test", fs, *workers, *simWorkers, io.Discard); err == nil {
+		t.Fatal("ResolveSimWorkers accepted both -workers and -simworkers")
+	}
+}

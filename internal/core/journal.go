@@ -3,8 +3,6 @@ package core
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,12 +35,11 @@ type JournalRecord struct {
 // the same keys, which is what lets a resumed sweep recognise the cells
 // a previous run already completed.
 func CellKey(cfg Config) (string, error) {
-	b, err := json.Marshal(cfg)
+	key, err := canonicalKey(cfg)
 	if err != nil {
 		return "", fmt.Errorf("core: keying cell config: %w", err)
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
+	return key, nil
 }
 
 // Journal is a durable checkpoint log for sweeps: each completed cell is

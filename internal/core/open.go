@@ -30,6 +30,10 @@ type OpenCell struct {
 	Pt       Point
 	Topology string
 	Schedule *sched.Schedule
+	// Jobs is the deterministic job stream the schedule executed, in
+	// submission order (populated by OpenRun; campaign cells share one
+	// stream and leave it nil).
+	Jobs []sched.Job
 	// SimSeconds is the cell's wall-clock scheduling+simulation time.
 	SimSeconds float64
 }

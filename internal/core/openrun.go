@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mtier/internal/flow"
+	"mtier/internal/obs"
+	"mtier/internal/sched"
+	"mtier/internal/topo"
+	"mtier/internal/workload"
+)
+
+// OpenRun describes one open-system run: a multi-client workload spec
+// scheduled FCFS onto one machine. It is the single-machine analogue of
+// an OpenPanel campaign cell, shared by the mtsched CLI and the mtserve
+// daemon so both produce byte-identical run records for the same inputs.
+type OpenRun struct {
+	// Topo is the machine under test.
+	Topo TopoSpec
+	// Spec is the validated multi-client workload (the job stream is a
+	// pure function of it).
+	Spec *workload.OpenSpec
+	// Alloc is the endpoint-allocation policy (empty = FirstFit).
+	Alloc sched.AllocPolicy
+	// Shared additionally replays the schedule on a shared fabric to
+	// measure cross-job interference.
+	Shared bool
+	// Workers is the intra-run worker thread count; results are
+	// identical for every value (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Metrics optionally receives the flow engine's counters.
+	Metrics *obs.Registry
+}
+
+// Config returns the run's record config section (OpenConfig), with the
+// allocation default resolved.
+func (r OpenRun) Config() OpenConfig {
+	alloc := r.Alloc
+	if alloc == "" {
+		alloc = sched.FirstFit
+	}
+	return OpenConfig{
+		Kind:       r.Topo.Kind,
+		Endpoints:  r.Topo.Endpoints,
+		T:          r.Topo.T,
+		U:          r.Topo.U,
+		Allocation: alloc,
+		Spec:       r.Spec,
+	}
+}
+
+// openSimDefaults are the preset flow-engine options of every
+// open-system run: the experiment presets' convergence window, refresh
+// fraction and ExaNeSt-class latency figures. Centralised here so the
+// CLI and the daemon cannot drift apart.
+func openSimDefaults(workers int, metrics *obs.Registry) flow.Options {
+	return flow.Options{
+		RelEpsilon:      0.01,
+		RefreshFraction: 1.0 / 16,
+		LatencyBase:     DefaultLatencyBase,
+		LatencyPerHop:   DefaultLatencyPerHop,
+		Workers:         workers,
+		Metrics:         metrics,
+	}
+}
+
+// RunContext executes the open run on top (built from r.Topo when nil),
+// returning the completed cell. The spec is validated, its job stream
+// derived deterministically, and the schedule produced under ctx —
+// cancellation aborts the run at its next job or epoch boundary.
+func (r OpenRun) RunContext(ctx context.Context, top topo.Topology) (*OpenCell, error) {
+	if r.Spec == nil {
+		return nil, fmt.Errorf("core: open run has no workload spec")
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if top == nil {
+		var err error
+		top, err = Build(r.Topo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	jobs, err := sched.JobsFromSpec(r.Spec)
+	if err != nil {
+		return nil, err
+	}
+	alloc := r.Alloc
+	if alloc == "" {
+		alloc = sched.FirstFit
+	}
+	start := time.Now()
+	sch, err := sched.RunContext(ctx, sched.Config{
+		Topo:         top,
+		Alloc:        alloc,
+		Sim:          openSimDefaults(r.Workers, r.Metrics),
+		Seed:         r.Spec.Seed,
+		SharedFabric: r.Shared,
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	pt := Point{}
+	switch r.Topo.Kind {
+	case NestTree, NestGHC:
+		pt = Point{T: r.Topo.T, U: r.Topo.U}
+	}
+	return &OpenCell{
+		Kind:       r.Topo.Kind,
+		Pt:         pt,
+		Topology:   top.Name(),
+		Schedule:   sch,
+		Jobs:       jobs,
+		SimSeconds: time.Since(start).Seconds(),
+	}, nil
+}

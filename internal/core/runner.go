@@ -101,6 +101,29 @@ func (o *RunnerOptions) logf(format string, args ...any) {
 	}
 }
 
+// Supervise runs fn as a single supervised cell — the one-request form
+// of the sweep runner, for services executing untrusted-size work per
+// request: a panic inside fn is recovered into a *CellError carrying the
+// panicking goroutine's stack (the caller's process survives), an
+// attempt that exceeds opt.CellTimeout is retried per opt.MaxRetries,
+// and any terminal failure comes back as a *CellError whose Err is
+// errors.Is-transparent to context errors.
+func Supervise(ctx context.Context, opt RunnerOptions, fn func(ctx context.Context) error) error {
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ce := runCell(ctx, 0, opt, func(ctx context.Context, _ int) error { return fn(ctx) }); ce != nil {
+		return ce
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("runner.cells_ok").Inc()
+	}
+	return nil
+}
+
 // runCells executes fn(ctx, i) for i in [0, n) over min(workers, n)
 // goroutines under supervision:
 //

@@ -127,6 +127,7 @@ type Set struct {
 	linkDown []bool // per directed link id
 	vertDown []bool // per vertex id
 
+	spec          Spec
 	numEndpoints  int
 	cablesDown    int
 	linksDown     int // directed links down (incl. those of failed vertices)
@@ -162,6 +163,11 @@ func (s *Set) EndpointsDown() int { return s.endpointsDown }
 // Label summarises the set for topology names and reports, e.g.
 // "faults[random,c12,s2,e0,seed7]". Empty sets label as "".
 func (s *Set) Label() string { return s.label }
+
+// Spec returns the generating spec the set was resolved from. Shared
+// topology caches use it to verify that a pre-wrapped Degraded instance
+// matches a request's fault scenario before reusing its detour cache.
+func (s *Set) Spec() Spec { return s.spec }
 
 // cable is one physical duplex connection: the two directed link ids
 // (l2 < 0 for a simplex link) and the vertices it joins.
@@ -215,6 +221,7 @@ func Generate(t topo.Topology, spec Spec) (*Set, error) {
 	nVerts := t.NumVertices()
 	nEps := t.NumEndpoints()
 	set := &Set{
+		spec:         spec,
 		linkDown:     make([]bool, len(links)),
 		vertDown:     make([]bool, nVerts),
 		numEndpoints: nEps,

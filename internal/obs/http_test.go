@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,5 +81,83 @@ func TestServerNilRegistry(t *testing.T) {
 	body, resp := getBody(t, "http://"+srv.Addr()+"/metrics")
 	if resp.StatusCode != http.StatusOK || body != "" {
 		t.Fatalf("nil registry metrics: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentMetricsScrapes races /metrics scrapes against live
+// registry writes — the service pattern, where Prometheus polls while
+// simulations pump counters, gauges and histograms. Run under -race
+// this pins the registry's reader/writer safety; functionally every
+// scrape must parse as a complete exposition.
+func TestConcurrentMetricsScrapes(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/metrics"
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := reg.Counter("stress.events")
+			g := reg.Gauge("stress.level")
+			h := reg.Histogram("stress.latency")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 10)
+				// New names force map growth under the scrapers too —
+				// bounded, or the registry balloons faster than a scrape
+				// can serialize it and the GETs never return.
+				if i%50 == 0 && i < 10_000 {
+					reg.Counter(fmt.Sprintf("stress.w%d.batch%d", w, i/50)).Inc()
+				}
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 25; i++ {
+				body, resp := getBody(t, url)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape status %d", resp.StatusCode)
+					return
+				}
+				// Every line of the exposition must be complete: a comment
+				// or a name-value pair — a torn write would break this.
+				for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					if fields := strings.Fields(line); len(fields) != 2 {
+						t.Errorf("malformed exposition line %q", line)
+						return
+					}
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// A final scrape reflects the settled counters.
+	body, _ := getBody(t, url)
+	if !strings.Contains(body, "mtier_stress_events") {
+		t.Errorf("final scrape is missing the stress counter:\n%.300s", body)
 	}
 }

@@ -1,0 +1,366 @@
+// Package serve wraps the simulation library in a long-lived HTTP+JSON
+// daemon (cmd/mtserve): experiment and open-system submissions run on
+// the supervised runner with per-request deadlines and cooperative
+// cancellation, share immutable built topologies through a
+// content-addressed cache, and are admitted through a token bucket with
+// bounded queueing — overload is shed honestly with 429 + Retry-After
+// instead of queueing without bound.
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"mtier/internal/obs"
+)
+
+// rejectReason names why a submission was turned away; it is the
+// Retry-After taxonomy and the suffix of the serve.rejected_* counters.
+type rejectReason string
+
+const (
+	rejectRate  rejectReason = "rate"     // token bucket empty
+	rejectQueue rejectReason = "queue"    // wait queue full
+	rejectQuota rejectReason = "quota"    // per-tenant concurrency quota
+	rejectDrain rejectReason = "draining" // shutdown in progress
+	rejectGone  rejectReason = "gone"     // client left while queued
+)
+
+// admitError is a structured admission refusal: the HTTP status to
+// return and, for 429s, an honest Retry-After estimate in seconds.
+type admitError struct {
+	status     int
+	reason     rejectReason
+	retryAfter int // seconds; 0 omits the header
+	msg        string
+}
+
+// tenantStats tracks one tenant's live and lifetime request counts. The
+// JSON form is served by /v1/status.
+type tenantStats struct {
+	Running  int   `json:"running"`
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// admission is the daemon's front door: a token bucket bounds the
+// submission rate, a concurrency ceiling (lowered by the memory
+// watchdog while the heap is over its soft budget, never below one)
+// bounds simultaneous simulations, a bounded FIFO-ish wait queue absorbs
+// short bursts, and per-tenant quotas keep one client from monopolising
+// the daemon. Everything beyond those bounds is refused immediately
+// with a Retry-After estimate — the queue never grows without bound.
+type admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxConcurrent int
+	maxQueue      int
+	tenantMax     int // 0 = unlimited
+	rate          float64
+	burst         float64
+	tokens        float64
+	last          time.Time
+	now           func() time.Time
+
+	allowed  int // live concurrency ceiling (watchdog-shed)
+	running  int
+	queued   int
+	draining bool
+
+	// Decayed run-duration average behind Retry-After estimates.
+	meanRunS float64
+
+	tenants map[string]*tenantStats
+
+	watchdogDone chan struct{}
+	watchdogWG   sync.WaitGroup
+
+	reg       *obs.Registry
+	cAdmitted *obs.Counter
+	cShed     *obs.Counter
+	gRunning  *obs.Gauge
+	gQueued   *obs.Gauge
+	gAllowed  *obs.Gauge
+	hRun      *obs.Histogram
+	logf      func(format string, args ...any)
+}
+
+func newAdmission(opt Options, reg *obs.Registry) *admission {
+	a := &admission{
+		maxConcurrent: opt.MaxConcurrent,
+		maxQueue:      opt.MaxQueue,
+		tenantMax:     opt.TenantConcurrent,
+		rate:          opt.Rate,
+		burst:         float64(opt.Burst),
+		allowed:       opt.MaxConcurrent,
+		now:           time.Now,
+		tenants:       make(map[string]*tenantStats),
+		reg:           reg,
+		cAdmitted:     reg.Counter("serve.admitted"),
+		cShed:         reg.Counter("serve.mem_shed_events"),
+		gRunning:      reg.Gauge("serve.running"),
+		gQueued:       reg.Gauge("serve.queued"),
+		gAllowed:      reg.Gauge("serve.allowed_concurrency"),
+		hRun:          reg.Histogram("serve.run_seconds"),
+		logf:          opt.Logf,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.tokens = a.burst
+	a.last = a.now()
+	a.gAllowed.Set(float64(a.allowed))
+	return a
+}
+
+// tenant returns (creating on first use) the tenant's stats record.
+// Called with a.mu held.
+func (a *admission) tenant(name string) *tenantStats {
+	t := a.tenants[name]
+	if t == nil {
+		t = &tenantStats{}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+// refillLocked advances the token bucket to now. Called with a.mu held.
+func (a *admission) refillLocked() {
+	now := a.now()
+	if dt := now.Sub(a.last).Seconds(); dt > 0 {
+		a.tokens = math.Min(a.burst, a.tokens+dt*a.rate)
+	}
+	a.last = now
+}
+
+// meanRunLocked is the decayed mean run duration used for Retry-After
+// estimates, with a 1-second floor so cold daemons still answer
+// something honest. Called with a.mu held.
+func (a *admission) meanRunLocked() float64 {
+	if a.meanRunS < 1 {
+		return 1
+	}
+	return a.meanRunS
+}
+
+// retrySeconds rounds a wait estimate up to whole seconds (Retry-After
+// is integral), never below 1.
+func retrySeconds(s float64) int {
+	if s < 1 {
+		return 1
+	}
+	return int(math.Ceil(s))
+}
+
+// admit decides one submission. On success it returns a release
+// function the caller must invoke exactly once with the run's duration;
+// on refusal it returns the structured admission error. A caller whose
+// ctx dies while queued gets status 0 — the client is gone, there is
+// nobody to answer.
+func (a *admission) admit(ctx context.Context, tenant string) (release func(runSeconds float64), aerr *admitError) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tenant(tenant)
+	reject := func(e *admitError) (func(float64), *admitError) {
+		t.Rejected++
+		if e.reason != rejectGone {
+			a.reg.Counter("serve.rejected_" + string(e.reason)).Inc()
+		}
+		return nil, e
+	}
+	if a.draining {
+		return reject(&admitError{status: 503, reason: rejectDrain,
+			msg: "server is draining; submissions are closed"})
+	}
+	if a.rate > 0 {
+		a.refillLocked()
+		if a.tokens < 1 {
+			wait := (1 - a.tokens) / a.rate
+			return reject(&admitError{status: 429, reason: rejectRate, retryAfter: retrySeconds(wait),
+				msg: "admission rate exceeded"})
+		}
+		a.tokens--
+	}
+	if a.tenantMax > 0 && t.Running+t.Queued >= a.tenantMax {
+		return reject(&admitError{status: 429, reason: rejectQuota, retryAfter: retrySeconds(a.meanRunLocked()),
+			msg: "tenant concurrency quota exhausted"})
+	}
+	if a.running >= a.allowed && a.queued >= a.maxQueue {
+		// Honest shedding: estimate how long the backlog ahead of this
+		// request would take to clear and say so, instead of queueing
+		// without bound.
+		est := a.meanRunLocked() * float64(a.queued+1) / math.Max(1, float64(a.allowed))
+		return reject(&admitError{status: 429, reason: rejectQueue, retryAfter: retrySeconds(est),
+			msg: "run queue is full"})
+	}
+	if a.running >= a.allowed {
+		a.queued++
+		t.Queued++
+		a.gQueued.Set(float64(a.queued))
+		wake := context.AfterFunc(ctx, a.cond.Broadcast)
+		for a.running >= a.allowed && !a.draining && ctx.Err() == nil {
+			a.cond.Wait()
+		}
+		wake()
+		a.queued--
+		t.Queued--
+		a.gQueued.Set(float64(a.queued))
+		if ctx.Err() != nil {
+			return reject(&admitError{status: 0, reason: rejectGone, msg: "client went away while queued"})
+		}
+		if a.draining {
+			return reject(&admitError{status: 503, reason: rejectDrain,
+				msg: "server is draining; submissions are closed"})
+		}
+	}
+	a.running++
+	t.Running++
+	t.Admitted++
+	a.cAdmitted.Inc()
+	a.gRunning.Set(float64(a.running))
+	released := false
+	return func(runSeconds float64) {
+		a.mu.Lock()
+		if released {
+			a.mu.Unlock()
+			return
+		}
+		released = true
+		a.running--
+		t.Running--
+		a.gRunning.Set(float64(a.running))
+		// Exponentially decayed mean: recent behaviour dominates, one
+		// historic outlier does not poison estimates forever.
+		if a.meanRunS == 0 {
+			a.meanRunS = runSeconds
+		} else {
+			a.meanRunS = 0.8*a.meanRunS + 0.2*runSeconds
+		}
+		a.hRun.Observe(runSeconds)
+		a.mu.Unlock()
+		a.cond.Broadcast()
+	}, nil
+}
+
+// beginDrain closes admission: queued waiters are refused with 503 and
+// every later submission is too. In-flight runs are untouched.
+func (a *admission) beginDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// awaitIdle blocks until no run is in flight, or ctx expires.
+func (a *admission) awaitIdle(ctx context.Context) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wake := context.AfterFunc(ctx, a.cond.Broadcast)
+	defer wake()
+	for a.running > 0 && ctx.Err() == nil {
+		a.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// startWatchdog arms the soft-memory admission trimmer: a sampler polls
+// the live heap every interval and, while it exceeds budget, lowers the
+// concurrency ceiling one slot per tick (never below one, so the daemon
+// keeps making progress), restoring it once the heap drops back under —
+// the service-side twin of the sweep runner's memGate. sample is
+// injectable for tests; nil uses obs.SampleMemory.
+func (a *admission) startWatchdog(budget int64, interval time.Duration, sample func() uint64) {
+	if budget <= 0 {
+		return
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if sample == nil {
+		sample = func() uint64 { return obs.SampleMemory(a.reg) }
+	}
+	done := make(chan struct{})
+	a.watchdogDone = done
+	a.watchdogWG.Add(1)
+	go func() {
+		defer a.watchdogWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			heap := sample()
+			a.mu.Lock()
+			switch {
+			case int64(heap) > budget && a.allowed > 1:
+				a.allowed--
+				a.gAllowed.Set(float64(a.allowed))
+				a.cShed.Inc()
+				if a.logf != nil {
+					a.logf("memory watchdog: heap %d bytes over budget %d; trimming admission to %d slot(s)",
+						heap, budget, a.allowed)
+				}
+			case int64(heap) <= budget && a.allowed < a.maxConcurrent:
+				a.allowed++
+				a.gAllowed.Set(float64(a.allowed))
+			}
+			a.mu.Unlock()
+			// Restored capacity unblocks queued waiters.
+			a.cond.Broadcast()
+		}
+	}()
+}
+
+// stopWatchdog tears the sampler down (idempotent, nil-safe).
+func (a *admission) stopWatchdog() {
+	a.mu.Lock()
+	done := a.watchdogDone
+	a.watchdogDone = nil
+	a.mu.Unlock()
+	if done != nil {
+		close(done)
+		a.watchdogWG.Wait()
+	}
+}
+
+// snapshot returns the admission state for /v1/status.
+type admissionStatus struct {
+	Running        int     `json:"running"`
+	Queued         int     `json:"queued"`
+	Allowed        int     `json:"allowed_concurrency"`
+	MaxConcurrent  int     `json:"max_concurrent"`
+	MaxQueue       int     `json:"max_queue"`
+	RatePerSecond  float64 `json:"rate_per_second,omitempty"`
+	Burst          int     `json:"burst,omitempty"`
+	TokensAvail    float64 `json:"tokens_available,omitempty"`
+	MeanRunSeconds float64 `json:"mean_run_seconds"`
+}
+
+func (a *admission) snapshot() (admissionStatus, map[string]tenantStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rate > 0 {
+		a.refillLocked()
+	}
+	st := admissionStatus{
+		Running:        a.running,
+		Queued:         a.queued,
+		Allowed:        a.allowed,
+		MaxConcurrent:  a.maxConcurrent,
+		MaxQueue:       a.maxQueue,
+		RatePerSecond:  a.rate,
+		Burst:          int(a.burst),
+		TokensAvail:    a.tokens,
+		MeanRunSeconds: a.meanRunS,
+	}
+	tenants := make(map[string]tenantStats, len(a.tenants))
+	for name, t := range a.tenants {
+		tenants[name] = *t
+	}
+	return st, tenants
+}

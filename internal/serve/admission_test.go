@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the admission token bucket deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestAdmission(opt Options) (*admission, *fakeClock) {
+	opt = opt.withDefaults()
+	a := newAdmission(opt, opt.Registry)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a.now = clk.now
+	a.last = clk.now()
+	return a, clk
+}
+
+// TestTokenBucketRefill exhausts the bucket, advances the fake clock,
+// and checks tokens come back at exactly the configured rate.
+func TestTokenBucketRefill(t *testing.T) {
+	a, clk := newTestAdmission(Options{MaxConcurrent: 8, Rate: 2, Burst: 2})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		release, aerr := a.admit(ctx, "t")
+		if aerr != nil {
+			t.Fatalf("admit %d within burst: %+v", i, aerr)
+		}
+		release(0.1)
+	}
+	if _, aerr := a.admit(ctx, "t"); aerr == nil {
+		t.Fatal("admit beyond burst succeeded, want 429")
+	} else if aerr.status != 429 || aerr.reason != rejectRate {
+		t.Fatalf("got status %d reason %s, want 429 rate", aerr.status, aerr.reason)
+	} else if aerr.retryAfter < 1 {
+		t.Fatalf("rate 429 Retry-After = %d, want >= 1", aerr.retryAfter)
+	}
+
+	// Half a second at 2 tokens/s restores one whole token.
+	clk.advance(500 * time.Millisecond)
+	release, aerr := a.admit(ctx, "t")
+	if aerr != nil {
+		t.Fatalf("admit after refill: %+v", aerr)
+	}
+	release(0.1)
+	if _, aerr := a.admit(ctx, "t"); aerr == nil {
+		t.Fatal("second admit after one-token refill succeeded, want 429")
+	}
+}
+
+// TestQueueAdmitsAfterRelease parks a submission in the wait queue and
+// checks it is admitted when the running slot frees.
+func TestQueueAdmitsAfterRelease(t *testing.T) {
+	a, _ := newTestAdmission(Options{MaxConcurrent: 1, MaxQueue: 4})
+	ctx := context.Background()
+	release, aerr := a.admit(ctx, "t")
+	if aerr != nil {
+		t.Fatalf("first admit: %+v", aerr)
+	}
+
+	admitted := make(chan func(float64), 1)
+	go func() {
+		r2, aerr2 := a.admit(ctx, "t")
+		if aerr2 != nil {
+			t.Errorf("queued admit: %+v", aerr2)
+		}
+		admitted <- r2
+	}()
+	// The waiter must actually queue before the slot frees.
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	release(0.1)
+	select {
+	case r2 := <-admitted:
+		r2(0.1)
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued submission was never admitted after release")
+	}
+}
+
+// TestQueueFullSheds fills slot and queue: the next submission is shed
+// with a backlog-derived Retry-After.
+func TestQueueFullSheds(t *testing.T) {
+	a, _ := newTestAdmission(Options{MaxConcurrent: 1, MaxQueue: 1})
+	ctx := context.Background()
+	release, aerr := a.admit(ctx, "t")
+	if aerr != nil {
+		t.Fatalf("first admit: %+v", aerr)
+	}
+	defer release(0.1)
+
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	queued := make(chan struct{})
+	go func() {
+		defer close(queued)
+		if r, aerr := a.admit(qctx, "t"); aerr == nil {
+			r(0.1)
+		}
+	}()
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+
+	if _, aerr := a.admit(ctx, "t"); aerr == nil {
+		t.Fatal("admit with a full queue succeeded, want 429")
+	} else if aerr.reason != rejectQueue || aerr.retryAfter < 1 {
+		t.Fatalf("got reason %s retryAfter %d, want queue >= 1s", aerr.reason, aerr.retryAfter)
+	}
+	qcancel()
+	<-queued
+}
+
+// TestQueuedClientGone cancels a queued waiter: it must leave without a
+// response (status 0) and without leaking queue accounting.
+func TestQueuedClientGone(t *testing.T) {
+	a, _ := newTestAdmission(Options{MaxConcurrent: 1, MaxQueue: 4})
+	release, aerr := a.admit(context.Background(), "t")
+	if aerr != nil {
+		t.Fatalf("first admit: %+v", aerr)
+	}
+	defer release(0.1)
+
+	qctx, qcancel := context.WithCancel(context.Background())
+	res := make(chan *admitError, 1)
+	go func() {
+		_, aerr := a.admit(qctx, "t")
+		res <- aerr
+	}()
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	qcancel()
+	select {
+	case aerr := <-res:
+		if aerr == nil || aerr.status != 0 || aerr.reason != rejectGone {
+			t.Fatalf("canceled waiter got %+v, want status 0 reason gone", aerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued != 0 || a.tenants["t"].Queued != 0 {
+		t.Errorf("queue accounting leaked: queued=%d tenant queued=%d", a.queued, a.tenants["t"].Queued)
+	}
+}
+
+// TestDrainRefusesQueued starts a drain with a waiter queued: the
+// waiter must be refused with 503, not left hanging.
+func TestDrainRefusesQueued(t *testing.T) {
+	a, _ := newTestAdmission(Options{MaxConcurrent: 1, MaxQueue: 4})
+	release, aerr := a.admit(context.Background(), "t")
+	if aerr != nil {
+		t.Fatalf("first admit: %+v", aerr)
+	}
+
+	res := make(chan *admitError, 1)
+	go func() {
+		_, aerr := a.admit(context.Background(), "t")
+		res <- aerr
+	}()
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	a.beginDrain()
+	select {
+	case aerr := <-res:
+		if aerr == nil || aerr.status != 503 {
+			t.Fatalf("queued waiter during drain got %+v, want 503", aerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never refused after drain began")
+	}
+	release(0.1)
+	if err := a.awaitIdle(context.Background()); err != nil {
+		t.Errorf("awaitIdle: %v", err)
+	}
+}
+
+// TestMemoryWatchdogSheds drives the watchdog with an injected heap
+// sampler: over budget it trims the concurrency ceiling toward one (but
+// never below), under budget it restores it.
+func TestMemoryWatchdogSheds(t *testing.T) {
+	a, _ := newTestAdmission(Options{MaxConcurrent: 4})
+	var heap atomic.Uint64
+	heap.Store(200)
+	a.startWatchdog(100, time.Millisecond, heap.Load)
+	defer a.stopWatchdog()
+
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.allowed == 1
+	})
+	if shed := a.reg.Counter("serve.mem_shed_events").Value(); shed < 3 {
+		t.Errorf("serve.mem_shed_events = %d, want >= 3 (4 -> 1 slot)", shed)
+	}
+
+	heap.Store(50)
+	waitFor(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.allowed == 4
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetrySeconds pins the Retry-After rounding contract.
+func TestRetrySeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{{0, 1}, {0.2, 1}, {1, 1}, {1.1, 2}, {9.5, 10}}
+	for _, c := range cases {
+		if got := retrySeconds(c.in); got != c.want {
+			t.Errorf("retrySeconds(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

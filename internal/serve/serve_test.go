@@ -1,0 +1,595 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mtier/internal/core"
+	"mtier/internal/flow"
+	"mtier/internal/obs"
+	"mtier/internal/sched"
+	"mtier/internal/workload"
+)
+
+// testConfig is a small, fast experiment cell shared by the service
+// tests: it tiles (t=2)³=8-node subtori into 16 endpoints and finishes
+// in milliseconds.
+func testConfig() core.Config {
+	return core.Config{
+		Kind:      core.NestGHC,
+		Endpoints: 16,
+		T:         2,
+		U:         2,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 1},
+		Sim:       flow.Options{LinkBandwidth: flow.DefaultBandwidth},
+	}
+}
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postExperiment(t *testing.T, url string, req ExperimentRequest, tenant string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshaling request: %v", err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/v1/experiments", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	if tenant != "" {
+		hr.Header.Set("X-Mtier-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("POST /v1/experiments: %v", err)
+	}
+	return resp
+}
+
+// recordSha runs the record through the same fingerprint digest the
+// server puts in X-Mtier-Record-Sha256.
+func recordSha(t *testing.T, rec *obs.RunRecord) string {
+	t.Helper()
+	fp, err := rec.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprinting: %v", err)
+	}
+	sum := sha256.Sum256(fp)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestExperimentRecordParity is the core service guarantee: a record
+// served over HTTP is fingerprint-identical to the same configuration
+// run directly through the library (and hence through the mtsim CLI,
+// which shares that path).
+func TestExperimentRecordParity(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	gotSha := resp.Header.Get("X-Mtier-Record-Sha256")
+	if gotSha == "" {
+		t.Fatal("response has no X-Mtier-Record-Sha256 header")
+	}
+	var served obs.RunRecord
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatalf("decoding served record: %v", err)
+	}
+	if served.Schema != obs.RunRecordSchema {
+		t.Fatalf("served schema %q, want %q", served.Schema, obs.RunRecordSchema)
+	}
+
+	res, err := core.RunContext(context.Background(), testConfig(), nil)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	wantSha := recordSha(t, res.Record())
+	if gotSha != wantSha {
+		t.Errorf("served record sha %s != direct run sha %s", gotSha, wantSha)
+	}
+}
+
+// TestOpenRecordParity checks the open-system path the same way: the
+// daemon's record for a spec document must match core.OpenRun — the
+// exact path mtsched -record uses.
+func TestOpenRecordParity(t *testing.T) {
+	specBytes, err := os.ReadFile("../../examples/specs/mixed.yaml")
+	if err != nil {
+		t.Fatalf("reading example spec: %v", err)
+	}
+	_, hs := newTestServer(t, Options{})
+	resp, err := http.Post(hs.URL+"/v1/open?kind=torus&endpoints=64", "application/yaml", bytes.NewReader(specBytes))
+	if err != nil {
+		t.Fatalf("POST /v1/open: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	gotSha := resp.Header.Get("X-Mtier-Record-Sha256")
+
+	spec, err := workload.ParseSpec(specBytes)
+	if err != nil {
+		t.Fatalf("parsing spec: %v", err)
+	}
+	or := core.OpenRun{
+		Topo:  core.TopoSpec{Kind: core.Torus3D, Endpoints: 64},
+		Spec:  spec,
+		Alloc: sched.FirstFit,
+	}
+	cell, err := or.RunContext(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("direct open run: %v", err)
+	}
+	wantSha := recordSha(t, cell.Record(or.Config()))
+	if gotSha != wantSha {
+		t.Errorf("served open record sha %s != direct run sha %s", gotSha, wantSha)
+	}
+}
+
+// TestConcurrentSharedTopology submits identical experiments in
+// parallel: the topology must build exactly once (singleflight on the
+// content-addressed cache) and every record must fingerprint
+// identically even though the runs shared one instance.
+func TestConcurrentSharedTopology(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 8, MaxQueue: 32})
+	const n = 8
+	shas := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(ExperimentRequest{Config: testConfig()})
+			resp, err := http.Post(hs.URL+"/v1/experiments", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			shas[i] = resp.Header.Get("X-Mtier-Record-Sha256")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if shas[i] != shas[0] {
+			t.Errorf("request %d sha %s != request 0 sha %s", i, shas[i], shas[0])
+		}
+	}
+	hits, misses, _ := s.Cache().Stats()
+	if misses != 1 {
+		t.Errorf("topology built %d times, want exactly 1 (singleflight)", misses)
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", hits, n-1)
+	}
+}
+
+// blockingHook installs a test run hook that reports entry and then
+// blocks until released (or the run context dies).
+func blockingHook(s *Server) (entered chan struct{}, release func()) {
+	entered = make(chan struct{}, 64)
+	done := make(chan struct{})
+	hook := func(ctx context.Context) {
+		entered <- struct{}{}
+		select {
+		case <-done:
+		case <-ctx.Done():
+		}
+	}
+	s.testRunHook.Store(&hook)
+	var once sync.Once
+	return entered, func() { once.Do(func() { close(done) }) }
+}
+
+// TestOverloadSheds429 fills the single run slot with no queue: the
+// next submission must be refused immediately with 429 and an honest
+// Retry-After — never queued without bound.
+func TestOverloadSheds429(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 1, MaxQueue: -1})
+	entered, release := blockingHook(s)
+	defer release()
+
+	firstDone := make(chan *http.Response, 1)
+	go func() {
+		resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+		firstDone <- resp
+	}()
+	<-entered // the slot is now held
+
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submission: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+
+	release()
+	first := <-firstDone
+	defer first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Errorf("in-flight run: status %d, want 200", first.StatusCode)
+	}
+	if got := s.Registry().Counter("serve.rejected_queue").Value(); got != 1 {
+		t.Errorf("serve.rejected_queue = %d, want 1", got)
+	}
+}
+
+// TestRateLimit429 exhausts a one-token bucket with a negligible refill
+// rate: the second submission must shed with 429 + Retry-After.
+func TestRateLimit429(t *testing.T) {
+	_, hs := newTestServer(t, Options{Rate: 0.001, Burst: 1})
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submission: status %d, want 200", resp.StatusCode)
+	}
+	resp = postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submission: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("rate-limit 429 carries no Retry-After header")
+	}
+}
+
+// TestTenantQuota lets one tenant hold its whole quota while another
+// tenant still gets through — per-tenant isolation, not global refusal.
+func TestTenantQuota(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 2, TenantConcurrent: 1})
+	entered, release := blockingHook(s)
+	defer release()
+
+	aliceDone := make(chan *http.Response, 1)
+	go func() { aliceDone <- postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "alice") }()
+	<-entered // alice's quota is now exhausted
+
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "alice")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota tenant: status %d, want 429", resp.StatusCode)
+	}
+
+	bobDone := make(chan *http.Response, 1)
+	go func() { bobDone <- postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "bob") }()
+	<-entered // bob was admitted despite alice's held quota
+	release()
+
+	for _, ch := range []chan *http.Response{aliceDone, bobDone} {
+		r := <-ch
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("admitted run: status %d, want 200", r.StatusCode)
+		}
+	}
+	if got := s.Registry().Counter("serve.rejected_quota").Value(); got != 1 {
+		t.Errorf("serve.rejected_quota = %d, want 1", got)
+	}
+}
+
+// TestPanicIsolation injects a panic into the supervised section: the
+// response must be a 500 carrying the recovered stack, and the daemon
+// must keep serving — the next submission succeeds.
+func TestPanicIsolation(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	boom := func(context.Context) { panic("injected test panic") }
+	s.testRunHook.Store(&boom)
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	var doc errorDoc
+	err := json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking run: status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(doc.Error, "injected test panic") {
+		t.Errorf("error %q does not name the panic", doc.Error)
+	}
+	if doc.Stack == "" {
+		t.Error("500 body carries no goroutine stack")
+	}
+
+	s.testRunHook.Store(nil)
+	resp = postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("daemon did not survive the panic: next submission status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDrainSemantics exercises the two-stage shutdown: after BeginDrain
+// the daemon refuses new submissions with 503 and flips /readyz, while
+// the in-flight run completes normally and Shutdown returns clean.
+func TestDrainSemantics(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 1})
+	entered, release := blockingHook(s)
+	defer release()
+
+	inflight := make(chan *http.Response, 1)
+	go func() { inflight <- postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "") }()
+	<-entered
+
+	s.BeginDrain()
+	ready, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	io.Copy(io.Discard, ready.Body)
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining: status %d, want 503", ready.StatusCode)
+	}
+	refused := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	io.Copy(io.Discard, refused.Body)
+	refused.Body.Close()
+	if refused.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submission while draining: status %d, want 503", refused.StatusCode)
+	}
+
+	release()
+	resp := <-inflight
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-flight run during drain: status %d, want 200 (drain must not cancel it)", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown after drain: %v, want nil", err)
+	}
+}
+
+// TestDrainDeadlineCancels pins a run past the drain deadline: Shutdown
+// must cancel it (503 to the client) and report the forced drain.
+func TestDrainDeadlineCancels(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 1})
+	entered, release := blockingHook(s)
+	defer release() // never fires; the run only ends by cancellation
+
+	inflight := make(chan *http.Response, 1)
+	go func() { inflight <- postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "") }()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Error("Shutdown returned nil despite a pinned run, want the drain-deadline error")
+	}
+	resp := <-inflight
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("force-canceled run: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRequestDeadline expires a per-request deadline mid-run: 504.
+func TestRequestDeadline(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	wait := func(ctx context.Context) { <-ctx.Done() }
+	s.testRunHook.Store(&wait)
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig(), TimeoutS: 0.05}, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline-expired run: status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestTimeoutCap refuses a request asking for more than the server
+// maximum up front.
+func TestTimeoutCap(t *testing.T) {
+	_, hs := newTestServer(t, Options{MaxTimeout: time.Second})
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig(), TimeoutS: 30}, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap timeout_s: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClientDisconnect cancels the client mid-run: the simulation must
+// abort cooperatively (counted in serve.client_gone) without wedging a
+// run slot.
+func TestClientDisconnect(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxConcurrent: 1})
+	entered := make(chan struct{}, 1)
+	wait := func(ctx context.Context) {
+		entered <- struct{}{}
+		<-ctx.Done()
+	}
+	s.testRunHook.Store(&wait)
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(ExperimentRequest{Config: testConfig()})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/experiments", bytes.NewReader(body))
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned a response, want a client-side error")
+	}
+	// The slot must come free again: a fresh submission succeeds.
+	s.testRunHook.Store(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run slot never freed after client disconnect (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Registry().Counter("serve.client_gone").Value(); got != 1 {
+		t.Errorf("serve.client_gone = %d, want 1", got)
+	}
+}
+
+// TestStatusEndpoint sanity-checks the /v1/status document shape.
+func TestStatusEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{Rate: 100, TenantConcurrent: 4})
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "alice")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	st, err := http.Get(hs.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	defer st.Body.Close()
+	var doc statusDoc
+	if err := json.NewDecoder(st.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	if doc.Schema != StatusSchema {
+		t.Errorf("status schema %q, want %q", doc.Schema, StatusSchema)
+	}
+	if !doc.Accepting {
+		t.Error("status reports not accepting on a live server")
+	}
+	if doc.Tenants["alice"].Admitted != 1 {
+		t.Errorf("tenant alice admitted = %d, want 1", doc.Tenants["alice"].Admitted)
+	}
+	if doc.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", doc.Cache.Misses)
+	}
+}
+
+// TestObservationEndpoints smoke-tests /healthz and /metrics.
+func TestObservationEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp := postExperiment(t, hs.URL, ExperimentRequest{Config: testConfig()}, "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	hz, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	io.Copy(io.Discard, hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: status %d", hz.StatusCode)
+	}
+
+	m, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer m.Body.Close()
+	body, _ := io.ReadAll(m.Body)
+	for _, want := range []string{"mtier_serve_admitted", "mtier_serve_running", "mtier_cache_topo_misses"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+}
+
+// TestBadRequests walks the refusal paths: malformed JSON, unknown
+// fields, invalid topologies and wrong methods all answer before
+// touching admission or a run slot.
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"malformed json", http.MethodPost, "/v1/experiments", "{nope", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/experiments", `{"kind":"nestghc","bogus":1}`, http.StatusBadRequest},
+		{"invalid topology", http.MethodPost, "/v1/experiments", `{"kind":"hypercube","endpoints":64,"workload":"allreduce"}`, http.StatusBadRequest},
+		{"bad endpoints tiling", http.MethodPost, "/v1/experiments", `{"kind":"nestghc","endpoints":10,"t":2,"u":2,"workload":"allreduce"}`, http.StatusBadRequest},
+		{"negative timeout", http.MethodPost, "/v1/experiments", `{"kind":"nestghc","endpoints":16,"t":2,"u":2,"workload":"allreduce","timeout_s":-1}`, http.StatusBadRequest},
+		{"get on experiments", http.MethodGet, "/v1/experiments", "", http.StatusMethodNotAllowed},
+		{"open bad kind", http.MethodPost, "/v1/open?kind=nope&endpoints=64", "", http.StatusBadRequest},
+		{"open bad spec", http.MethodPost, "/v1/open?kind=torus&endpoints=64", "schema: wrong/schema\n", http.StatusBadRequest},
+		{"get on open", http.MethodGet, "/v1/open", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestOptionsValidate rejects the option values the CLI must refuse.
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{MaxConcurrent: -1},
+		{Rate: -1},
+		{Burst: -2},
+		{TenantConcurrent: -3},
+		{DefaultTimeout: -time.Second},
+		{MemBudgetBytes: -1},
+	}
+	for i, opt := range bad {
+		if _, err := New(opt); err == nil {
+			t.Errorf("case %d: New accepted invalid options %+v", i, opt)
+		}
+	}
+}

@@ -133,7 +133,9 @@ func main() {
 		out       = flag.String("out", "", "write the trajectory JSON to this file (default stdout)")
 		baseline  = flag.String("baseline", "", "compare against this committed trajectory and exit non-zero on regression")
 		threshold = flag.Float64("threshold", 0.15, "allowed calibrated wall-time growth per regime (0.15 = +15%)")
+		obsAddr   = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if *threshold < 0 {
 		die(fmt.Errorf("negative -threshold %g", *threshold))
@@ -142,7 +144,27 @@ func main() {
 	ctx, stopSignals := core.SignalContext(context.Background(), "mtbench", os.Stderr)
 	defer stopSignals()
 
-	traj, err := record(ctx)
+	stop, err := prof.Start()
+	if err != nil {
+		die(err)
+	}
+	defer stop()
+	var meter *obs.ProgressMeter
+	if *obsAddr != "" {
+		metrics := obs.NewRegistry()
+		srv, err := obs.NewServer(*obsAddr, metrics)
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		// A writer-less meter: the terminal keeps mtbench's per-regime
+		// lines, while /progress serves machine-readable completion.
+		meter = obs.NewProgressMeter(nil, calibrationRuns+len(regimes()))
+		srv.SetProgress(meter)
+		fmt.Fprintln(os.Stderr, "mtbench: observability endpoint on http://"+srv.Addr())
+	}
+
+	traj, err := record(ctx, meter)
 	if err != nil {
 		die(err)
 	}
@@ -185,8 +207,9 @@ func die(err error) {
 }
 
 // record runs calibration and every regime once, collecting the
-// trajectory.
-func record(ctx context.Context) (*Trajectory, error) {
+// trajectory. meter (optional) advances once per calibration run and
+// regime for /progress.
+func record(ctx context.Context, meter *obs.ProgressMeter) (*Trajectory, error) {
 	traj := &Trajectory{
 		Schema: BenchSchema,
 		Environment: Environment{
@@ -206,6 +229,7 @@ func record(ctx context.Context) (*Trajectory, error) {
 		if w := time.Since(start).Seconds(); i == 0 || w < best {
 			best = w
 		}
+		meter.Step("calibration")
 	}
 	traj.CalibrationSeconds = best
 	fmt.Fprintf(os.Stderr, "mtbench: calibration %.3fs (min of %d)\n", best, calibrationRuns)
@@ -238,6 +262,7 @@ func record(ctx context.Context) (*Trajectory, error) {
 		})
 		fmt.Fprintf(os.Stderr, "mtbench: %-22s %.3fs wall, makespan %.6fs, %d epochs\n",
 			r.name, wall, res.Result.Makespan, res.Result.Epochs)
+		meter.Step(r.name)
 	}
 	return traj, nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mtier/internal/core"
+	"mtier/internal/dispatch"
+	"mtier/internal/obs"
+)
+
+// faultDispatch runs the degradation sweep as a distributed campaign:
+// the (topology, fraction) grid is enumerated with the same
+// DegradationGrid the serial sweep executes, leased to -workers-exec
+// worker processes, and the merged journal is replayed through the
+// unchanged serial code path — so the tables and -fingerprint come from
+// literally the same code as a single-process run. Returns the process
+// exit code.
+func faultDispatch(ctx context.Context, disp *dispatch.CLIFlags, specs []core.TopoSpec,
+	fracs []float64, simW int, csv, progress bool, records string, fpr bool,
+	srv *obs.Server, metrics *obs.Registry, opt core.DegradationOptions) int {
+	grid, err := core.DegradationGrid(specs, fracs, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtfault:", err)
+		return 1
+	}
+	cfgs := make([]core.Config, len(grid))
+	for i, p := range grid {
+		cfgs[i] = p.Config
+	}
+	cells, err := dispatch.Cells(cfgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtfault:", err)
+		return 1
+	}
+
+	var meter *obs.ProgressMeter
+	if progress {
+		meter = obs.NewProgressMeter(os.Stderr, len(cells))
+	} else if srv != nil {
+		meter = obs.NewProgressMeter(nil, len(cells))
+	}
+	if srv != nil {
+		srv.SetProgress(meter)
+	}
+
+	spawn, err := dispatch.SelfSpawner([]string{"-workers", strconv.Itoa(simW)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtfault:", err)
+		return 1
+	}
+	dopt, err := disp.Options(spawn, metrics, meter, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "\nmtfault: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtfault:", err)
+		return 1
+	}
+	merged, code := dispatch.RunCampaign(ctx, "mtfault", cells, dopt)
+	meter.Finish()
+	if code != 0 {
+		return code
+	}
+	defer merged.Close()
+
+	opt.Journal = merged
+	if err := run(ctx, specs, fracs, csv, false, records, fpr, nil, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "mtfault: replaying merged campaign:", err)
+		return 1
+	}
+	return 0
+}

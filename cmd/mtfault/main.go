@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"mtier/internal/core"
+	"mtier/internal/dispatch"
 	"mtier/internal/fault"
 	"mtier/internal/flow"
 	"mtier/internal/obs"
@@ -78,11 +79,15 @@ func main() {
 		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
+	disp := dispatch.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	simW, err := core.ResolveSimWorkers("mtfault", flag.CommandLine, *workers, *simWorkers, os.Stderr)
 	if err != nil {
 		die(err)
+	}
+	if disp.WorkerMode() {
+		os.Exit(disp.RunWorkerMain("mtfault", simW))
 	}
 	w, err := workload.ParseKind(*wName)
 	if err != nil {
@@ -133,7 +138,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintln(os.Stderr, "mtfault: observability endpoint on http://"+srv.Addr())
 	}
-	err = run(ctx, specs, fracs, *csv, *progress, *records, *fpr, srv, core.DegradationOptions{
+	degOpt := core.DegradationOptions{
 		Model:     model,
 		FaultSeed: *faultSeed,
 		Clusters:  *clusters,
@@ -143,7 +148,19 @@ func main() {
 		Workers:   *cellWorkers,
 		Runner:    runner,
 		Journal:   journal,
-	})
+	}
+	if disp.WorkersExec > 0 {
+		switch {
+		case *journalPath != "" || *resumePath != "":
+			die(fmt.Errorf("-journal/-resume conflict with -workers-exec: the campaign dir's per-worker journals and merged journal replace them"))
+		case disp.Dir == "":
+			die(fmt.Errorf("-workers-exec needs -dispatch-dir for the lease ledger and per-worker journals"))
+		}
+		code := faultDispatch(ctx, disp, specs, fracs, simW, *csv, *progress, *records, *fpr, srv, metrics, degOpt)
+		stop()
+		os.Exit(code)
+	}
+	err = run(ctx, specs, fracs, *csv, *progress, *records, *fpr, srv, degOpt)
 	if journal != nil {
 		if cerr := journal.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "mtfault: closing journal:", cerr)

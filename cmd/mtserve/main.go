@@ -74,15 +74,16 @@ func main() {
 	fmt.Fprintln(os.Stderr, "mtserve: serving on http://"+srv.Addr())
 
 	// First SIGINT/SIGTERM starts the graceful drain; a second hard-exits
-	// (core.SignalContext's escalation).
+	// (core.SignalContext's escalation). The wait-then-drain-with-deadline
+	// shape is core.AwaitDrain — the same two-stage semantics the sweep
+	// CLIs and dispatch workers share.
 	ctx, stopSignals := core.SignalContext(context.Background(), "mtserve", os.Stderr)
 	defer stopSignals()
-	<-ctx.Done()
-
-	fmt.Fprintf(os.Stderr, "mtserve: draining (deadline %v)\n", *drain)
-	dctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := srv.Shutdown(dctx); err != nil {
+	err = core.AwaitDrain(ctx, *drain, func(dctx context.Context) error {
+		fmt.Fprintf(os.Stderr, "mtserve: draining (deadline %v)\n", *drain)
+		return srv.Shutdown(dctx)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mtserve: drain deadline passed; in-flight runs were canceled")
 		os.Exit(1)
 	}

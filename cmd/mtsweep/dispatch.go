@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mtier/internal/core"
+	"mtier/internal/dispatch"
+	"mtier/internal/obs"
+	"mtier/internal/workload"
+)
+
+// sweepDispatch runs the closed-system panel sweep as a distributed
+// campaign: the grid is enumerated with the same PanelGrid the serial
+// sweep executes, leased to -workers-exec worker processes, and the
+// merged journal is replayed through the unchanged serial code path —
+// every cell splices from cache — so the tables, -records and
+// -fingerprint below come from literally the same code as a
+// single-process run. Returns the process exit code.
+func sweepDispatch(ctx context.Context, disp *dispatch.CLIFlags, kinds []workload.Kind,
+	n, cellWorkers, simW int, csv, progress bool, records string, fpr bool,
+	srv *obs.Server, metrics *obs.Registry, opt core.PanelOptions) int {
+	var cfgs []core.Config
+	points := core.PaperPoints()
+	for _, w := range kinds {
+		for _, cell := range core.PanelGrid(n, points, w, opt) {
+			cfgs = append(cfgs, cell.Config)
+		}
+	}
+	cells, err := dispatch.Cells(cfgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep:", err)
+		return 1
+	}
+
+	var meter *obs.ProgressMeter
+	if progress {
+		meter = obs.NewProgressMeter(os.Stderr, len(cells))
+	} else if srv != nil {
+		meter = obs.NewProgressMeter(nil, len(cells))
+	}
+	if srv != nil {
+		srv.SetProgress(meter)
+	}
+
+	spawn, err := dispatch.SelfSpawner([]string{"-workers", strconv.Itoa(simW)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep:", err)
+		return 1
+	}
+	dopt, err := disp.Options(spawn, metrics, meter, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "\nmtsweep: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep:", err)
+		return 1
+	}
+	merged, code := dispatch.RunCampaign(ctx, "mtsweep", cells, dopt)
+	meter.Finish()
+	if code != 0 {
+		return code
+	}
+	defer merged.Close()
+
+	opt.Journal = merged
+	if err := sweep(ctx, kinds, n, cellWorkers, csv, false, records, fpr, nil, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep: replaying merged campaign:", err)
+		return 1
+	}
+	return 0
+}
+
+// verifyJournalCLI is the -journal-verify mode: walk one journal
+// standalone, report every issue with its line number and byte offset,
+// and exit nonzero when any record failed.
+func verifyJournalCLI(path string) int {
+	rep, err := core.VerifyJournal(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtsweep:", err)
+		return 1
+	}
+	fmt.Printf("journal %s: %d record(s), %d checksummed, %d issue(s), %d tail byte(s)\n",
+		rep.Path, rep.Records, rep.Checksummed, len(rep.Issues), rep.TailBytes)
+	if rep.TailBytes > 0 {
+		fmt.Println("  note: unterminated final line (crash remnant) — resuming via -resume repairs it")
+	}
+	for _, is := range rep.Issues {
+		fmt.Printf("  line %d (byte offset %d): %s\n", is.Line, is.Offset, is.Detail)
+	}
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"mtier/internal/core"
+	"mtier/internal/dispatch"
 	"mtier/internal/flow"
 	"mtier/internal/obs"
 	"mtier/internal/report"
@@ -73,13 +74,22 @@ func main() {
 		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
 		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism / resume check)")
 		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
+		jverify     = flag.String("journal-verify", "", "verify this sweep journal standalone (schema, per-record sha256, crash tail) and exit; no sweep runs")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
+	disp := dispatch.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *jverify != "" {
+		os.Exit(verifyJournalCLI(*jverify))
+	}
 
 	simW, err := core.ResolveSimWorkers("mtsweep", flag.CommandLine, *workers, *simWorkers, os.Stderr)
 	if err != nil {
 		die(err)
+	}
+	if disp.WorkerMode() {
+		os.Exit(disp.RunWorkerMain("mtsweep", simW))
 	}
 
 	var kinds []workload.Kind
@@ -163,6 +173,19 @@ func main() {
 		Sim:      flow.Options{RelEpsilon: *eps, ExactRecompute: *exact, Workers: simW, Metrics: metrics},
 		Runner:   runner,
 		Journal:  journal,
+	}
+	if disp.WorkersExec > 0 {
+		switch {
+		case spec != nil:
+			die(fmt.Errorf("-workers-exec does not support -spec campaigns yet"))
+		case *journalPath != "" || *resumePath != "":
+			die(fmt.Errorf("-journal/-resume conflict with -workers-exec: the campaign dir's per-worker journals and merged journal replace them"))
+		case disp.Dir == "":
+			die(fmt.Errorf("-workers-exec needs -dispatch-dir for the lease ledger and per-worker journals"))
+		}
+		code := sweepDispatch(ctx, disp, kinds, *n, *cellWorkers, simW, *csv, *progress, *records, *fpr, srv, metrics, panelOpt)
+		stop()
+		os.Exit(code)
 	}
 	if spec != nil {
 		err = sweepSpec(ctx, spec, *n, alloc, *shared, *csv, *progress, *records, *fpr, srv, panelOpt)

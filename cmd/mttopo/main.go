@@ -33,9 +33,20 @@ func main() {
 		uFlag   = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
 		workers = flag.Int("workers", 0, "worker threads for builds and distance measurement; exhaustive results are identical for every value, sampled estimates are a function of (seed, workers) (0 = NumCPU, 1 = serial)")
 		csv     = flag.Bool("csv", false, "emit CSV")
+		obsAddr = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mttopo:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "mttopo: observability endpoint on http://"+srv.Addr())
+	}
 
 	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *workers, *seed, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "mttopo:", err)

@@ -238,6 +238,43 @@ type PanelOptions struct {
 // front).
 func PanelCells(set *TopoSet) int { return 2*len(set.Points) + 2 }
 
+// PanelCell is one enumerated cell of a workload panel: its position in
+// the design grid and the fully assembled simulation config — the unit a
+// distributed dispatcher leases, a worker runs, and CellKey identifies.
+type PanelCell struct {
+	Kind   TopoKind
+	Pt     Point
+	Config Config
+}
+
+// PanelGrid enumerates the cells of one workload panel in canonical
+// order — the order PanelContext runs (and a merged distributed campaign
+// splices) them: both hybrid series across the design points, then the
+// fattree and torus references. The configs are exactly those
+// PanelContext submits, so CellKey over a grid cell matches the journal
+// key the in-process sweep writes; a coordinator can therefore enumerate
+// a campaign without building a single topology.
+func PanelGrid(endpoints int, points []Point, w workload.Kind, opt PanelOptions) []PanelCell {
+	var cells []PanelCell
+	for _, pt := range points {
+		cells = append(cells, PanelCell{Kind: NestGHC, Pt: pt}, PanelCell{Kind: NestTree, Pt: pt})
+	}
+	cells = append(cells, PanelCell{Kind: Fattree}, PanelCell{Kind: Torus3D})
+	for i := range cells {
+		c := &cells[i]
+		c.Config = Config{
+			Kind:      c.Kind,
+			Endpoints: endpoints,
+			T:         c.Pt.T,
+			U:         c.Pt.U,
+			Workload:  w,
+			Params:    workload.Params{Tasks: opt.Tasks, Seed: opt.Seed, MsgBytes: opt.MsgBytes},
+			Sim:       opt.Sim,
+		}
+	}
+	return cells
+}
+
 // Panel runs one workload over every topology of the set and returns the
 // figure panel: normalised execution time (fattree = 1) per (t,u) point,
 // with one series per topology family.
@@ -251,39 +288,22 @@ func Panel(set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, err
 // partially failed panel can be resumed without re-simulating its
 // completed cells.
 func PanelContext(ctx context.Context, set *TopoSet, w workload.Kind, opt PanelOptions) (*report.Figure, error) {
-	type cell struct {
-		kind TopoKind
-		pt   Point
-	}
-	var cells []cell
-	for _, pt := range set.Points {
-		cells = append(cells, cell{NestGHC, pt}, cell{NestTree, pt})
-	}
-	cells = append(cells, cell{Fattree, Point{}}, cell{Torus3D, Point{}})
+	cells := PanelGrid(set.Endpoints, set.Points, w, opt)
 
 	makespans := make([]float64, len(cells))
 	err := runCells(ctx, len(cells), opt.Workers, opt.Runner, func(ctx context.Context, i int) error {
 		c := cells[i]
-		cfg := Config{
-			Kind:      c.kind,
-			Endpoints: set.Endpoints,
-			T:         c.pt.T,
-			U:         c.pt.U,
-			Workload:  w,
-			Params:    workload.Params{Tasks: opt.Tasks, Seed: opt.Seed, MsgBytes: opt.MsgBytes},
-			Sim:       opt.Sim,
-		}
-		top, ok := set.Lookup(c.kind, c.pt)
+		top, ok := set.Lookup(c.Kind, c.Pt)
 		if !ok {
-			return fmt.Errorf("core: topology set has no %s %s instance", c.kind, c.pt.Label())
+			return fmt.Errorf("core: topology set has no %s %s instance", c.Kind, c.Pt.Label())
 		}
-		res, cached, err := runCellJournaled(ctx, opt.Journal, cfg, top)
+		res, cached, err := runCellJournaled(ctx, opt.Journal, c.Config, top)
 		if err != nil {
 			return err
 		}
 		makespans[i] = res.Result.Makespan
 		if opt.OnCell != nil {
-			opt.OnCell(c.kind, c.pt, res, cached)
+			opt.OnCell(c.Kind, c.Pt, res, cached)
 		}
 		return nil
 	})
@@ -296,7 +316,7 @@ func PanelContext(ctx context.Context, set *TopoSet, w workload.Kind, opt PanelO
 	}
 	fig := report.NewFigure(string(w), "(t, u)", "Norm. execution time")
 	for i, c := range cells[:len(cells)-2] {
-		fig.Add(string(kindLegend(c.kind)), c.pt.Label(), makespans[i]/base)
+		fig.Add(string(kindLegend(c.Kind)), c.Pt.Label(), makespans[i]/base)
 	}
 	// Flat reference series, one value per x position, as in the paper.
 	for _, pt := range set.Points {

@@ -3,12 +3,15 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 
+	"mtier/internal/obs"
 	"mtier/internal/topo"
 )
 
@@ -21,10 +24,14 @@ const JournalSchema = "mtier/sweep-journal/v1"
 // deterministic key and its full result. The result round-trips through
 // JSON exactly (encoding/json preserves float64 bit patterns), so a
 // record spliced into a resumed sweep reproduces the original run record
-// fingerprint byte for byte.
+// fingerprint byte for byte. Sum is the hex sha256 of the result's
+// canonical JSON — an end-to-end integrity checksum over the payload,
+// verified on every open and by VerifyJournal; records written before
+// the field existed omit it and load checksum-unverified.
 type JournalRecord struct {
 	Schema string     `json:"schema"`
 	Key    string     `json:"key"`
+	Sum    string     `json:"sum,omitempty"`
 	Result *RunResult `json:"result"`
 }
 
@@ -33,13 +40,28 @@ type JournalRecord struct {
 // point, workload, seed, simulator options and fault spec — everything
 // that determines the result). Two processes given the same flags derive
 // the same keys, which is what lets a resumed sweep recognise the cells
-// a previous run already completed.
+// a previous run already completed — and what lets distributed workers
+// lease, re-run and merge cells idempotently.
 func CellKey(cfg Config) (string, error) {
 	key, err := canonicalKey(cfg)
 	if err != nil {
 		return "", fmt.Errorf("core: keying cell config: %w", err)
 	}
 	return key, nil
+}
+
+// resultSum computes a record's integrity checksum: the hex sha256 of the
+// result's canonical JSON form. Unmarshal followed by Marshal reproduces
+// the original bytes (struct fields emit in declaration order, float64s
+// round-trip exactly), so the sum re-verifies after any number of
+// load/append cycles.
+func resultSum(res *RunResult) (string, error) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Journal is a durable checkpoint log for sweeps: each completed cell is
@@ -70,44 +92,101 @@ func CreateJournal(path string) (*Journal, error) {
 	return &Journal{f: f, path: path, cache: make(map[string]*RunResult)}, nil
 }
 
+// journalEntry is one parsed line of a journal file with its provenance,
+// so corruption reports can point at the offending line and byte offset.
+type journalEntry struct {
+	Line   int // 1-based line number
+	Offset int // byte offset of the line's first byte
+	Rec    JournalRecord
+}
+
+// scanJournal walks a journal image line by line, reporting each complete
+// record through fn with its line number and byte offset. It returns the
+// byte offset just past the last durable (newline-terminated) line; an
+// unterminated tail — the remnant of a crash mid-append — is not handed
+// to fn. fn returning an error stops the walk.
+func scanJournal(data []byte, fn func(e *journalEntry, raw []byte) error) (valid int, err error) {
+	line := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: each record is written and fsync'd as a
+			// single line, so this is the remnant of a crash mid-append.
+			break
+		}
+		line++
+		raw := bytes.TrimSpace(data[off : off+nl])
+		start := off
+		off += nl + 1
+		if len(raw) == 0 {
+			valid = off
+			continue
+		}
+		e := &journalEntry{Line: line, Offset: start}
+		if err := fn(e, raw); err != nil {
+			return valid, err
+		}
+		valid = off
+	}
+	return valid, nil
+}
+
+// parseJournalRecord decodes and structurally validates one journal line.
+func parseJournalRecord(raw []byte, e *journalEntry, path string) error {
+	if err := json.Unmarshal(raw, &e.Rec); err != nil {
+		return fmt.Errorf("core: journal %s: corrupt record at line %d (byte offset %d): %v", path, e.Line, e.Offset, err)
+	}
+	if e.Rec.Schema != JournalSchema || e.Rec.Key == "" || e.Rec.Result == nil {
+		return fmt.Errorf("core: journal %s: record at line %d (byte offset %d) has schema %q (want %q) or a missing key/result",
+			path, e.Line, e.Offset, e.Rec.Schema, JournalSchema)
+	}
+	return nil
+}
+
+// checkRecordSum re-derives a record's integrity checksum and compares it
+// to the stored one. Records without a sum (written before the field
+// existed) pass unverified.
+func checkRecordSum(e *journalEntry, path string) error {
+	if e.Rec.Sum == "" {
+		return nil
+	}
+	sum, err := resultSum(e.Rec.Result)
+	if err != nil {
+		return fmt.Errorf("core: journal %s: re-hashing record at line %d: %v", path, e.Line, err)
+	}
+	if sum != e.Rec.Sum {
+		return fmt.Errorf("core: journal %s: checksum mismatch at line %d (byte offset %d): record says sha256 %.12s…, payload hashes to %.12s…",
+			path, e.Line, e.Offset, e.Rec.Sum, sum)
+	}
+	return nil
+}
+
 // OpenJournal loads an existing journal for resumption: every complete
 // record populates the cache, and the file is reopened for appending so
 // the resumed sweep extends the same journal. A partial final line — the
 // remnant of a crash mid-append — is discarded and truncated away;
-// corruption anywhere earlier is an error, since silently dropping
-// interior records would resurrect already-completed work.
+// corruption anywhere earlier (malformed JSON, a wrong schema, or a
+// record whose payload no longer hashes to its stored checksum) is an
+// error naming the offending line and byte offset, since silently
+// dropping interior records would resurrect already-completed work.
 func OpenJournal(path string) (*Journal, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading journal: %w", err)
 	}
 	cache := make(map[string]*RunResult)
-	valid := 0 // byte offset just past the last durable (newline-terminated) record
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// Unterminated tail: each record is written and fsync'd as a
-			// single line, so this is the remnant of a crash mid-append.
-			// Drop it and resume from the last durable record.
-			break
+	valid, err := scanJournal(data, func(e *journalEntry, raw []byte) error {
+		if err := parseJournalRecord(raw, e, path); err != nil {
+			return err
 		}
-		line := bytes.TrimSpace(data[off : off+nl])
-		start := off
-		off += nl + 1
-		if len(line) == 0 {
-			valid = off
-			continue
+		if err := checkRecordSum(e, path); err != nil {
+			return err
 		}
-		var rec JournalRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("core: journal %s: corrupt record at byte %d: %v", path, start, err)
-		}
-		if rec.Schema != JournalSchema || rec.Key == "" || rec.Result == nil {
-			return nil, fmt.Errorf("core: journal %s: record at byte %d has schema %q (want %q) or a missing key/result",
-				path, start, rec.Schema, JournalSchema)
-		}
-		cache[rec.Key] = rec.Result
-		valid = off
+		cache[e.Rec.Key] = e.Rec.Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
@@ -122,6 +201,33 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("core: seeking journal: %w", err)
 	}
 	return &Journal{f: f, path: path, cache: cache}, nil
+}
+
+// ReadJournal loads a journal read-only: complete records are returned
+// keyed by cell key, an unterminated tail is ignored (the file is not
+// modified, unlike OpenJournal's repair), and interior corruption is an
+// error with line and byte offset. Duplicate keys keep the latest record,
+// matching the append-wins semantics of the in-memory cache.
+func ReadJournal(path string) (map[string]*RunResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading journal: %w", err)
+	}
+	cache := make(map[string]*RunResult)
+	_, err = scanJournal(data, func(e *journalEntry, raw []byte) error {
+		if err := parseJournalRecord(raw, e, path); err != nil {
+			return err
+		}
+		if err := checkRecordSum(e, path); err != nil {
+			return err
+		}
+		cache[e.Rec.Key] = e.Rec.Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cache, nil
 }
 
 // Path returns the journal's file path (for resume hints).
@@ -143,11 +249,16 @@ func (j *Journal) Cached(key string) (*RunResult, bool) {
 }
 
 // Append durably records one completed cell: the record is written as a
-// single line and fsync'd before Append returns, so a completed cell
-// survives any subsequent crash. The result also enters the in-memory
-// cache, making Append idempotent across a sweep's lifetime.
+// single line — carrying the sha256 of its result payload — and fsync'd
+// before Append returns, so a completed cell survives any subsequent
+// crash. The result also enters the in-memory cache, making Append
+// idempotent across a sweep's lifetime.
 func (j *Journal) Append(key string, res *RunResult) error {
-	line, err := json.Marshal(JournalRecord{Schema: JournalSchema, Key: key, Result: res})
+	sum, err := resultSum(res)
+	if err != nil {
+		return fmt.Errorf("core: hashing journal record: %w", err)
+	}
+	line, err := json.Marshal(JournalRecord{Schema: JournalSchema, Key: key, Sum: sum, Result: res})
 	if err != nil {
 		return fmt.Errorf("core: marshaling journal record: %w", err)
 	}
@@ -181,6 +292,149 @@ func (j *Journal) Close() error {
 	}
 	j.f = nil
 	return err
+}
+
+// JournalIssue is one problem VerifyJournal found, anchored to the line
+// and byte offset it occurred at.
+type JournalIssue struct {
+	Line   int    `json:"line"`
+	Offset int    `json:"offset"`
+	Key    string `json:"key,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// JournalReport summarises a standalone journal verification.
+type JournalReport struct {
+	Path string `json:"path"`
+	// Records is the number of structurally valid records.
+	Records int `json:"records"`
+	// Checksummed counts records that carried a sum and re-verified; the
+	// difference Records-Checksummed are legacy records without one.
+	Checksummed int `json:"checksummed"`
+	// TailBytes is the length of an unterminated final line (a crash
+	// remnant OpenJournal would repair), 0 for a cleanly terminated file.
+	TailBytes int `json:"tail_bytes,omitempty"`
+	// Issues lists every corrupt, mis-schema'd or checksum-mismatched
+	// record. Unlike OpenJournal, verification keeps walking past them so
+	// one bad line does not hide the rest.
+	Issues []JournalIssue `json:"issues,omitempty"`
+}
+
+// Clean reports whether the journal verified without issues.
+func (r *JournalReport) Clean() bool { return len(r.Issues) == 0 }
+
+// VerifyJournal walks a journal standalone — without running or resuming
+// any sweep — and checks every record: JSON well-formedness, schema,
+// key/result presence, and the per-record sha256 of the result payload.
+// Unlike OpenJournal it does not stop at the first problem and never
+// modifies the file; the report lists every issue with its line number
+// and byte offset. The error return is reserved for I/O failures —
+// corruption is reported, not returned.
+func VerifyJournal(path string) (*JournalReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading journal: %w", err)
+	}
+	rep := &JournalReport{Path: path}
+	valid, _ := scanJournal(data, func(e *journalEntry, raw []byte) error {
+		if err := parseJournalRecord(raw, e, path); err != nil {
+			rep.Issues = append(rep.Issues, JournalIssue{Line: e.Line, Offset: e.Offset, Detail: err.Error()})
+			return nil
+		}
+		rep.Records++
+		if e.Rec.Sum == "" {
+			return nil
+		}
+		if err := checkRecordSum(e, path); err != nil {
+			rep.Issues = append(rep.Issues, JournalIssue{Line: e.Line, Offset: e.Offset, Key: e.Rec.Key, Detail: err.Error()})
+			return nil
+		}
+		rep.Checksummed++
+		return nil
+	})
+	rep.TailBytes = len(data) - valid
+	return rep, nil
+}
+
+// MergeReport summarises a MergeJournals splice.
+type MergeReport struct {
+	// Records is the number of cells written to the merged journal.
+	Records int
+	// Duplicates counts cells completed by more than one source journal —
+	// the fingerprint-verified fallout of lease reclaims that re-ran a
+	// cell whose original worker had already (or concurrently) finished
+	// it.
+	Duplicates int
+	// Missing lists the requested keys no source journal held, in order.
+	Missing []string
+}
+
+// MergeJournals splices per-worker journals into one canonical journal:
+// every source is loaded (tolerating crash-truncated tails), cells are
+// written to dst in the exact order of keys — the canonical cell order
+// of the campaign — and the result is a journal any single-process sweep
+// can resume from.
+//
+// The merge is verifying: when two sources both completed a cell (a
+// reclaimed lease whose original worker also finished), their run-record
+// fingerprints — timing- and environment-stripped — must be
+// byte-identical. Any divergence is an error, not a warning: cells are
+// deterministic functions of their keyed configuration, so two honest
+// executions cannot disagree, and a disagreement means the distributed
+// campaign must not be reported as equivalent to a serial run.
+func MergeJournals(dst string, keys []string, srcs []string) (*Journal, *MergeReport, error) {
+	merged := make(map[string]*RunResult)
+	fps := make(map[string][]byte)
+	rep := &MergeReport{}
+	for _, src := range srcs {
+		cells, err := ReadJournal(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		for key, res := range cells {
+			fp, err := ResultFingerprint(res)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: fingerprinting %s from %s: %w", key, src, err)
+			}
+			if prev, ok := fps[key]; ok {
+				rep.Duplicates++
+				if !bytes.Equal(prev, fp) {
+					return nil, nil, fmt.Errorf("core: merge divergence on cell %.12s…: %s disagrees with an earlier journal — the distributed run is not bit-identical and must not be reported as such", key, src)
+				}
+				continue
+			}
+			merged[key] = res
+			fps[key] = fp
+		}
+	}
+	j, err := CreateJournal(dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, key := range keys {
+		res, ok := merged[key]
+		if !ok {
+			rep.Missing = append(rep.Missing, key)
+			continue
+		}
+		if err := j.Append(key, res); err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		rep.Records++
+	}
+	return j, rep, nil
+}
+
+// ResultFingerprint renders a result's run record with timings and
+// environment stripped — the form in which two executions of the same
+// cell, on different worker processes or machines, must agree byte for
+// byte. MergeJournals compares duplicate completions with it and the
+// dispatch coordinator's serial-oracle verification re-derives it.
+func ResultFingerprint(res *RunResult) ([]byte, error) {
+	rec := res.Record()
+	rec.Env = obs.Environment{}
+	return rec.Fingerprint()
 }
 
 // runCellJournaled executes one sweep cell through the journal: a cell

@@ -70,6 +70,80 @@ type DegradationReport struct {
 	Series    [][]DegradationCell // indexed [spec][fraction]
 }
 
+// DegradationPoint is one enumerated cell of a degradation sweep: its
+// grid coordinates and the fully assembled simulation config, in the
+// same shape PanelCell gives figure sweeps — the unit a distributed
+// dispatcher leases and CellKey identifies.
+type DegradationPoint struct {
+	Spec     TopoSpec
+	Fraction float64
+	Config   Config
+}
+
+// NormalizeFractions validates and canonicalises a fraction list the way
+// DegradationSweep does: sorted ascending, the pristine baseline 0
+// prepended when absent, duplicates and out-of-range values rejected.
+func NormalizeFractions(fractions []float64) ([]float64, error) {
+	fracs := append([]float64(nil), fractions...)
+	sort.Float64s(fracs)
+	if len(fracs) == 0 || fracs[0] != 0 {
+		fracs = append([]float64{0}, fracs...)
+	}
+	for i, f := range fracs {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return nil, fmt.Errorf("core: fault fraction %g out of [0, 1]", f)
+		}
+		if i > 0 && f == fracs[i-1] {
+			return nil, fmt.Errorf("core: duplicate fault fraction %g", f)
+		}
+	}
+	return fracs, nil
+}
+
+// DegradationGrid enumerates the cells of a degradation sweep in
+// canonical order — specs outermost, fractions ascending within each —
+// with configs exactly matching what DegradationSweepContext submits, so
+// CellKey over a grid point matches the journal key the in-process sweep
+// writes.
+func DegradationGrid(specs []TopoSpec, fractions []float64, opt DegradationOptions) ([]DegradationPoint, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: degradation sweep needs at least one topology")
+	}
+	model := opt.Model
+	if model == "" {
+		model = fault.Random
+	}
+	fracs, err := NormalizeFractions(fractions)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]DegradationPoint, 0, len(specs)*len(fracs))
+	for _, spec := range specs {
+		for _, frac := range fracs {
+			cfg := Config{
+				Kind:      spec.Kind,
+				Endpoints: spec.Endpoints,
+				T:         spec.T,
+				U:         spec.U,
+				Workload:  opt.Workload,
+				Params:    opt.Params,
+				Placement: opt.Placement,
+				Sim:       opt.Sim,
+			}
+			if frac > 0 {
+				cfg.Faults = &fault.Spec{
+					Model:        model,
+					LinkFraction: frac,
+					Seed:         opt.FaultSeed,
+					Clusters:     opt.Clusters,
+				}
+			}
+			cells = append(cells, DegradationPoint{Spec: spec, Fraction: frac, Config: cfg})
+		}
+	}
+	return cells, nil
+}
+
 // DegradationSweep runs the workload over every (topology, fraction)
 // cell and reports how each fabric degrades. Fraction 0 (the pristine
 // baseline every cell normalises against) is added when absent; the
@@ -88,31 +162,19 @@ func DegradationSweep(specs []TopoSpec, fractions []float64, opt DegradationOpti
 // own cell, and — with opt.Journal set — completed cells are durably
 // checkpointed so an interrupted sweep resumes without re-simulating.
 func DegradationSweepContext(ctx context.Context, specs []TopoSpec, fractions []float64, opt DegradationOptions) (*DegradationReport, error) {
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("core: degradation sweep needs at least one topology")
+	cells, err := DegradationGrid(specs, fractions, opt)
+	if err != nil {
+		return nil, err
 	}
-	model := opt.Model
-	if model == "" {
-		model = fault.Random
-	}
-	fracs := append([]float64(nil), fractions...)
-	sort.Float64s(fracs)
-	if len(fracs) == 0 || fracs[0] != 0 {
-		fracs = append([]float64{0}, fracs...)
-	}
-	for i, f := range fracs {
-		if f < 0 || f > 1 || math.IsNaN(f) {
-			return nil, fmt.Errorf("core: fault fraction %g out of [0, 1]", f)
-		}
-		if i > 0 && f == fracs[i-1] {
-			return nil, fmt.Errorf("core: duplicate fault fraction %g", f)
-		}
+	fracs := make([]float64, 0, len(cells)/len(specs))
+	for _, c := range cells[:len(cells)/len(specs)] {
+		fracs = append(fracs, c.Fraction)
 	}
 
 	// Build each topology once; its cells share the instance (Run wraps
 	// it per cell, so the bare topology is never mutated).
 	tops := make([]topo.Topology, len(specs))
-	err := runCells(ctx, len(specs), opt.Workers, RunnerOptions{}, func(_ context.Context, i int) error {
+	err = runCells(ctx, len(specs), opt.Workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		t, err := Build(specs[i])
 		if err != nil {
 			return fmt.Errorf("core: building %s: %w", specs[i].Kind, err)
@@ -128,28 +190,10 @@ func DegradationSweepContext(ctx context.Context, specs []TopoSpec, fractions []
 	for i := range rep.Series {
 		rep.Series[i] = make([]DegradationCell, len(fracs))
 	}
-	err = runCells(ctx, len(specs)*len(fracs), opt.Workers, opt.Runner, func(ctx context.Context, c int) error {
+	err = runCells(ctx, len(cells), opt.Workers, opt.Runner, func(ctx context.Context, c int) error {
 		si, fi := c/len(fracs), c%len(fracs)
-		spec, frac := specs[si], fracs[fi]
-		cfg := Config{
-			Kind:      spec.Kind,
-			Endpoints: spec.Endpoints,
-			T:         spec.T,
-			U:         spec.U,
-			Workload:  opt.Workload,
-			Params:    opt.Params,
-			Placement: opt.Placement,
-			Sim:       opt.Sim,
-		}
-		if frac > 0 {
-			cfg.Faults = &fault.Spec{
-				Model:        model,
-				LinkFraction: frac,
-				Seed:         opt.FaultSeed,
-				Clusters:     opt.Clusters,
-			}
-		}
-		res, cached, err := runCellJournaled(ctx, opt.Journal, cfg, tops[si])
+		spec, frac := cells[c].Spec, cells[c].Fraction
+		res, cached, err := runCellJournaled(ctx, opt.Journal, cells[c].Config, tops[si])
 		if err != nil {
 			return fmt.Errorf("core: %s at fault fraction %g: %w", spec.Kind, frac, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 )
 
 // SignalExitCode is the conventional exit status of a run terminated by
@@ -51,4 +52,20 @@ func SignalContext(parent context.Context, prog string, w io.Writer) (context.Co
 		cancel()
 	}
 	return ctx, stop
+}
+
+// AwaitDrain completes the two-stage shutdown every long-lived process of
+// the module shares: it blocks until ctx is canceled — the first signal
+// stage from SignalContext, or a natural end of work — then runs drain
+// under its own fresh deadline so the graceful stage cannot hang forever.
+// mtserve drains its in-flight HTTP runs through it and the distributed
+// sweep coordinator drains its worker processes through it; a second
+// signal during the drain still hard-exits via SignalContext's escalation.
+// Returns drain's error; a context.DeadlineExceeded-wrapping error means
+// the deadline forced the drain to cut work short.
+func AwaitDrain(ctx context.Context, timeout time.Duration, drain func(context.Context) error) error {
+	<-ctx.Done()
+	dctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return drain(dctx)
 }

@@ -1,0 +1,366 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mtier/internal/core"
+	"mtier/internal/workload"
+)
+
+// TestMain doubles as the worker binary: the coordinator tests re-exec
+// the test executable with MTIER_TEST_WORKER set, and this intercept
+// runs the worker protocol loop instead of the test suite — the same
+// technique the CLIs use with their -worker flag, without needing a
+// built CLI on the test host.
+func TestMain(m *testing.M) {
+	if os.Getenv("MTIER_TEST_WORKER") == "1" {
+		id, _ := strconv.Atoi(os.Getenv("MTIER_TEST_WORKER_ID"))
+		os.Exit(WorkerMain(WorkerOptions{
+			ID:          id,
+			JournalPath: os.Getenv("MTIER_TEST_WORKER_JOURNAL"),
+			Heartbeat:   50 * time.Millisecond,
+			Prog:        fmt.Sprintf("testworker[%d]", id),
+		}))
+	}
+	os.Exit(m.Run())
+}
+
+// testSpawner re-execs the test binary in worker mode. extraEnv carries
+// the crash-injection hooks a test wants its workers to honor.
+func testSpawner(t *testing.T, extraEnv ...string) Spawner {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(worker int, journalPath string) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"MTIER_TEST_WORKER=1",
+			"MTIER_TEST_WORKER_ID="+strconv.Itoa(worker),
+			"MTIER_TEST_WORKER_JOURNAL="+journalPath,
+		)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+// testCells is the miniature campaign grid: four torus cells differing
+// only by seed, plus one nestghc cell whose label ("allreduce/nestghc…")
+// is the unique substring the crash hooks target.
+func testCells(t *testing.T) []Cell {
+	t.Helper()
+	cfgs := make([]core.Config, 0, 5)
+	for s := int64(1); s <= 4; s++ {
+		cfgs = append(cfgs, core.Config{
+			Kind: core.Torus3D, Endpoints: 64,
+			Workload: workload.AllReduce, Params: workload.Params{Seed: s},
+		})
+	}
+	cfgs = append(cfgs, core.Config{
+		Kind: core.NestGHC, Endpoints: 64, T: 2, U: 4,
+		Workload: workload.AllReduce, Params: workload.Params{Seed: 1},
+	})
+	cells, err := Cells(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// serialFingerprints runs every cell in this process — the oracle a
+// distributed campaign must match bit-for-bit.
+func serialFingerprints(t *testing.T, cells []Cell) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(cells))
+	for _, c := range cells {
+		res := runSerial(t, c.Config)
+		fp, err := core.ResultFingerprint(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[c.Key] = fp
+	}
+	return out
+}
+
+func runSerial(t *testing.T, cfg core.Config) *core.RunResult {
+	t.Helper()
+	spec := core.TopoSpec{Kind: cfg.Kind, Endpoints: cfg.Endpoints}
+	switch cfg.Kind {
+	case core.NestTree, core.NestGHC:
+		spec.T, spec.U = cfg.T, cfg.U
+	}
+	top, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunContext(context.Background(), cfg, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertMergedIdentical opens the campaign's merged journal and checks
+// every cell's environment- and timing-stripped fingerprint against the
+// serial oracle — the acceptance bar for every recovery path.
+func assertMergedIdentical(t *testing.T, rep *Report, cells []Cell, want map[string][]byte) {
+	t.Helper()
+	j, err := core.OpenJournal(rep.MergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != len(cells) {
+		t.Fatalf("merged journal holds %d cells, want %d", j.Len(), len(cells))
+	}
+	for _, c := range cells {
+		res, ok := j.Cached(c.Key)
+		if !ok {
+			t.Fatalf("merged journal is missing cell %.12s…", c.Key)
+		}
+		fp, err := core.ResultFingerprint(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fp, want[c.Key]) {
+			t.Errorf("cell %.12s…: distributed fingerprint differs from the serial oracle", c.Key)
+		}
+	}
+}
+
+func testOptions(t *testing.T, dir string, workers int, extraEnv ...string) Options {
+	return Options{
+		Dir:        dir,
+		Workers:    workers,
+		LeaseTTL:   10 * time.Second,
+		DrainGrace: 2 * time.Second,
+		Verify:     VerifyOff,
+		Spawn:      testSpawner(t, extraEnv...),
+		Logf:       t.Logf,
+	}
+}
+
+// TestCampaignBitIdentical: the clean path — a multi-process campaign
+// must produce a merged journal bit-identical to running every cell in
+// one process, and the built-in full serial-oracle verification must
+// agree.
+func TestCampaignBitIdentical(t *testing.T) {
+	cells := testCells(t)
+	want := serialFingerprints(t, cells)
+	opt := testOptions(t, filepath.Join(t.TempDir(), "camp"), 2)
+	opt.Verify = VerifyFull
+	rep, err := Run(context.Background(), cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(cells) || len(rep.Poisoned) != 0 {
+		t.Fatalf("campaign completed %d/%d with %d poisoned", rep.Completed, rep.Cells, len(rep.Poisoned))
+	}
+	if rep.Verified != len(cells) {
+		t.Errorf("full verification re-derived %d cells, want %d", rep.Verified, len(cells))
+	}
+	if rep.Spawned != 2 {
+		t.Errorf("clean campaign spawned %d workers, want 2", rep.Spawned)
+	}
+	assertMergedIdentical(t, rep, cells, want)
+	if code := PrintReport(os.Stderr, "test", rep); code != 0 {
+		t.Errorf("clean campaign reported exit code %d", code)
+	}
+}
+
+// TestCampaignWorkerCrashRecovery is the worker half of the kill
+// matrix: a worker dies abruptly (os.Exit with no shutdown — the
+// SIGKILL-equivalent the EnvExitCell hook injects; CI's dist-smoke job
+// does it with a literal kill -9) while holding a lease. The
+// coordinator must observe the exit, reclaim the lease, respawn, and
+// finish with a merged journal bit-identical to the serial oracle.
+func TestCampaignWorkerCrashRecovery(t *testing.T) {
+	cells := testCells(t)
+	want := serialFingerprints(t, cells)
+	dir := filepath.Join(t.TempDir(), "camp")
+	opt := testOptions(t, dir, 2,
+		EnvExitCell+"=nestghc",
+		EnvOnce+"="+filepath.Join(t.TempDir(), "fired"),
+	)
+	rep, err := Run(context.Background(), cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Poisoned) != 0 {
+		t.Fatalf("recoverable crash was poisoned: %+v", rep.Poisoned)
+	}
+	if rep.Completed != len(cells) {
+		t.Fatalf("campaign completed %d/%d", rep.Completed, rep.Cells)
+	}
+	if rep.Reclaimed < 1 {
+		t.Errorf("no lease was reclaimed despite a worker crash")
+	}
+	if rep.Spawned < 3 {
+		t.Errorf("spawned %d workers, want at least 3 (2 initial + 1 respawn)", rep.Spawned)
+	}
+	assertMergedIdentical(t, rep, cells, want)
+}
+
+// TestCampaignCoordinatorResume is the coordinator half of the kill
+// matrix: the campaign directory is left exactly as a coordinator
+// killed mid-run leaves it — a worker journal holding finished cells,
+// and a ledger whose last lease never completed (the worker had
+// journaled the result but the coordinator died before recording it).
+// A fresh Run over the same directory must trust the journals, resume
+// without re-simulating, and finish bit-identical to the oracle.
+func TestCampaignCoordinatorResume(t *testing.T) {
+	cells := testCells(t)
+	want := serialFingerprints(t, cells)
+	dir := filepath.Join(t.TempDir(), "camp")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, err := core.CreateJournal(filepath.Join(dir, "worker-0001.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells[:2] {
+		if err := j.Append(c.Key, runSerial(t, c.Config)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := OpenLedger(filepath.Join(dir, "ledger.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []Record{
+		{Op: OpLease, Key: cells[0].Key, Worker: 1},
+		{Op: OpComplete, Key: cells[0].Key, Worker: 1},
+		{Op: OpLease, Key: cells[1].Key, Worker: 1}, // completion never ledgered
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(context.Background(), cells, testOptions(t, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 2 {
+		t.Errorf("resumed %d cells from prior journals, want 2", rep.Resumed)
+	}
+	if rep.Completed != len(cells) || len(rep.Poisoned) != 0 {
+		t.Fatalf("resumed campaign completed %d/%d with %d poisoned", rep.Completed, rep.Cells, len(rep.Poisoned))
+	}
+	assertMergedIdentical(t, rep, cells, want)
+	// The dead incarnation's journal must be untouched and new workers
+	// must take fresh incarnation numbers, not overwrite it.
+	prior, err := core.ReadJournal(filepath.Join(dir, "worker-0001.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 2 {
+		t.Errorf("prior worker journal now holds %d cells, want its original 2", len(prior))
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "worker-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journals) < 2 {
+		t.Errorf("resume reused the dead worker's journal: %v", journals)
+	}
+}
+
+// TestCampaignPoisonQuarantine: a cell that deterministically panics
+// must strike out PoisonAfter distinct worker incarnations, be
+// quarantined with its recovered stack, and leave the rest of the
+// campaign to finish — the coordinator reports failure, it does not
+// abort the surviving grid.
+func TestCampaignPoisonQuarantine(t *testing.T) {
+	cells := testCells(t)
+	opt := testOptions(t, filepath.Join(t.TempDir(), "camp"), 2, EnvPanicCell+"=nestghc")
+	opt.PoisonAfter = 2
+	rep, err := Run(context.Background(), cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Poisoned) != 1 {
+		t.Fatalf("quarantined %d cells, want exactly the panicking one", len(rep.Poisoned))
+	}
+	pc := rep.Poisoned[0]
+	if !strings.Contains(pc.Label, "nestghc") {
+		t.Errorf("poisoned cell is %q, want the nestghc cell", pc.Label)
+	}
+	if len(pc.Workers) < 2 {
+		t.Errorf("poisoned after striking %v, want at least 2 distinct incarnations", pc.Workers)
+	}
+	if !strings.Contains(pc.Reason+pc.Stack, "deliberate crash-injection panic") {
+		t.Errorf("quarantine carries reason %q and stack %q without the panic text", pc.Reason, pc.Stack)
+	}
+	if pc.Stack == "" {
+		t.Error("quarantine lost the recovered stack")
+	}
+	if rep.Completed != len(cells)-1 {
+		t.Errorf("campaign completed %d healthy cells, want %d", rep.Completed, len(cells)-1)
+	}
+	// The healthy cells are all merged and the CLI-facing report demands
+	// a nonzero exit.
+	j, err := core.OpenJournal(rep.MergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != len(cells)-1 {
+		t.Errorf("merged journal holds %d cells, want the %d healthy ones", j.Len(), len(cells)-1)
+	}
+	var buf bytes.Buffer
+	if code := PrintReport(&buf, "test", rep); code != 1 {
+		t.Errorf("poisoned campaign reported exit code %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "QUARANTINED") {
+		t.Errorf("report does not flag the quarantine:\n%s", buf.String())
+	}
+}
+
+// TestCampaignLeaseExpiry: a worker that goes silent without dying — no
+// heartbeats, no exit — must lose its lease after the TTL; the cell is
+// re-leased elsewhere and the zombie is put down, with the campaign
+// still bit-identical to the oracle.
+func TestCampaignLeaseExpiry(t *testing.T) {
+	cells := testCells(t)
+	want := serialFingerprints(t, cells)
+	opt := testOptions(t, filepath.Join(t.TempDir(), "camp"), 2,
+		EnvHangCell+"=nestghc",
+		EnvOnce+"="+filepath.Join(t.TempDir(), "fired"),
+	)
+	opt.LeaseTTL = time.Second
+	opt.DrainGrace = 500 * time.Millisecond
+	rep, err := Run(context.Background(), cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Poisoned) != 0 {
+		t.Fatalf("hung-once cell was poisoned: %+v", rep.Poisoned)
+	}
+	if rep.Expired < 1 {
+		t.Error("no lease expired despite a hung worker")
+	}
+	if rep.Completed != len(cells) {
+		t.Fatalf("campaign completed %d/%d", rep.Completed, rep.Cells)
+	}
+	assertMergedIdentical(t, rep, cells, want)
+}

@@ -1,0 +1,204 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testKey = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestParseRecord(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		ok   bool
+	}{
+		{"lease", `{"schema":"mtier/sweep-lease/v1","op":"lease","key":"` + testKey + `","worker":1}`, true},
+		{"renew", `{"schema":"mtier/sweep-lease/v1","op":"renew","key":"` + testKey + `","worker":7}`, true},
+		{"complete", `{"schema":"mtier/sweep-lease/v1","op":"complete","key":"` + testKey + `","worker":2}`, true},
+		{"abandon", `{"schema":"mtier/sweep-lease/v1","op":"abandon","key":"` + testKey + `","worker":3,"reason":"worker exited"}`, true},
+		{"poison no worker", `{"schema":"mtier/sweep-lease/v1","op":"poison","key":"` + testKey + `","reason":"panic","stack":"goroutine 1"}`, true},
+		{"not json", `lease ` + testKey, false},
+		{"empty", ``, false},
+		{"wrong schema", `{"schema":"mtier/sweep-journal/v1","op":"lease","key":"` + testKey + `","worker":1}`, false},
+		{"missing schema", `{"op":"lease","key":"` + testKey + `","worker":1}`, false},
+		{"unknown op", `{"schema":"mtier/sweep-lease/v1","op":"steal","key":"` + testKey + `","worker":1}`, false},
+		{"lease without worker", `{"schema":"mtier/sweep-lease/v1","op":"lease","key":"` + testKey + `"}`, false},
+		{"negative worker", `{"schema":"mtier/sweep-lease/v1","op":"renew","key":"` + testKey + `","worker":-1}`, false},
+		{"short key", `{"schema":"mtier/sweep-lease/v1","op":"lease","key":"abc123","worker":1}`, false},
+		{"uppercase key", `{"schema":"mtier/sweep-lease/v1","op":"lease","key":"` + strings.ToUpper(testKey) + `","worker":1}`, false},
+		{"non-hex key", `{"schema":"mtier/sweep-lease/v1","op":"lease","key":"` + strings.Repeat("z", 64) + `","worker":1}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := ParseRecord([]byte(tc.raw))
+			if tc.ok && err != nil {
+				t.Fatalf("ParseRecord rejected a valid record: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("ParseRecord accepted %q as %+v", tc.raw, rec)
+			}
+		})
+	}
+}
+
+// TestLedgerRoundTrip: appended lease transitions survive a reopen —
+// that is the whole point of the ledger — and a crash-truncated final
+// line is repaired, not fatal.
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh ledger returned %d records", len(recs))
+	}
+	want := []Record{
+		{Op: OpLease, Key: testKey, Worker: 1},
+		{Op: OpRenew, Key: testKey, Worker: 1},
+		{Op: OpAbandon, Key: testKey, Worker: 1, Reason: "lease expired"},
+		{Op: OpLease, Key: testKey, Worker: 2},
+		{Op: OpComplete, Key: testKey, Worker: 2},
+	}
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a coordinator crash mid-append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"mtier/sweep-le`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("OpenLedger rejected a crash remnant: %v", err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("reopened ledger has %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Op != want[i].Op || rec.Key != want[i].Key || rec.Worker != want[i].Worker || rec.Reason != want[i].Reason {
+			t.Errorf("record %d is %+v, want %+v", i, rec, want[i])
+		}
+		if rec.Schema != LedgerSchema {
+			t.Errorf("record %d has schema %q", i, rec.Schema)
+		}
+	}
+	// The truncated tail is gone: a post-reopen append lands on a clean
+	// line boundary.
+	if err := l2.Append(Record{Op: OpPoison, Key: testKey, Reason: "third strike"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want)+1 || recs[len(recs)-1].Op != OpPoison {
+		t.Fatalf("final ledger has %d records ending in %q, want %d ending in poison",
+			len(recs), recs[len(recs)-1].Op, len(want)+1)
+	}
+}
+
+// TestLedgerInteriorCorruption: unlike the tail, interior damage is a
+// hard error naming the line and byte offset — silently dropping lease
+// history could resurrect a poisoned cell.
+func TestLedgerInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Op: OpLease, Key: testKey, Worker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append([]byte("garbage\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenLedger(path)
+	if err == nil {
+		t.Fatal("OpenLedger accepted interior corruption")
+	}
+	for _, want := range []string{"line 1", "byte offset 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("corruption error %q does not name %q", err, want)
+		}
+	}
+}
+
+// FuzzParseRecord fuzzes the single gate every ledger record passes on
+// read. Invariants: no panic on any input, and every accepted record is
+// internally consistent (known op, exact schema, 64-lowercase-hex key,
+// positive worker for per-worker ops) and survives a marshal→reparse
+// round trip unchanged.
+func FuzzParseRecord(f *testing.F) {
+	f.Add([]byte(`{"schema":"mtier/sweep-lease/v1","op":"lease","key":"` + testKey + `","worker":1}`))
+	f.Add([]byte(`{"schema":"mtier/sweep-lease/v1","op":"poison","key":"` + testKey + `","reason":"panic: boom","stack":"goroutine 1 [running]:"}`))
+	f.Add([]byte(`{"schema":"mtier/sweep-lease/v1","op":"abandon","key":"` + testKey + `","worker":3,"reason":"no heartbeat for 30s"}`))
+	f.Add([]byte(`{"schema":"mtier/sweep-lease/v1","op":"lease","key":"short","worker":1}`))
+	f.Add([]byte(`{"schema":"mtier/other/v1","op":"lease"}`))
+	f.Add([]byte(`{"op":17}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte("{\"schema\":\"mtier/sweep-lease/v1\",\"op\":\"renew\",\"key\":\"" + testKey + "\",\"worker\":9007199254740993}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseRecord(data)
+		if err != nil {
+			return
+		}
+		if rec.Schema != LedgerSchema {
+			t.Fatalf("accepted record with schema %q", rec.Schema)
+		}
+		switch rec.Op {
+		case OpLease, OpRenew, OpComplete, OpAbandon:
+			if rec.Worker <= 0 {
+				t.Fatalf("accepted %s record with worker %d", rec.Op, rec.Worker)
+			}
+		case OpPoison:
+		default:
+			t.Fatalf("accepted record with unknown op %q", rec.Op)
+		}
+		if len(rec.Key) != 64 {
+			t.Fatalf("accepted record with %d-byte key", len(rec.Key))
+		}
+		for _, c := range rec.Key {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				t.Fatalf("accepted record with non-hex key %q", rec.Key)
+			}
+		}
+		out, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-marshal: %v", err)
+		}
+		again, err := ParseRecord(out)
+		if err != nil {
+			t.Fatalf("re-marshaled record %s does not reparse: %v", out, err)
+		}
+		if *again != *rec {
+			t.Fatalf("round trip changed the record: %+v != %+v", again, rec)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"mtier/internal/core"
+)
+
+// ProtoVersion identifies the coordinator↔worker wire protocol: JSONL
+// over the worker's stdin (assignments) and stdout (status). A worker
+// announces it in its hello so a coordinator never feeds cells to a
+// binary speaking a different dialect.
+const ProtoVersion = "mtier/dispatch/v1"
+
+// Message types. Coordinator → worker carries only assignments;
+// shutdown is stdin EOF (plus SIGTERM through core.SignalContext for
+// the mid-cell case). Worker → coordinator reports lifecycle and cell
+// outcomes.
+const (
+	// msgAssign (coordinator → worker) leases one cell: its key and the
+	// full simulation config. The key is redundant with the config —
+	// deliberately: the worker recomputes core.CellKey and refuses a
+	// mismatch, so a corrupted or version-skewed config can never be
+	// journaled under the wrong identity.
+	msgAssign = "assign"
+	// msgHello (worker → coordinator) is the handshake: protocol
+	// version and pid, sent once before the first assignment.
+	msgHello = "hello"
+	// msgHeartbeat (worker → coordinator) renews the current lease;
+	// sent periodically while a cell runs.
+	msgHeartbeat = "heartbeat"
+	// msgDone (worker → coordinator) reports a cell durably journaled.
+	msgDone = "done"
+	// msgFail (worker → coordinator) reports a cell that errored or
+	// panicked; the worker survives (core.Supervise isolates the cell)
+	// and the message carries the error and any recovered stack.
+	msgFail = "fail"
+)
+
+// wireMsg is the single frame both directions share; unused fields are
+// omitted per type.
+type wireMsg struct {
+	Type string `json:"type"`
+	// Proto and PID travel on hello.
+	Proto string `json:"proto,omitempty"`
+	PID   int    `json:"pid,omitempty"`
+	// Key names the cell for assign/heartbeat/done/fail.
+	Key string `json:"key,omitempty"`
+	// Config is the cell's full simulation config, on assign.
+	Config *core.Config `json:"config,omitempty"`
+	// Error and Stack travel on fail.
+	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
+}
+
+// Cell is one unit of distributed work: a canonical cell key and the
+// config it hashes from. Campaign enumerators (core.PanelGrid,
+// core.DegradationGrid) produce the configs; Cells keys them.
+type Cell struct {
+	Key    string
+	Config core.Config
+}
+
+// Cells keys a campaign's configs in the order given — the canonical
+// cell order the merge will splice by.
+func Cells(cfgs []core.Config) ([]Cell, error) {
+	cells := make([]Cell, len(cfgs))
+	for i, cfg := range cfgs {
+		key, err := core.CellKey(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = Cell{Key: key, Config: cfg}
+	}
+	return cells, nil
+}
+
+// Label renders a cell config as the short human label used in
+// progress lines, quarantine reports and the crash-injection hooks:
+// "workload/kind(t,u)" with "@f%" appended for faulted cells.
+func Label(cfg core.Config) string {
+	l := fmt.Sprintf("%s/%s", cfg.Workload, cfg.Kind)
+	if cfg.T > 0 || cfg.U > 0 {
+		l += fmt.Sprintf("(%d,%d)", cfg.T, cfg.U)
+	}
+	if cfg.Faults != nil {
+		l += fmt.Sprintf("@%g%%", cfg.Faults.LinkFraction*100)
+	}
+	return l
+}

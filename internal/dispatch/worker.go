@@ -1,0 +1,285 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mtier/internal/core"
+	"mtier/internal/obs"
+)
+
+// Crash-injection environment hooks, matched as substrings against the
+// cell label (see Label). They exist so the kill-matrix tests and the
+// CI dist-smoke job can provoke each failure mode deterministically
+// instead of racing timers against the scheduler.
+const (
+	// EnvPanicCell makes the worker panic inside the supervised cell
+	// run — the "poisoned cell" mode: core.Supervise recovers it, the
+	// worker survives and reports fail with the stack.
+	EnvPanicCell = "MTIER_DISPATCH_PANIC"
+	// EnvExitCell makes the worker hard-exit (os.Exit) when assigned a
+	// matching cell — the SIGKILL-equivalent mode: no fail message, no
+	// journal record, possibly a truncated journal tail.
+	EnvExitCell = "MTIER_DISPATCH_EXIT"
+	// EnvHangCell makes the worker stop heartbeating and block forever
+	// on a matching cell — the lease-expiry mode: the coordinator must
+	// reclaim the lease and put the worker down.
+	EnvHangCell = "MTIER_DISPATCH_HANG"
+	// EnvOnce, set to a file path, makes any matching hook fire at most
+	// once across all worker incarnations: the first matcher claims the
+	// path with an exclusive create and fires; later matchers run the
+	// cell normally. This is how a test kills exactly one worker
+	// mid-cell and still expects the re-leased cell to complete.
+	EnvOnce = "MTIER_DISPATCH_ONCE"
+)
+
+// hardExitCode is the status a worker exits with under EnvExitCell,
+// distinguishable from clean (0), error (1) and signal (130) exits.
+const hardExitCode = 3
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// ID is the worker's incarnation number, assigned by the
+	// coordinator at spawn; it names the worker in logs and ledger
+	// records.
+	ID int
+	// JournalPath is the worker's private journal — fresh per
+	// incarnation, so a respawn never contends with its predecessor's
+	// file.
+	JournalPath string
+	// Heartbeat is the lease-renewal period (default 2s; the
+	// coordinator's LeaseTTL should be several multiples of it).
+	Heartbeat time.Duration
+	// SimWorkers bounds the per-cell simulation's internal concurrency
+	// (0 = engine default). Excluded from cell keys (Options.Workers is
+	// json:"-"), so it cannot perturb identity.
+	SimWorkers int
+	// TopoCacheEntries sizes the worker's topology cache (0 = default).
+	TopoCacheEntries int
+	// Prog prefixes log lines (e.g. "mtsweep[w3]").
+	Prog string
+	// In and Out are the protocol pipes (default stdin/stdout); Log
+	// receives human diagnostics (default stderr).
+	In  io.Reader
+	Out io.Writer
+	Log io.Writer
+	// Metrics, when non-nil, feeds the worker's topology cache counters.
+	Metrics *obs.Registry
+}
+
+// WorkerMain is the entry point behind the CLIs' -worker mode: it wires
+// the shared two-stage signal handling (core.SignalContext — first
+// SIGINT/SIGTERM cancels, in-flight cell aborts at its next epoch and
+// the journal stays durable; second hard-exits), runs the protocol
+// loop, and returns the process exit code.
+func WorkerMain(opt WorkerOptions) int {
+	if opt.Prog == "" {
+		opt.Prog = fmt.Sprintf("worker[%d]", opt.ID)
+	}
+	if opt.Log == nil {
+		opt.Log = os.Stderr
+	}
+	ctx, stop := core.SignalContext(context.Background(), opt.Prog, opt.Log)
+	defer stop()
+	err := RunWorker(ctx, opt)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(opt.Log, "%s: canceled; journal %s holds the completed cells\n", opt.Prog, opt.JournalPath)
+		return core.SignalExitCode
+	default:
+		fmt.Fprintf(opt.Log, "%s: %v\n", opt.Prog, err)
+		return 1
+	}
+}
+
+// RunWorker speaks the worker side of the dispatch protocol: hello,
+// then a loop of assign → run → done/fail with heartbeats while a cell
+// is in flight. Results are appended (fsync'd) to the worker's private
+// journal before done is reported, so a done message is a durability
+// claim. The loop ends cleanly on stdin EOF — the coordinator's
+// shutdown — or when ctx is canceled.
+func RunWorker(ctx context.Context, opt WorkerOptions) error {
+	if opt.In == nil {
+		opt.In = os.Stdin
+	}
+	if opt.Out == nil {
+		opt.Out = os.Stdout
+	}
+	if opt.Log == nil {
+		opt.Log = os.Stderr
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = 2 * time.Second
+	}
+	if opt.JournalPath == "" {
+		return fmt.Errorf("dispatch: worker needs a journal path")
+	}
+	journal, err := core.CreateJournal(opt.JournalPath)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
+	var outMu sync.Mutex
+	send := func(msg wireMsg) error {
+		b, err := json.Marshal(msg)
+		if err != nil {
+			return fmt.Errorf("dispatch: marshaling %s: %w", msg.Type, err)
+		}
+		b = append(b, '\n')
+		outMu.Lock()
+		defer outMu.Unlock()
+		if _, err := opt.Out.Write(b); err != nil {
+			return fmt.Errorf("dispatch: writing %s: %w", msg.Type, err)
+		}
+		return nil
+	}
+	if err := send(wireMsg{Type: msgHello, Proto: ProtoVersion, PID: os.Getpid()}); err != nil {
+		return err
+	}
+
+	cache := core.NewTopoCache(opt.TopoCacheEntries, opt.Metrics)
+	sc := bufio.NewScanner(opt.In)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var msg wireMsg
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return fmt.Errorf("dispatch: corrupt assignment: %v", err)
+		}
+		if msg.Type != msgAssign || msg.Config == nil || msg.Key == "" {
+			return fmt.Errorf("dispatch: unexpected message %q from coordinator", msg.Type)
+		}
+		if err := workCell(ctx, &msg, opt, journal, cache, send); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dispatch: reading assignments: %w", err)
+	}
+	return ctx.Err()
+}
+
+// workCell runs one assigned cell end to end: identity check, crash
+// hooks, heartbeats, supervised execution, durable journal append, and
+// the done/fail report.
+func workCell(ctx context.Context, msg *wireMsg, opt WorkerOptions, journal *core.Journal,
+	cache *core.TopoCache, send func(wireMsg) error) error {
+	cfg := *msg.Config
+	// Recompute the key: a config that no longer hashes to its assigned
+	// key (version skew, wire corruption) must never be journaled under
+	// the wrong identity.
+	key, err := core.CellKey(cfg)
+	if err != nil {
+		return err
+	}
+	if key != msg.Key {
+		return send(wireMsg{Type: msgFail, Key: msg.Key,
+			Error: fmt.Sprintf("assigned key %.12s… does not match config key %.12s… — coordinator/worker version skew?", msg.Key, key)})
+	}
+	label := Label(cfg)
+	if hookMatches(EnvExitCell, label) {
+		fmt.Fprintf(opt.Log, "%s: %s=%q matches %s — hard exit\n", opt.Prog, EnvExitCell, os.Getenv(EnvExitCell), label)
+		os.Exit(hardExitCode)
+	}
+	if hookMatches(EnvHangCell, label) {
+		fmt.Fprintf(opt.Log, "%s: %s matches %s — hanging without heartbeats\n", opt.Prog, EnvHangCell, label)
+		select {} // no heartbeats, no exit: the lease must expire
+	}
+
+	// Heartbeat while the cell runs.
+	hbCtx, hbStop := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(opt.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := send(wireMsg{Type: msgHeartbeat, Key: key}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	var res *core.RunResult
+	runErr := core.Supervise(ctx, core.RunnerOptions{}, func(ctx context.Context) error {
+		if hookMatches(EnvPanicCell, label) {
+			panic(fmt.Sprintf("dispatch: deliberate crash-injection panic on cell %s (%s)", label, EnvPanicCell))
+		}
+		spec := core.TopoSpec{Kind: cfg.Kind, Endpoints: cfg.Endpoints}
+		switch cfg.Kind {
+		case core.NestTree, core.NestGHC:
+			spec.T, spec.U = cfg.T, cfg.U
+		}
+		top, _, err := cache.Get(ctx, spec, cfg.Faults)
+		if err != nil {
+			return err
+		}
+		cfg.Sim.Workers = opt.SimWorkers
+		r, err := core.RunContext(ctx, cfg, top)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	hbStop()
+	hbWG.Wait()
+	if runErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		errText, stack := runErr.Error(), ""
+		var ce *core.CellError
+		if errors.As(runErr, &ce) {
+			// Report the error and the stack as separate fields rather
+			// than CellError's combined rendering.
+			errText = fmt.Sprintf("failed after %d attempt(s): %v", ce.Attempts, ce.Err)
+			stack = string(ce.Stack)
+		}
+		return send(wireMsg{Type: msgFail, Key: key, Error: errText, Stack: stack})
+	}
+	if err := journal.Append(key, res); err != nil {
+		return err
+	}
+	return send(wireMsg{Type: msgDone, Key: key})
+}
+
+// hookMatches reports whether a crash-injection env var is set and its
+// value is a substring of the cell label; with EnvOnce set, only the
+// first matcher across all incarnations fires.
+func hookMatches(env, label string) bool {
+	v := os.Getenv(env)
+	if v == "" || !strings.Contains(label, v) {
+		return false
+	}
+	if once := os.Getenv(EnvOnce); once != "" {
+		f, err := os.OpenFile(once, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false // another incarnation already fired
+		}
+		f.Close()
+	}
+	return true
+}

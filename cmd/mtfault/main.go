@@ -77,6 +77,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "extra same-seed attempts for a cell that exceeds -celltimeout")
 		memBudget   = flag.Int64("membudget", 0, "soft heap budget in bytes (0 = off); concurrency is shed while over it")
 		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
+		material    = flag.Bool("materialize", false, "force the materialised (stored-table) topology representation; results are bit-identical to the default implicit one")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	disp := dispatch.AddCLIFlags(flag.CommandLine)
@@ -97,7 +98,11 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	specs, err := parseTopos(*topos, *n, *t, *u)
+	rep := core.RepAuto
+	if *material {
+		rep = core.RepMaterialized
+	}
+	specs, err := parseTopos(*topos, *n, *t, *u, rep)
 	if err != nil {
 		die(err)
 	}
@@ -208,7 +213,7 @@ func die(err error) {
 
 // parseTopos resolves the -topos list into validated TopoSpecs, applying
 // the (t, u) design point to the hybrid families only.
-func parseTopos(list string, n, t, u int) ([]core.TopoSpec, error) {
+func parseTopos(list string, n, t, u int, rep core.Representation) ([]core.TopoSpec, error) {
 	var specs []core.TopoSpec
 	for _, name := range strings.Split(list, ",") {
 		if strings.TrimSpace(name) == "" {
@@ -218,7 +223,7 @@ func parseTopos(list string, n, t, u int) ([]core.TopoSpec, error) {
 		if err != nil {
 			return nil, err
 		}
-		spec := core.TopoSpec{Kind: kind, Endpoints: n}
+		spec := core.TopoSpec{Kind: kind, Endpoints: n, Rep: rep}
 		switch kind {
 		case core.NestTree, core.NestGHC:
 			spec.T, spec.U = t, u

@@ -60,6 +60,7 @@ func main() {
 		traceEvt = flag.String("traceevents", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
 		hotspots = flag.Int("hotspots", 0, "report the K hottest links and per-tier utilization tables (0 = off)")
 		obsAddr  = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
+		material = flag.Bool("materialize", false, "force the materialised (stored-table) topology representation; results are bit-identical to the default implicit one")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -107,11 +108,16 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintln(os.Stderr, "mtsim: observability endpoint on http://"+srv.Addr())
 	}
+	rep := core.RepAuto
+	if *material {
+		rep = core.RepMaterialized
+	}
 	err = run(ctx, core.Config{
 		Kind:      kind,
 		Endpoints: *n,
 		T:         *tFlag,
 		U:         *uFlag,
+		Rep:       rep,
 		Workload:  wkind,
 		Params: workload.Params{
 			Tasks:    *tasks,

@@ -75,6 +75,7 @@ func main() {
 		fpr         = flag.Bool("fingerprint", false, "print a sha256 over the canonical run records of all cells (determinism / resume check)")
 		obsAddr     = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
 		jverify     = flag.String("journal-verify", "", "verify this sweep journal standalone (schema, per-record sha256, crash tail) and exit; no sweep runs")
+		material    = flag.Bool("materialize", false, "force the materialised (stored-table) topology representation; results are bit-identical to the default implicit one")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	disp := dispatch.AddCLIFlags(flag.CommandLine)
@@ -84,6 +85,9 @@ func main() {
 		os.Exit(verifyJournalCLI(*jverify))
 	}
 
+	if *material {
+		topoRep = core.RepMaterialized
+	}
 	simW, err := core.ResolveSimWorkers("mtsweep", flag.CommandLine, *workers, *simWorkers, os.Stderr)
 	if err != nil {
 		die(err)
@@ -237,9 +241,14 @@ func openJournal(journalPath, resumePath string) (*core.Journal, error) {
 	}
 }
 
+// topoRep is the topology representation for set builds, flipped to
+// RepMaterialized by -materialize. Cell results are bit-identical either
+// way; only build time and memory move.
+var topoRep = core.RepAuto
+
 func sweep(ctx context.Context, kinds []workload.Kind, n, cellWorkers int, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
 	start := time.Now()
-	set, err := core.BuildSetContext(ctx, n, cellWorkers)
+	set, err := core.BuildSetRep(ctx, n, cellWorkers, topoRep)
 	if err != nil {
 		return err
 	}
@@ -325,7 +334,7 @@ func sweep(ctx context.Context, kinds []workload.Kind, n, cellWorkers int, csv, 
 // rows are purely architectural.
 func sweepSpec(ctx context.Context, spec *workload.OpenSpec, n int, alloc sched.AllocPolicy, shared, csv, progress bool, records string, fpr bool, srv *obs.Server, opt core.PanelOptions) error {
 	start := time.Now()
-	set, err := core.BuildSetContext(ctx, n, opt.Workers)
+	set, err := core.BuildSetRep(ctx, n, opt.Workers, topoRep)
 	if err != nil {
 		return err
 	}

@@ -32,8 +32,9 @@ func main() {
 		tFlag   = flag.Int("t", 2, "subtorus nodes per dimension (hybrids)")
 		uFlag   = flag.Int("u", 4, "one uplink per u QFDBs (hybrids)")
 		workers = flag.Int("workers", 0, "worker threads for builds and distance measurement; exhaustive results are identical for every value, sampled estimates are a function of (seed, workers) (0 = NumCPU, 1 = serial)")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		obsAddr = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		obsAddr  = flag.String("obslisten", "", "serve /metrics, /progress and pprof on this address (e.g. :9090)")
+		material = flag.Bool("materialize", false, "force the materialised (stored-table) topology representation; measured values are identical to the default implicit one")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -48,13 +49,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mttopo: observability endpoint on http://"+srv.Addr())
 	}
 
-	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *workers, *seed, *csv); err != nil {
+	rep := core.RepAuto
+	if *material {
+		rep = core.RepMaterialized
+	}
+	if err := run(prof, *one, *n, *tFlag, *uFlag, *samples, *workers, *seed, *csv, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "mttopo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed int64, csv bool) error {
+func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed int64, csv bool, rep core.Representation) error {
 	var kind core.TopoKind
 	if one != "" {
 		var err error
@@ -69,9 +74,9 @@ func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed
 	defer stop()
 
 	if one != "" {
-		return analyseOne(kind, n, t, u, samples, workers, seed, csv)
+		return analyseOne(kind, n, t, u, samples, workers, seed, csv, rep)
 	}
-	set, err := core.BuildSet(n, workers)
+	set, err := core.BuildSetRep(context.Background(), n, workers, rep)
 	if err != nil {
 		return err
 	}
@@ -83,8 +88,8 @@ func run(prof *obs.ProfileFlags, one string, n, t, u, samples, workers int, seed
 	return nil
 }
 
-func analyseOne(kind core.TopoKind, n, t, u, samples, workers int, seed int64, csv bool) error {
-	spec := core.TopoSpec{Kind: kind, Endpoints: n}
+func analyseOne(kind core.TopoKind, n, t, u, samples, workers int, seed int64, csv bool, rep core.Representation) error {
+	spec := core.TopoSpec{Kind: kind, Endpoints: n, Rep: rep}
 	switch kind {
 	case core.NestTree, core.NestGHC:
 		spec.T, spec.U = t, u

@@ -35,6 +35,14 @@ func BuildSet(n int, workers int) (*TopoSet, error) {
 // dispatching new build jobs, so an interrupted campaign does not finish
 // constructing a hundred-thousand-endpoint topology set first.
 func BuildSetContext(ctx context.Context, n int, workers int) (*TopoSet, error) {
+	return BuildSetRep(ctx, n, workers, RepAuto)
+}
+
+// BuildSetRep is BuildSetContext with an explicit representation — the
+// hook behind the CLIs' -materialize escape hatch. RepAuto picks the
+// implicit representation above the size threshold; results are
+// bit-identical either way, only build time and memory move.
+func BuildSetRep(ctx context.Context, n int, workers int, rep Representation) (*TopoSet, error) {
 	s := &TopoSet{
 		Endpoints: n,
 		Points:    PaperPoints(),
@@ -56,7 +64,7 @@ func BuildSetContext(ctx context.Context, n int, workers int) (*TopoSet, error) 
 	var mu sync.Mutex
 	err := runCells(ctx, len(jobs), workers, RunnerOptions{}, func(_ context.Context, i int) error {
 		j := jobs[i]
-		t, err := Build(TopoSpec{Kind: j.kind, Endpoints: n, T: j.pt.T, U: j.pt.U})
+		t, err := Build(TopoSpec{Kind: j.kind, Endpoints: n, T: j.pt.T, U: j.pt.U, Rep: rep})
 		if err != nil {
 			return fmt.Errorf("core: building %s %s: %w", j.kind, j.pt.Label(), err)
 		}
@@ -95,6 +103,24 @@ func (s *TopoSet) Get(kind TopoKind, pt Point) topo.Topology {
 	return t
 }
 
+// distanceStats measures one Table-1 cell. Past exhaustive reach it
+// prefers the closed-form Static path: the table needs only the mean and
+// the diameter, so a 131,072-endpoint row costs O(subtorus) arithmetic
+// instead of millions of sampled routes. Families without both closed
+// forms fall back to sampled Distances.
+func distanceStats(top topo.Topology, opt metrics.Options) metrics.DistanceStats {
+	limit := opt.ExhaustiveLimit
+	if limit == 0 {
+		limit = metrics.DefaultExhaustiveLimit
+	}
+	if top.NumEndpoints() > limit {
+		if st, ok := metrics.Static(top); ok {
+			return st
+		}
+	}
+	return metrics.Distances(top, opt)
+}
+
 // Table1 reproduces Table 1: average distance under uniform traffic and
 // diameter for every hybrid configuration, with the fattree and torus
 // references appended.
@@ -128,9 +154,9 @@ func Table1Context(ctx context.Context, set *TopoSet, samples int, seed int64, w
 			return fmt.Errorf("core: topology set has no %s %s instance", kind, pt.Label())
 		}
 		if i%2 == 0 {
-			rows[i/2].ghc = metrics.Distances(top, opt)
+			rows[i/2].ghc = distanceStats(top, opt)
 		} else {
-			rows[i/2].tree = metrics.Distances(top, opt)
+			rows[i/2].tree = distanceStats(top, opt)
 		}
 		return nil
 	})
@@ -150,8 +176,8 @@ func Table1Context(ctx context.Context, set *TopoSet, samples int, seed int64, w
 	if !ok {
 		return nil, fmt.Errorf("core: topology set has no torus reference instance")
 	}
-	ft := metrics.Distances(ftTop, opt)
-	to := metrics.Distances(toTop, opt)
+	ft := distanceStats(ftTop, opt)
+	to := distanceStats(toTop, opt)
 	t.AddRow("Fattree (ref)", fmt.Sprintf("%.2f", ft.Mean), "-", ft.Max, "-")
 	t.AddRow("Torus3D (ref)", fmt.Sprintf("%.2f", to.Mean), "-", to.Max, "-")
 	return t, nil

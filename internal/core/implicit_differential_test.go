@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"mtier/internal/fault"
+	"mtier/internal/flow"
+	"mtier/internal/workload"
+)
+
+// The implicit topology representation must be invisible to results: a
+// cell simulated on an implicit topology must produce a byte-identical
+// run record — every float64 down to the last bit — to the same cell on
+// the materialised topology, for every paper workload and every family
+// with a closed form. These tests are the contract that lets RepAuto
+// switch representations by size without perturbing a single published
+// number.
+
+// implicitFamilies is the closed-form family grid at differential scale,
+// hybrids at the (2,4) design point.
+var implicitFamilies = []struct {
+	kind  TopoKind
+	tt, u int
+}{
+	{Torus3D, 0, 0}, {Fattree, 0, 0}, {Thintree, 0, 0}, {GHCFlat, 0, 0},
+	{NestTree, 2, 4}, {NestGHC, 2, 4},
+}
+
+// TestImplicitMatchesMaterializedPaperWorkloads is the representation
+// differential matrix: all 11 paper workloads × the closed-form families,
+// RepImplicit compared against RepMaterialized at the run-record
+// fingerprint level (which hashes the full record: config, makespan,
+// flow ends, utilisations, fault accounting).
+func TestImplicitMatchesMaterializedPaperWorkloads(t *testing.T) {
+	const n = 64
+	for _, f := range implicitFamilies {
+		for _, w := range workload.Kinds() {
+			f, w := f, w
+			t.Run(fmt.Sprintf("%s/%s", f.kind, w), func(t *testing.T) {
+				t.Parallel()
+				run := func(rep Representation) *RunResult {
+					res, err := Run(Config{
+						Kind:      f.kind,
+						Endpoints: n,
+						T:         f.tt,
+						U:         f.u,
+						Rep:       rep,
+						Workload:  w,
+						Params:    workload.Params{Seed: 11},
+						Sim:       flow.Options{RecordFlowEnds: true},
+					}, nil)
+					if err != nil {
+						t.Fatalf("rep=%v: %v", rep, err)
+					}
+					return res
+				}
+				mat := run(RepMaterialized)
+				imp := run(RepImplicit)
+				mustIdenticalResults(t, imp, mat)
+				mfp, err := mat.Record().Fingerprint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ifp, err := imp.Record().Fingerprint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mfp, ifp) {
+					t.Fatalf("run-record fingerprint diverged between representations:\n materialised %s\n implicit     %s", mfp, ifp)
+				}
+			})
+		}
+	}
+}
+
+// mustIdenticalResults fails unless the two runs agree bitwise in every
+// deterministic result field.
+func mustIdenticalResults(t *testing.T, got, want *RunResult) {
+	t.Helper()
+	g, w := got.Result, want.Result
+	if math.Float64bits(g.Makespan) != math.Float64bits(w.Makespan) {
+		t.Fatalf("makespan diverged: %x (%g) vs %x (%g)",
+			math.Float64bits(g.Makespan), g.Makespan, math.Float64bits(w.Makespan), w.Makespan)
+	}
+	if g.Epochs != w.Epochs {
+		t.Fatalf("epoch count diverged: %d vs %d", g.Epochs, w.Epochs)
+	}
+	if len(g.FlowEnds) != len(w.FlowEnds) {
+		t.Fatalf("flow-end counts diverged: %d vs %d", len(g.FlowEnds), len(w.FlowEnds))
+	}
+	for i := range g.FlowEnds {
+		if math.Float64bits(g.FlowEnds[i]) != math.Float64bits(w.FlowEnds[i]) {
+			t.Fatalf("flow %d finish time diverged: %g vs %g", i, g.FlowEnds[i], w.FlowEnds[i])
+		}
+	}
+	if g.ReroutedFlows != w.ReroutedFlows || g.DisconnectedFlows != w.DisconnectedFlows {
+		t.Fatalf("fault accounting diverged: rerouted %d/%d, disconnected %d/%d",
+			g.ReroutedFlows, w.ReroutedFlows, g.DisconnectedFlows, w.DisconnectedFlows)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"bytes_delivered", g.BytesDelivered, w.BytesDelivered},
+		{"lost_bytes", g.LostBytes, w.LostBytes},
+		{"hop_bytes", g.HopBytes, w.HopBytes},
+		{"max_link_utilization", g.MaxLinkUtilization, w.MaxLinkUtilization},
+		{"mean_link_utilization", g.MeanLinkUtilization, w.MeanLinkUtilization},
+		{"max_port_utilization", g.MaxPortUtilization, w.MaxPortUtilization},
+	} {
+		if math.Float64bits(c.got) != math.Float64bits(c.want) {
+			t.Fatalf("%s diverged: %g vs %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestImplicitMatchesMaterializedUnderFaults covers the degraded path:
+// fault generation, candidate filtering and BFS detours all read the
+// link structure, and must read the same one from both representations.
+func TestImplicitMatchesMaterializedUnderFaults(t *testing.T) {
+	const n = 64
+	for _, f := range implicitFamilies {
+		f := f
+		t.Run(string(f.kind), func(t *testing.T) {
+			t.Parallel()
+			spec := fault.Spec{Model: fault.Random, LinkFraction: 0.05, Seed: 7}
+			run := func(rep Representation) *RunResult {
+				res, err := Run(Config{
+					Kind:      f.kind,
+					Endpoints: n,
+					T:         f.tt,
+					U:         f.u,
+					Rep:       rep,
+					Workload:  workload.AllReduce,
+					Params:    workload.Params{Seed: 11},
+					Sim:       flow.Options{RecordFlowEnds: true},
+					Faults:    &spec,
+				}, nil)
+				if err != nil {
+					t.Fatalf("rep=%v: %v", rep, err)
+				}
+				return res
+			}
+			mustIdenticalResults(t, run(RepImplicit), run(RepMaterialized))
+		})
+	}
+}
+
+// TestRepInvisibleToRecordsAndKeys: the representation is an execution
+// detail — it must not appear in marshalled configs, must not move a
+// sweep cell key, and must not move a run-record fingerprint.
+func TestRepInvisibleToRecordsAndKeys(t *testing.T) {
+	t.Parallel()
+	raw, err := json.Marshal(Config{Kind: Torus3D, Endpoints: 64, Rep: RepImplicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.ToLower(string(raw)), "rep") {
+		t.Fatalf("Rep leaked into the marshalled config: %s", raw)
+	}
+	cfg := Config{
+		Kind:      NestGHC,
+		Endpoints: 64,
+		T:         2,
+		U:         4,
+		Workload:  workload.AllReduce,
+		Params:    workload.Params{Seed: 1},
+	}
+	kMat, err := CellKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rep = RepImplicit
+	kImp, err := CellKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kMat != kImp {
+		t.Fatalf("Rep changed the cell key: %s vs %s", kMat, kImp)
+	}
+}
+
+// TestImplicitRejectsTableOnlyFamilies: families without closed-form
+// link structure must refuse RepImplicit loudly instead of silently
+// materialising.
+func TestImplicitRejectsTableOnlyFamilies(t *testing.T) {
+	t.Parallel()
+	for _, k := range []TopoKind{Dragonfly, Jellyfish} {
+		if _, err := Build(TopoSpec{Kind: k, Endpoints: 64, Rep: RepImplicit}); err == nil {
+			t.Fatalf("%s accepted RepImplicit", k)
+		}
+	}
+	// RepAuto above the threshold falls back to materialised for them.
+	if _, err := Build(TopoSpec{Kind: Dragonfly, Endpoints: 72, Rep: RepAuto}); err != nil {
+		t.Fatalf("dragonfly under RepAuto: %v", err)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// paper-scale smoke test skips under -race: instrumentation multiplies
+// both the runtime and the heap of a 131k-endpoint cell far past what a
+// smoke test should cost, and the differential suite already covers the
+// same code paths at race-friendly sizes.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_off_test.go for why the paper-scale smoke test skips under it.
+const raceEnabled = true

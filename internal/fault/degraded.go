@@ -33,9 +33,13 @@ type Degraded struct {
 	set  *Set
 	name string
 
-	// in[v] lists the surviving in-edges of v as (From, Link) pairs in
-	// link-id order; the detour BFS consumes it from the destination.
-	in [][]topo.Hop
+	// Surviving in-edges in CSR form: inHops[inStart[v]:inStart[v+1]]
+	// lists v's in-edges as (From, Link) pairs in link-id order; the
+	// detour BFS consumes them from the destination. CSR keeps the
+	// adjacency to two flat slices so wrapping a 131k-endpoint implicit
+	// topology costs two passes over the link ids, not a slice per vertex.
+	inHops  []topo.Hop
+	inStart []int32
 
 	mu     sync.Mutex
 	detour map[int32][]int32 // per destination: next-hop link per vertex, -1 none
@@ -63,12 +67,29 @@ func Wrap(base topo.Topology, set *Set, reg *obs.Registry) *Degraded {
 	// The surviving in-adjacency backs both the static detour cache and
 	// RerouteAppend's dynamic BFS; the latter matters even for an empty
 	// static set (a pristine machine whose links die mid-simulation).
-	d.in = make([][]topo.Hop, base.NumVertices())
-	for id, ln := range base.Links() {
+	numV := base.NumVertices()
+	numL := base.NumLinks()
+	d.inStart = make([]int32, numV+1)
+	surviving := 0
+	for id := 0; id < numL; id++ {
 		if set.linkDown[id] {
 			continue
 		}
-		d.in[ln.To] = append(d.in[ln.To], topo.Hop{To: ln.From, Link: int32(id)})
+		d.inStart[topo.LinkAt(base, int32(id)).To+1]++
+		surviving++
+	}
+	for v := 0; v < numV; v++ {
+		d.inStart[v+1] += d.inStart[v]
+	}
+	d.inHops = make([]topo.Hop, surviving)
+	fill := make([]int32, numV)
+	for id := 0; id < numL; id++ {
+		if set.linkDown[id] {
+			continue
+		}
+		ln := topo.LinkAt(base, int32(id))
+		d.inHops[d.inStart[ln.To]+fill[ln.To]] = topo.Hop{To: ln.From, Link: int32(id)}
+		fill[ln.To]++
 	}
 	d.detour = make(map[int32][]int32)
 	if reg != nil {
@@ -300,7 +321,6 @@ func (d *Degraded) appendDetour(buf []int32, src, dst int) ([]int32, bool) {
 
 // walk follows a next-hop table from src to dst.
 func (d *Degraded) walk(buf []int32, nh []int32, src, dst int) ([]int32, bool) {
-	links := d.base.Links()
 	base := len(buf)
 	for cur := int32(src); cur != int32(dst); {
 		l := nh[cur]
@@ -308,7 +328,7 @@ func (d *Degraded) walk(buf []int32, nh []int32, src, dst int) ([]int32, bool) {
 			return buf[:base], false
 		}
 		buf = append(buf, l)
-		cur = links[l].To
+		cur = topo.LinkAt(d.base, l).To
 	}
 	return buf, true
 }
@@ -343,7 +363,7 @@ func (d *Degraded) bfs(dst int32, down func(int32) bool) []int32 {
 	queue = append(queue, dst)
 	for head := 0; head < len(queue); head++ {
 		w := queue[head]
-		for _, h := range d.in[w] {
+		for _, h := range d.inHops[d.inStart[w]:d.inStart[w+1]] {
 			u := h.To // in-edge source
 			if seen[u] || (down != nil && down(h.Link)) {
 				continue

@@ -179,14 +179,17 @@ type cable struct {
 // cables pairs the topology's directed links into physical cables. Links
 // are walked in id order and each link is matched with the first unpaired
 // opposite-direction link between the same vertices, so parallel cables
-// pair up deterministically.
-func cables(links []topo.Link) []cable {
-	partner := make([]int32, len(links))
+// pair up deterministically. Links are read one id at a time (topo.LinkAt)
+// so implicit topologies never materialise their link table here.
+func cables(t topo.Topology) []cable {
+	numL := t.NumLinks()
+	partner := make([]int32, numL)
 	for i := range partner {
 		partner[i] = -1
 	}
-	open := make(map[[2]int32][]int32, len(links)/2)
-	for id, ln := range links {
+	open := make(map[[2]int32][]int32, numL/2)
+	for id := 0; id < numL; id++ {
+		ln := topo.LinkAt(t, int32(id))
 		rk := [2]int32{ln.To, ln.From}
 		if q := open[rk]; len(q) > 0 {
 			p := q[0]
@@ -197,12 +200,13 @@ func cables(links []topo.Link) []cable {
 			open[k] = append(open[k], int32(id))
 		}
 	}
-	out := make([]cable, 0, (len(links)+1)/2)
-	for id, ln := range links {
+	out := make([]cable, 0, (numL+1)/2)
+	for id := 0; id < numL; id++ {
 		p := partner[id]
 		if p >= 0 && p < int32(id) {
 			continue // recorded at the lower id
 		}
+		ln := topo.LinkAt(t, int32(id))
 		out = append(out, cable{a: ln.From, b: ln.To, l1: int32(id), l2: p})
 	}
 	return out
@@ -217,12 +221,11 @@ func Generate(t topo.Topology, spec Spec) (*Set, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	links := t.Links()
 	nVerts := t.NumVertices()
 	nEps := t.NumEndpoints()
 	set := &Set{
 		spec:         spec,
-		linkDown:     make([]bool, len(links)),
+		linkDown:     make([]bool, t.NumLinks()),
 		vertDown:     make([]bool, nVerts),
 		numEndpoints: nEps,
 	}
@@ -310,14 +313,15 @@ type geometry struct {
 }
 
 func newGeometry(t topo.Topology, spec Spec) *geometry {
-	links := t.Links()
 	g := &geometry{
 		t:        t,
-		cables:   cables(links),
+		cables:   cables(t),
 		incident: make([][]int32, t.NumVertices()),
 		degree:   make([]int32, t.NumVertices()),
 	}
-	for id, ln := range links {
+	numL := t.NumLinks()
+	for id := 0; id < numL; id++ {
+		ln := topo.LinkAt(t, int32(id))
 		g.incident[ln.From] = append(g.incident[ln.From], int32(id))
 		g.incident[ln.To] = append(g.incident[ln.To], int32(id))
 		g.degree[ln.From]++
@@ -394,11 +398,10 @@ func (g *geometry) epicenterDistances(spec Spec) []int32 {
 		dist[lo+v] = 0
 		queue = append(queue, int32(lo+v))
 	}
-	links := g.t.Links()
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, l := range g.incident[v] {
-			ln := links[l]
+			ln := topo.LinkAt(g.t, l)
 			w := ln.To
 			if w == v {
 				w = ln.From

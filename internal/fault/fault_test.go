@@ -74,7 +74,7 @@ func TestGenerateEmpty(t *testing.T) {
 func TestCablePairing(t *testing.T) {
 	tor := cube(t, 3)
 	links := tor.Links()
-	cbs := cables(links)
+	cbs := cables(tor)
 	if len(cbs) != len(links)/2 {
 		t.Fatalf("%d links paired into %d cables, want %d", len(links), len(cbs), len(links)/2)
 	}

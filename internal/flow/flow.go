@@ -638,6 +638,11 @@ func (s *sim) prepare(spec *Spec) error {
 		}
 	default:
 		scratch := make([]int32, 0, 256)
+		// Routing is deterministic per (src, dst), so repeated pairs — the
+		// common case in multi-phase collectives — share one arena-backed
+		// route slice. Sharing is safe: mid-run reroutes *reassign*
+		// routes[i], they never mutate the slice in place.
+		dedup := make(map[int64][]int32)
 		for i := range spec.Flows {
 			// Route construction dominates prepare on large systems; honour
 			// cancellation between batches so a canceled cell never has to
@@ -646,6 +651,14 @@ func (s *sim) prepare(spec *Spec) error {
 				return fmt.Errorf("flow: canceled while preparing routes (%d/%d flows): %w", i, f, s.ctx.Err())
 			}
 			fl := &spec.Flows[i]
+			key := int64(fl.Src)<<32 | int64(uint32(fl.Dst))
+			if r, ok := dedup[key]; ok {
+				if withLatency {
+					s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(s.routeHops(r))
+				}
+				s.routes[i] = r
+				continue
+			}
 			if s.ft != nil {
 				var ok bool
 				scratch, ok = s.ft.RouteAppendOK(scratch[:0], int(fl.Src), int(fl.Dst))
@@ -660,7 +673,9 @@ func (s *sim) prepare(spec *Spec) error {
 			if withLatency {
 				s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
 			}
-			s.routes[i] = s.materialiseRoute(fl, scratch)
+			r := s.materialiseRoute(fl, scratch)
+			s.routes[i] = r
+			dedup[key] = r
 		}
 	}
 
@@ -700,6 +715,15 @@ func (s *sim) prepare(spec *Spec) error {
 	// queued until the next flushMembership (fills and fault events).
 	s.batching = s.pool != nil && !s.opt.ExactRecompute
 	return nil
+}
+
+// routeHops recovers the network hop count of a materialised route (the
+// latency model counts fabric hops, not the virtual port links).
+func (s *sim) routeHops(r []int32) int {
+	if s.opt.DisablePorts {
+		return len(r)
+	}
+	return len(r) - 2
 }
 
 // materialiseRoute copies a network path into arena storage, wrapping it

@@ -203,7 +203,6 @@ func (s *sim) computeHotspots(makespan float64) *HotspotReport {
 	if k > len(active) {
 		k = len(active)
 	}
-	links := s.t.Links()
 	rep.TopLinks = make([]LinkHotspot, 0, k)
 	for _, l := range active[:k] {
 		u := 0.0
@@ -211,8 +210,9 @@ func (s *sim) computeHotspots(makespan float64) *HotspotReport {
 			u = s.linkBytes[l] / denom
 		}
 		ti := int(linkTier[l])
+		ln := topo.LinkAt(s.t, l)
 		rep.TopLinks = append(rep.TopLinks, LinkHotspot{
-			Link: l, From: links[l].From, To: links[l].To,
+			Link: l, From: ln.From, To: ln.To,
 			Tier: ti, TierName: view.name(ti),
 			Bytes: s.linkBytes[l], Utilization: u,
 		})

@@ -88,6 +88,12 @@ func (s *sim) prepareRoutesParallel(spec *Spec, withLatency bool) error {
 		defer sp.EndArgs(map[string]any{"shard": shard, "flows": hi - lo})
 		var local arena
 		scratch := make([]int32, 0, 256)
+		// Per-shard (src, dst) dedup: repeated pairs within a shard share
+		// one arena-backed route slice (reroutes reassign routes[i], never
+		// mutate it). Cross-shard repeats are routed again — shards share
+		// nothing — so the saving is smaller than the serial loop's, but
+		// the common collectives emit a phase's repeats contiguously.
+		dedup := make(map[int64][]int32)
 		for i := lo; i < hi; i++ {
 			// The serial loop honours cancellation every 4096 flows; each
 			// shard keeps the same cadence.
@@ -96,6 +102,14 @@ func (s *sim) prepareRoutesParallel(spec *Spec, withLatency bool) error {
 				return
 			}
 			fl := &spec.Flows[i]
+			key := int64(fl.Src)<<32 | int64(uint32(fl.Dst))
+			if r, ok := dedup[key]; ok {
+				if withLatency {
+					s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(s.routeHops(r))
+				}
+				s.routes[i] = r
+				continue
+			}
 			if s.ft != nil {
 				var ok bool
 				scratch, ok = s.ft.RouteAppendOK(scratch[:0], int(fl.Src), int(fl.Dst))
@@ -109,7 +123,9 @@ func (s *sim) prepareRoutesParallel(spec *Spec, withLatency bool) error {
 			if withLatency {
 				s.latency[i] = s.opt.LatencyBase + s.opt.LatencyPerHop*float64(len(scratch))
 			}
-			s.routes[i] = s.materialiseRouteIn(&local, fl, scratch)
+			r := s.materialiseRouteIn(&local, fl, scratch)
+			s.routes[i] = r
+			dedup[key] = r
 		}
 	})
 	if stop.Load() || s.canceled() {

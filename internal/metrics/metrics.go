@@ -48,10 +48,14 @@ type DistanceStats struct {
 	ExactMax  bool
 }
 
+// DefaultExhaustiveLimit is the endpoint count up to which Distances
+// enumerates all ordered pairs when Options.ExhaustiveLimit is zero.
+const DefaultExhaustiveLimit = 2048
+
 // Options controls the measurement.
 type Options struct {
 	// ExhaustiveLimit is the endpoint count up to which all ordered pairs
-	// are enumerated. Default 2048.
+	// are enumerated. Default DefaultExhaustiveLimit.
 	ExhaustiveLimit int
 	// Samples is the number of random pairs drawn above the limit.
 	// Default 2,000,000.
@@ -64,7 +68,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.ExhaustiveLimit == 0 {
-		o.ExhaustiveLimit = 2048
+		o.ExhaustiveLimit = DefaultExhaustiveLimit
 	}
 	if o.Samples == 0 {
 		o.Samples = 2_000_000
@@ -107,6 +111,27 @@ func Distances(t topo.Topology, opt Options) DistanceStats {
 		stats.ExactMax = true
 	}
 	return stats
+}
+
+// Static returns the exact Mean and Max distance without touching a
+// single pair when the topology declares both in closed form (ok=false
+// otherwise). It is the O(1) alternative to Distances for Table-1-style
+// summaries at scales where even sampling is wasteful: the returned stats
+// carry no histogram and a Pairs count of every ordered distinct pair.
+func Static(t topo.Topology) (DistanceStats, bool) {
+	a, okA := t.(avgDistancer)
+	dm, okD := t.(diametered)
+	if !okA || !okD {
+		return DistanceStats{}, false
+	}
+	n := int64(t.NumEndpoints())
+	return DistanceStats{
+		Mean:      a.AvgDistance(),
+		Max:       dm.Diameter(),
+		Pairs:     n * (n - 1),
+		ExactMean: true,
+		ExactMax:  true,
+	}, true
 }
 
 // exhaustive enumerates all ordered distinct pairs, partitioned by source

@@ -72,6 +72,7 @@ func New(p, a, h int) (*Dragonfly, error) {
 			d.net.AddDuplex(d.rBase+ra, d.rBase+rb)
 		}
 	}
+	d.net.Seal()
 	return d, nil
 }
 

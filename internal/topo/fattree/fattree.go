@@ -22,11 +22,18 @@
 // inbound traffic onto its own dedicated down-path (no two destinations
 // share a down-link), which is what makes the fattree non-blocking for
 // admissible traffic. The descent follows the destination digits.
+//
+// The link-id space is closed-form: cables are ordered by level ascending,
+// then switch (a-rank outer, b-rank inner), then down-port; cable c yields
+// the switch→child link 2c and the child→switch link 2c+1. NewImplicit
+// builds an instance that computes these ids on demand and only
+// materialises the link table if Links() is called.
 package fattree
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"mtier/internal/topo"
 )
@@ -35,7 +42,6 @@ import (
 // its own endpoint population) and topo.Fabric (switch-level service for
 // the hybrid topologies).
 type GTree struct {
-	net  topo.Net
 	m, w []int
 	name string
 
@@ -43,15 +49,35 @@ type GTree struct {
 	levelCount   []int // switches per level, index 0 unused
 	levelOffset  []int // first vertex id of each switch level, index 0 unused
 	numSwitches  int
+	numVertices  int
 
 	// aStride[j] = Π_{i<j} m_i: stride of digit a_{j+1}'s... see digitsOf.
 	mStride []int
 	wStride []int
+
+	// cableBase[i] = cables owned by levels < i (each level-i switch owns
+	// its m_{i-1} down cables, in (a, b, down-port) order).
+	cableBase []int
+
+	once sync.Once
+	net  *topo.Net // materialised link table; nil until first needed
 }
 
-// New builds a generalized fattree with the given down-arities and
-// up-multiplicities. len(w) == len(m), w[0] == 1.
+// New builds a materialised generalized fattree with the given
+// down-arities and up-multiplicities. len(w) == len(m), w[0] == 1.
 func New(m, w []int) (*GTree, error) {
+	g, err := NewImplicit(m, w)
+	if err != nil {
+		return nil, err
+	}
+	g.once.Do(g.materialise)
+	return g, nil
+}
+
+// NewImplicit builds a generalized fattree that computes link ids on
+// demand and only materialises its link table if Links() is called.
+// Routes, link ids and Name are identical to New's.
+func NewImplicit(m, w []int) (*GTree, error) {
 	n := len(m)
 	if n == 0 || len(w) != n {
 		return nil, fmt.Errorf("fattree: need matching non-empty arities, got m=%v w=%v", m, w)
@@ -84,6 +110,7 @@ func New(m, w []int) (*GTree, error) {
 
 	g.levelCount = make([]int, n+1)
 	g.levelOffset = make([]int, n+1)
+	g.cableBase = make([]int, n+2)
 	offset := g.numEndpoints
 	for i := 1; i <= n; i++ {
 		// Π_{j>i} m_j × Π_{j<=i} w_j
@@ -92,31 +119,48 @@ func New(m, w []int) (*GTree, error) {
 		g.levelOffset[i] = offset
 		offset += cnt
 		g.numSwitches += cnt
+		g.cableBase[i+1] = g.cableBase[i] + cnt*m[i-1]
 	}
-	g.net.AddVertices(offset)
+	g.numVertices = offset
+	return g, nil
+}
 
+func (g *GTree) materialise() {
+	net := &topo.Net{}
+	net.AddVertices(g.numVertices)
 	// Cable every level-i switch to its m_i children.
-	for i := 1; i <= n; i++ {
+	for i := 1; i <= len(g.m); i++ {
 		aCount := g.numEndpoints / g.mStride[i] // digits a_{i+1..n}
 		bCount := g.wStride[i]                  // digits b_1..b_i
 		for a := 0; a < aCount; a++ {
 			for b := 0; b < bCount; b++ {
 				sw := g.levelOffset[i] + b + bCount*a
-				bChild := b % g.wStride[i-1] // drop b_i
-				for ai := 0; ai < m[i-1]; ai++ {
-					aChild := ai + m[i-1]*a // prepend a_i
-					var child int
-					if i == 1 {
-						child = aChild
-					} else {
-						child = g.levelOffset[i-1] + bChild + g.wStride[i-1]*aChild
-					}
-					g.net.AddDuplex(sw, child)
+				for ai := 0; ai < g.m[i-1]; ai++ {
+					net.AddDuplex(sw, g.child(i, a, b, ai))
 				}
 			}
 		}
 	}
-	return g, nil
+	net.Seal()
+	g.net = net
+}
+
+// child returns the vertex id of down-port ai of the level-i switch with
+// a-rank a and b-rank b.
+func (g *GTree) child(i, a, b, ai int) int {
+	aChild := ai + g.m[i-1]*a // prepend a_i
+	if i == 1 {
+		return aChild
+	}
+	bChild := b % g.wStride[i-1] // drop b_i
+	return g.levelOffset[i-1] + bChild + g.wStride[i-1]*aChild
+}
+
+// cable returns the cable index of down-port ai of the level-i switch with
+// a-rank a and b-rank b; links 2·cable (switch→child) and 2·cable+1
+// (child→switch) realise it.
+func (g *GTree) cable(i, a, b, ai int) int {
+	return g.cableBase[i] + (b+g.wStride[i]*a)*g.m[i-1] + ai
 }
 
 // NewKaryNTree builds the classic k-ary n-tree: m = (k,...,k),
@@ -135,13 +179,8 @@ func NewKaryNTree(k, n int) (*GTree, error) {
 	return New(m, w)
 }
 
-// NewThinTree builds the k:k'-ary n-tree of Navaridas et al. ("Reducing
-// complexity in tree-like computer interconnection networks"): a fattree
-// whose upward multiplicity is thinned by the slimming factor — every
-// level has w[i] = m[i-1]/slim up-links per down-link group, trading
-// bisection bandwidth for switches. slim must divide every arity above the
-// leaves. slim == 1 is the non-blocking fattree.
-func NewThinTree(m []int, slim int) (*GTree, error) {
+// thinArities derives the up-multiplicities of the k:k'-ary thin tree.
+func thinArities(m []int, slim int) ([]int, error) {
 	if slim < 1 {
 		return nil, fmt.Errorf("fattree: slimming factor must be >= 1, got %d", slim)
 	}
@@ -158,19 +197,52 @@ func NewThinTree(m []int, slim int) (*GTree, error) {
 			w[i] = 1
 		}
 	}
+	return w, nil
+}
+
+// NewThinTree builds the k:k'-ary n-tree of Navaridas et al. ("Reducing
+// complexity in tree-like computer interconnection networks"): a fattree
+// whose upward multiplicity is thinned by the slimming factor — every
+// level has w[i] = m[i-1]/slim up-links per down-link group, trading
+// bisection bandwidth for switches. slim must divide every arity above the
+// leaves. slim == 1 is the non-blocking fattree.
+func NewThinTree(m []int, slim int) (*GTree, error) {
+	w, err := thinArities(m, slim)
+	if err != nil {
+		return nil, err
+	}
 	return New(m, w)
+}
+
+// NewThinTreeImplicit is NewThinTree in the implicit representation.
+func NewThinTreeImplicit(m []int, slim int) (*GTree, error) {
+	w, err := thinArities(m, slim)
+	if err != nil {
+		return nil, err
+	}
+	return NewImplicit(m, w)
+}
+
+// nonBlockingArities derives the fully-provisioned up-multiplicities.
+func nonBlockingArities(m []int) []int {
+	w := make([]int, len(m))
+	w[0] = 1
+	for i := 1; i < len(m); i++ {
+		w[i] = m[i-1]
+	}
+	return w
 }
 
 // NewNonBlocking builds a fully-provisioned tree over the given down-arities
 // (w[i] = m[i-1]): every level has as many up-ports as down-ports, the
 // no-over-subscription configuration the paper evaluates.
 func NewNonBlocking(m []int) (*GTree, error) {
-	w := make([]int, len(m))
-	w[0] = 1
-	for i := 1; i < len(m); i++ {
-		w[i] = m[i-1]
-	}
-	return New(m, w)
+	return New(m, nonBlockingArities(m))
+}
+
+// NewNonBlockingImplicit is NewNonBlocking in the implicit representation.
+func NewNonBlockingImplicit(m []int) (*GTree, error) {
+	return NewImplicit(m, nonBlockingArities(m))
 }
 
 func arityString(m, w []int) string {
@@ -191,13 +263,40 @@ func (g *GTree) Name() string { return g.name }
 func (g *GTree) NumEndpoints() int { return g.numEndpoints }
 
 // NumVertices implements topo.Topology.
-func (g *GTree) NumVertices() int { return g.net.NumVertices() }
+func (g *GTree) NumVertices() int { return g.numVertices }
 
 // NumLinks implements topo.Topology.
-func (g *GTree) NumLinks() int { return g.net.NumLinks() }
+func (g *GTree) NumLinks() int { return 2 * g.cableBase[len(g.m)+1] }
 
-// Links implements topo.Topology.
-func (g *GTree) Links() []topo.Link { return g.net.Links() }
+// Links implements topo.Topology, materialising the table on first call
+// for implicit instances.
+func (g *GTree) Links() []topo.Link {
+	g.once.Do(g.materialise)
+	return g.net.Links()
+}
+
+// LinkEnds implements topo.Generative.
+func (g *GTree) LinkEnds(id int32) (from, to int32) {
+	if id < 0 || int(id) >= g.NumLinks() {
+		panic(fmt.Sprintf("fattree: link id %d out of range", id))
+	}
+	cable := int(id) / 2
+	i := 1
+	for cable >= g.cableBase[i+1] {
+		i++
+	}
+	r := cable - g.cableBase[i]
+	ai := r % g.m[i-1]
+	comp := r / g.m[i-1] // b + wStride[i]*a
+	b := comp % g.wStride[i]
+	a := comp / g.wStride[i]
+	sw := int32(g.levelOffset[i] + comp)
+	ch := int32(g.child(i, a, b, ai))
+	if id%2 == 0 {
+		return sw, ch
+	}
+	return ch, sw
+}
 
 // digit j (1-based) of endpoint ep in the mixed-radix a-space.
 func (g *GTree) digit(ep, j int) int {
@@ -250,10 +349,10 @@ func (g *GTree) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
 		return buf
 	}
 	l := g.ncaLevel(src, dst)
-	cur := src
 	// Ascend: at each step from level i-1 to i, keep the a-suffix of src and
 	// extend b with b_i = a_{i-1}(dst) mod w_i (D-mod-k; b_1 is always 0).
-	// A non-zero route choice rotates the selected up-port.
+	// A non-zero route choice rotates the selected up-port. The traversed
+	// cable is down-port a_i(src) of the level-i switch reached.
 	bIdx := 0
 	for i := 1; i <= l; i++ {
 		bi := 0
@@ -262,21 +361,17 @@ func (g *GTree) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
 		}
 		bIdx += bi * g.wStride[i-1]
 		aIdx := src / g.mStride[i]
-		next := g.switchVertex(i, aIdx, bIdx)
-		buf = g.net.AppendHop(buf, cur, next)
-		cur = next
+		buf = append(buf, int32(2*g.cable(i, aIdx, bIdx, g.digit(src, i))+1))
 	}
-	// Descend: adopt dst's a-digits one level at a time, shrinking b.
+	// Descend: adopt dst's a-digits one level at a time, shrinking b. The
+	// hop from level i+1 to level i uses down-port a_{i+1}(dst) of the
+	// current switch (whose b-rank is bIdx before it shrinks).
 	for i := l - 1; i >= 1; i-- {
+		buf = append(buf, int32(2*g.cable(i+1, dst/g.mStride[i+1], bIdx, g.digit(dst, i+1))))
 		bIdx %= g.wStride[i]
-		// a-digits of the level-i node: dst digits a_{i+1..l}, src==dst above l.
-		aIdx := dst / g.mStride[i]
-		next := g.switchVertex(i, aIdx, bIdx)
-		buf = g.net.AppendHop(buf, cur, next)
-		cur = next
 	}
 	if l >= 1 {
-		buf = g.net.AppendHop(buf, cur, dst)
+		buf = append(buf, int32(2*g.cable(1, dst/g.mStride[1], bIdx, g.digit(dst, 1))))
 	}
 	return buf
 }
@@ -327,26 +422,68 @@ func (g *GTree) AttachSwitch(ep int) int {
 }
 
 // SwitchCables implements topo.Fabric: all switch-to-switch cables with
-// fabric-local ids.
+// fabric-local ids, each listed child first (the lower vertex id). They
+// are generated directly in the closed-form cable order (level 2 upward)
+// so implicit instances need not materialise their link table.
 func (g *GTree) SwitchCables() [][2]int32 {
-	var out [][2]int32
-	seen := make(map[[2]int32]bool)
-	base := int32(g.levelOffset[1])
-	for _, l := range g.net.Links() {
-		if l.From < base || l.To < base {
-			continue // endpoint attachment, not a switch cable
-		}
-		a, b := l.From-base, l.To-base
-		if a > b {
-			a, b = b, a
-		}
-		key := [2]int32{a, b}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, key)
+	out := make([][2]int32, 0, g.NumSwitchCables())
+	base := g.levelOffset[1]
+	for i := 2; i <= len(g.m); i++ {
+		aCount := g.numEndpoints / g.mStride[i]
+		bCount := g.wStride[i]
+		for a := 0; a < aCount; a++ {
+			for b := 0; b < bCount; b++ {
+				sw := g.levelOffset[i] + b + bCount*a
+				for ai := 0; ai < g.m[i-1]; ai++ {
+					out = append(out, [2]int32{int32(g.child(i, a, b, ai) - base), int32(sw - base)})
+				}
+			}
 		}
 	}
 	return out
+}
+
+// NumSwitchCables implements topo.CableIndexer: the cables above level 1.
+func (g *GTree) NumSwitchCables() int {
+	return g.cableBase[len(g.m)+1] - g.cableBase[2]
+}
+
+// SwitchCableBetween implements topo.CableIndexer. SwitchCables lists each
+// cable child-first, so the a→b hop is forward exactly when a is the
+// child (the lower fabric-local id).
+func (g *GTree) SwitchCableBetween(a, b int32) (cable int32, forward bool) {
+	forward = a < b
+	if !forward {
+		a, b = b, a
+	}
+	child, parent := int(a)+g.levelOffset[1], int(b)+g.levelOffset[1]
+	// Level of the parent: levels occupy ascending vertex ranges.
+	i := 1
+	for i < len(g.m) && parent >= g.levelOffset[i+1] {
+		i++
+	}
+	if i < 2 || child < g.levelOffset[i-1] || child >= g.levelOffset[i] {
+		panic(fmt.Sprintf("fattree: switches %d and %d are not adjacent levels", a, b))
+	}
+	idxP := parent - g.levelOffset[i]
+	bP := idxP % g.wStride[i]
+	aP := idxP / g.wStride[i]
+	aC := (child - g.levelOffset[i-1]) / g.wStride[i-1]
+	ai := aC % g.m[i-1]
+	return int32(g.cable(i, aP, bP, ai) - g.cableBase[2]), forward
+}
+
+// PortPairDistanceSum implements topo.FabricDistancer: the sum of
+// SwitchDistance (2·(NCA level − 1) above the leaves) over all ordered
+// port pairs.
+func (g *GTree) PortPairDistanceSum() float64 {
+	e := float64(g.numEndpoints)
+	total := 0.0
+	for j := 2; j <= len(g.m); j++ {
+		pairs := e * float64(g.mStride[j]-g.mStride[j-1])
+		total += pairs * float64(2*(j-1))
+	}
+	return total
 }
 
 // SwitchDistance implements topo.Fabric: 2·(NCA level - 1) between the
@@ -394,7 +531,10 @@ func (g *GTree) SwitchPathAppend(buf []int32, srcPort, dstPort int) []int32 {
 }
 
 var (
-	_ topo.Topology    = (*GTree)(nil)
-	_ topo.Fabric      = (*GTree)(nil)
-	_ topo.MultiRouter = (*GTree)(nil)
+	_ topo.Topology        = (*GTree)(nil)
+	_ topo.Fabric          = (*GTree)(nil)
+	_ topo.MultiRouter     = (*GTree)(nil)
+	_ topo.Generative      = (*GTree)(nil)
+	_ topo.CableIndexer    = (*GTree)(nil)
+	_ topo.FabricDistancer = (*GTree)(nil)
 )

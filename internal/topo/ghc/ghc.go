@@ -4,10 +4,19 @@
 // of a mixed-radix grid, each dimension is a complete graph (every switch
 // is directly cabled to every other switch sharing all remaining
 // coordinates), and a fixed number of endpoints concentrate on each switch.
+//
+// The link-id space is closed-form: host cable e (endpoint e to its
+// switch) occupies links 2e and 2e+1; switch cables follow, ordered by
+// owning switch ascending, dimension ascending, far coordinate ascending —
+// which is exactly the materialised construction order. NewImplicit builds
+// an instance that computes these ids on demand and only materialises the
+// link table if Links() is called.
 package ghc
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"mtier/internal/grid"
 	"mtier/internal/topo"
@@ -15,7 +24,6 @@ import (
 
 // GHC is a generalised hypercube of switches with endpoint concentration.
 type GHC struct {
-	net    topo.Net
 	dims   grid.Shape
 	stride []int // stride[d] = product of dims below d
 	conc   int   // endpoints per switch
@@ -24,12 +32,33 @@ type GHC struct {
 	numSwitches  int
 	numEndpoints int
 	swBase       int // vertex id of switch 0
+
+	// swCableBase[s] = switch cables owned by switches < s; switch s owns
+	// one cable per dimension d and far coordinate v in
+	// (coord_d(s), k_d): cables to every higher-coordinate switch of each
+	// of its rings, in (d, v) order.
+	swCableBase []int32
+
+	once sync.Once
+	net  *topo.Net // materialised link table; nil until first needed
 }
 
-// New builds a GHC with the given per-dimension sizes and endpoints per
-// switch. A GHC with dims {8,8,8,16} and conc 16 hosts the paper-scale
-// 131,072 endpoints on 8,192 switches.
+// New builds a materialised GHC with the given per-dimension sizes and
+// endpoints per switch. A GHC with dims {8,8,8,16} and conc 16 hosts the
+// paper-scale 131,072 endpoints on 8,192 switches.
 func New(dims grid.Shape, conc int) (*GHC, error) {
+	g, err := NewImplicit(dims, conc)
+	if err != nil {
+		return nil, err
+	}
+	g.once.Do(g.materialise)
+	return g, nil
+}
+
+// NewImplicit builds a GHC that computes link ids on demand and only
+// materialises its link table if Links() is called. Routes, link ids and
+// Name are identical to New's.
+func NewImplicit(dims grid.Shape, conc int) (*GHC, error) {
 	if err := dims.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,28 +79,80 @@ func New(dims grid.Shape, conc int) (*GHC, error) {
 	g.numSwitches = dims.Size()
 	g.numEndpoints = conc * g.numSwitches
 	g.swBase = g.numEndpoints
-	g.net.AddVertices(g.numEndpoints + g.numSwitches)
 
+	g.swCableBase = make([]int32, g.numSwitches+1)
+	cables := int32(0)
+	for s := 0; s < g.numSwitches; s++ {
+		g.swCableBase[s] = cables
+		for d, k := range dims {
+			cables += int32(k - 1 - (s/g.stride[d])%k)
+		}
+	}
+	g.swCableBase[g.numSwitches] = cables
+	return g, nil
+}
+
+func (g *GHC) materialise() {
+	net := &topo.Net{}
+	net.AddVertices(g.numEndpoints + g.numSwitches)
 	// Host links.
 	for ep := 0; ep < g.numEndpoints; ep++ {
-		g.net.AddDuplex(ep, g.swBase+ep/conc)
+		net.AddDuplex(ep, g.swBase+ep/g.conc)
 	}
 	// Dimension links: each dimension is a complete graph among switches
 	// sharing the remaining coordinates. Add each cable once (lower
 	// coordinate first).
-	coord := make([]int, dims.Dims())
+	coord := make([]int, g.dims.Dims())
 	for s := 0; s < g.numSwitches; s++ {
-		dims.CoordInto(s, coord)
-		for d, k := range dims {
+		g.dims.CoordInto(s, coord)
+		for d, k := range g.dims {
 			orig := coord[d]
 			for v := orig + 1; v < k; v++ {
 				coord[d] = v
-				g.net.AddDuplex(g.swBase+s, g.swBase+dims.Rank(coord))
+				net.AddDuplex(g.swBase+s, g.swBase+g.dims.Rank(coord))
 			}
 			coord[d] = orig
 		}
 	}
-	return g, nil
+	net.Seal()
+	g.net = net
+}
+
+// swCable returns the index (in the switch-cable space) of the cable
+// joining adjacent switches x and y, which must differ in exactly
+// dimension d, and whether x is its owner (the lower-coordinate end the
+// forward link leaves from).
+func (g *GHC) swCable(x, y, d int) (cable int32, fromOwner bool) {
+	k := g.dims[d]
+	cx := (x / g.stride[d]) % k
+	cy := (y / g.stride[d]) % k
+	if cx > cy {
+		x, cx, cy, fromOwner = y, cy, cx, false
+	} else {
+		fromOwner = true
+	}
+	off := int32(0)
+	for d2 := 0; d2 < d; d2++ {
+		off += int32(g.dims[d2] - 1 - (x/g.stride[d2])%g.dims[d2])
+	}
+	return g.swCableBase[x] + off + int32(cy-cx-1), fromOwner
+}
+
+// hostUp returns the endpoint→switch link id of endpoint ep.
+func (g *GHC) hostUp(ep int) int32 { return int32(2 * ep) }
+
+// hostDown returns the switch→endpoint link id of endpoint ep.
+func (g *GHC) hostDown(ep int) int32 { return int32(2*ep + 1) }
+
+// swLink returns the link id of the hop between adjacent switches x and y
+// differing in dimension d.
+func (g *GHC) swLink(x, y, d int) int32 {
+	cable, fromOwner := g.swCable(x, y, d)
+	id := int32(2*g.numEndpoints) + 2*cable
+	if !fromOwner {
+		id++
+	}
+	return id
 }
 
 // Dims returns the switch-grid shape.
@@ -87,13 +168,52 @@ func (g *GHC) Name() string { return g.name }
 func (g *GHC) NumEndpoints() int { return g.numEndpoints }
 
 // NumVertices implements topo.Topology.
-func (g *GHC) NumVertices() int { return g.net.NumVertices() }
+func (g *GHC) NumVertices() int { return g.numEndpoints + g.numSwitches }
 
 // NumLinks implements topo.Topology.
-func (g *GHC) NumLinks() int { return g.net.NumLinks() }
+func (g *GHC) NumLinks() int {
+	return 2 * (g.numEndpoints + int(g.swCableBase[g.numSwitches]))
+}
 
-// Links implements topo.Topology.
-func (g *GHC) Links() []topo.Link { return g.net.Links() }
+// Links implements topo.Topology, materialising the table on first call
+// for implicit instances.
+func (g *GHC) Links() []topo.Link {
+	g.once.Do(g.materialise)
+	return g.net.Links()
+}
+
+// LinkEnds implements topo.Generative.
+func (g *GHC) LinkEnds(id int32) (from, to int32) {
+	if id < 0 || int(id) >= g.NumLinks() {
+		panic(fmt.Sprintf("ghc: link id %d out of range", id))
+	}
+	cable := int(id) / 2
+	if cable < g.numEndpoints {
+		ep, sw := int32(cable), int32(g.swBase+cable/g.conc)
+		if id%2 == 0 {
+			return ep, sw
+		}
+		return sw, ep
+	}
+	c := int32(cable - g.numEndpoints)
+	// Largest s with swCableBase[s] <= c.
+	s := sort.Search(g.numSwitches, func(i int) bool { return g.swCableBase[i+1] > c })
+	off := c - g.swCableBase[s]
+	for d, k := range g.dims {
+		cd := (s / g.stride[d]) % k
+		cnt := int32(k - 1 - cd)
+		if off < cnt {
+			other := s + (int(off)+1)*g.stride[d]
+			a, b := int32(g.swBase+s), int32(g.swBase+other)
+			if id%2 == 0 {
+				return a, b
+			}
+			return b, a
+		}
+		off -= cnt
+	}
+	panic(fmt.Sprintf("ghc: link id %d out of range", id))
+}
 
 // RouteAppend implements topo.Topology: host link up, e-cube across the
 // switch grid (dimensions corrected in order, one hop each), host link down.
@@ -115,7 +235,7 @@ func (g *GHC) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
 		return buf
 	}
 	s1, s2 := src/g.conc, dst/g.conc
-	buf = g.net.AppendHop(buf, src, g.swBase+s1)
+	buf = append(buf, g.hostUp(src))
 	cur := s1
 	dims := g.dims.Dims()
 	for i := 0; i < dims; i++ {
@@ -126,11 +246,11 @@ func (g *GHC) RouteChoiceAppend(buf []int32, src, dst, choice int) []int32 {
 		cb := (s2 / stride) % k
 		if ca != cb {
 			next := cur + (cb-ca)*stride
-			buf = g.net.AppendHop(buf, g.swBase+cur, g.swBase+next)
+			buf = append(buf, g.swLink(cur, next, d))
 			cur = next
 		}
 	}
-	return g.net.AppendHop(buf, g.swBase+cur, dst)
+	return append(buf, g.hostDown(dst))
 }
 
 // Distance returns the hop count of the deterministic route.
@@ -184,20 +304,47 @@ func (g *GHC) NumEndpointPorts() int { return g.numEndpoints }
 // AttachSwitch implements topo.Fabric.
 func (g *GHC) AttachSwitch(ep int) int { return ep / g.conc }
 
-// SwitchCables implements topo.Fabric.
+// SwitchCables implements topo.Fabric, generated directly in the
+// closed-form cable order (owning switch, dimension, far coordinate) so
+// implicit instances need not materialise their link table.
 func (g *GHC) SwitchCables() [][2]int32 {
-	var out [][2]int32
-	base := int32(g.swBase)
-	for i, l := range g.Links() {
-		if i%2 != 0 { // AddDuplex emits forward then reverse; keep forward
-			continue
+	out := make([][2]int32, 0, g.swCableBase[g.numSwitches])
+	for s := 0; s < g.numSwitches; s++ {
+		for d, k := range g.dims {
+			cd := (s / g.stride[d]) % k
+			for v := cd + 1; v < k; v++ {
+				out = append(out, [2]int32{int32(s), int32(s + (v-cd)*g.stride[d])})
+			}
 		}
-		if l.From < base || l.To < base {
-			continue
-		}
-		out = append(out, [2]int32{l.From - base, l.To - base})
 	}
 	return out
+}
+
+// NumSwitchCables implements topo.CableIndexer.
+func (g *GHC) NumSwitchCables() int { return int(g.swCableBase[g.numSwitches]) }
+
+// SwitchCableBetween implements topo.CableIndexer.
+func (g *GHC) SwitchCableBetween(a, b int32) (cable int32, forward bool) {
+	x, y := int(a), int(b)
+	for d, k := range g.dims {
+		if (x/g.stride[d])%k != (y/g.stride[d])%k {
+			return g.swCable(x, y, d)
+		}
+	}
+	panic(fmt.Sprintf("ghc: switches %d and %d are not adjacent", a, b))
+}
+
+// PortPairDistanceSum implements topo.FabricDistancer: the sum of
+// SwitchDistance (switch-coordinate hamming distance) over all ordered
+// port pairs, conc² per ordered switch pair.
+func (g *GHC) PortPairDistanceSum() float64 {
+	s := float64(g.numSwitches)
+	c := float64(g.conc)
+	sum := 0.0
+	for _, k := range g.dims {
+		sum += s * s * (1 - 1/float64(k))
+	}
+	return c * c * sum
 }
 
 // SwitchPathAppend implements topo.Fabric with e-cube order between the
@@ -240,7 +387,10 @@ func (g *GHC) SwitchDiameter() int {
 }
 
 var (
-	_ topo.Topology    = (*GHC)(nil)
-	_ topo.Fabric      = (*GHC)(nil)
-	_ topo.MultiRouter = (*GHC)(nil)
+	_ topo.Topology        = (*GHC)(nil)
+	_ topo.Fabric          = (*GHC)(nil)
+	_ topo.MultiRouter     = (*GHC)(nil)
+	_ topo.Generative      = (*GHC)(nil)
+	_ topo.CableIndexer    = (*GHC)(nil)
+	_ topo.FabricDistancer = (*GHC)(nil)
 )

@@ -72,6 +72,7 @@ func New(switches, degree, conc int, seed int64) (*Jellyfish, error) {
 		j.adj[e[1]] = append(j.adj[e[1]], e[0])
 		j.net.AddDuplex(j.swBase+int(e[0]), j.swBase+int(e[1]))
 	}
+	j.net.Seal()
 	j.rebuildTables()
 	return j, nil
 }

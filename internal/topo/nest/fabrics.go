@@ -37,6 +37,15 @@ func factorBalanced(x, parts int) []int { return grid.FactorBalanced(x, parts) }
 // configuration), fewer for tiny systems. At the paper's full scale
 // (131,072 ports) this yields arities (32, 64, 64).
 func SuggestTree(ports int) (*fattree.GTree, error) {
+	return suggestTree(ports, false)
+}
+
+// SuggestTreeImplicit is SuggestTree with an implicit link table.
+func SuggestTreeImplicit(ports int) (*fattree.GTree, error) {
+	return suggestTree(ports, true)
+}
+
+func suggestTree(ports int, implicit bool) (*fattree.GTree, error) {
 	if ports < 1 {
 		return nil, fmt.Errorf("nest: need at least one port, got %d", ports)
 	}
@@ -55,6 +64,9 @@ func SuggestTree(ports int) (*fattree.GTree, error) {
 	if len(trimmed) == 0 {
 		trimmed = append(trimmed, 1)
 	}
+	if implicit {
+		return fattree.NewNonBlockingImplicit(trimmed)
+	}
 	return fattree.NewNonBlocking(trimmed)
 }
 
@@ -66,6 +78,15 @@ func SuggestTree(ports int) (*fattree.GTree, error) {
 // configuration exhibits (~1.6x). At the paper's full scale (131,072
 // ports) this reproduces exactly that grid: 8,192 switches, conc 16.
 func SuggestGHC(ports int) (*ghc.GHC, error) {
+	return suggestGHC(ports, false)
+}
+
+// SuggestGHCImplicit is SuggestGHC with an implicit link table.
+func SuggestGHCImplicit(ports int) (*ghc.GHC, error) {
+	return suggestGHC(ports, true)
+}
+
+func suggestGHC(ports int, implicit bool) (*ghc.GHC, error) {
 	if ports < 1 {
 		return nil, fmt.Errorf("nest: need at least one port, got %d", ports)
 	}
@@ -88,6 +109,9 @@ func SuggestGHC(ports int) (*ghc.GHC, error) {
 			best = c
 			break
 		}
+	}
+	if implicit {
+		return ghc.NewImplicit(ghcShape(ports/best), best)
 	}
 	return ghc.New(ghcShape(ports/best), best)
 }
@@ -112,6 +136,17 @@ func ghcShape(switches int) grid.Shape {
 // fabric: numSub subtori of shape sub, uplink density u, upper tier of the
 // given kind. It is the one-call constructor used by the experiment runner.
 func Build(kind UpperKind, sub grid.Shape, numSub, u int) (*Nest, error) {
+	return buildKind(kind, sub, numSub, u, false)
+}
+
+// BuildImplicit is Build with both tiers in the implicit representation:
+// link ids are computed on demand and no link table exists unless Links()
+// is called. Link ids, routes and names are identical to Build's.
+func BuildImplicit(kind UpperKind, sub grid.Shape, numSub, u int) (*Nest, error) {
+	return buildKind(kind, sub, numSub, u, true)
+}
+
+func buildKind(kind UpperKind, sub grid.Shape, numSub, u int, implicit bool) (*Nest, error) {
 	if err := sub.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,12 +156,15 @@ func Build(kind UpperKind, sub grid.Shape, numSub, u int) (*Nest, error) {
 		err error
 	)
 	if kind == UpperTree {
-		fab, err = SuggestTree(ports)
+		fab, err = suggestTree(ports, implicit)
 	} else {
-		fab, err = SuggestGHC(ports)
+		fab, err = suggestGHC(ports, implicit)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if implicit {
+		return NewImplicit(sub, numSub, u, fab)
 	}
 	return New(sub, numSub, u, fab)
 }
@@ -134,9 +172,18 @@ func Build(kind UpperKind, sub grid.Shape, numSub, u int) (*Nest, error) {
 // BuildCube is Build for the paper's cubic subtori: t nodes per dimension
 // and a total endpoint count of n (n must be a multiple of t³).
 func BuildCube(kind UpperKind, t, u, n int) (*Nest, error) {
+	return buildCube(kind, t, u, n, false)
+}
+
+// BuildCubeImplicit is BuildCube in the implicit representation.
+func BuildCubeImplicit(kind UpperKind, t, u, n int) (*Nest, error) {
+	return buildCube(kind, t, u, n, true)
+}
+
+func buildCube(kind UpperKind, t, u, n int, implicit bool) (*Nest, error) {
 	sub := grid.NewCube(3, t)
 	if n%sub.Size() != 0 {
 		return nil, fmt.Errorf("nest: %d endpoints not a multiple of subtorus size %d", n, sub.Size())
 	}
-	return Build(kind, sub, n/sub.Size(), u)
+	return buildKind(kind, sub, n/sub.Size(), u, implicit)
 }

@@ -23,23 +23,35 @@
 // subtori goes source → nearest uplinked node (DOR) → upper fabric
 // (minimal fabric routing) → uplinked node nearest the destination → DOR to
 // the destination.
+//
+// The link-id space is tier-ordered and closed-form: all subtorus cables
+// first (islands are identical, so island s's cables are island 0's
+// translated by s·cablesPerIsland), then one uplink cable per fabric port,
+// then the fabric cables in the fabric's SwitchCables() order. When the
+// fabric is a topo.CableIndexer (both the fattree and GHC fabrics are),
+// every link id is computable on demand; NewImplicit exploits that to skip
+// materialising the link table entirely, and intra-island route segments
+// are memoised by (source-class, destination-class) — the local-rank pair
+// — and translated per island.
 package nest
 
 import (
 	"fmt"
+	"sync"
 
 	"mtier/internal/grid"
 	"mtier/internal/topo"
+	"mtier/internal/topo/torus"
 )
 
 // Nest is a hybrid two-tier topology.
 type Nest struct {
-	net topo.Net
-
-	sub     grid.Shape // subtorus shape
+	sub     grid.Shape  // subtorus shape
+	subCod  torus.Coder // closed-form link ids of one island
 	numSub  int
 	u       int
 	fabric  topo.Fabric
+	cix     topo.CableIndexer // non-nil when the fabric is closed-form
 	name    string
 	nodes   int     // QFDBs = numSub * sub.Size()
 	swBase  int     // vertex id of fabric switch 0
@@ -51,17 +63,56 @@ type Nest struct {
 	nearest []int32
 	// maxToUp = max hops from any local rank to its designated uplink.
 	maxToUp int
+	// cablesPerIsland = subtorus cables of one island.
+	cablesPerIsland int
 	// Tier boundaries in the link-id space. Links are built in strict
 	// tier order (subtorus links, then uplinks, then fabric cables), so a
 	// link's tier is determined by its id range: [0, lowerEnd) subtorus,
 	// [lowerEnd, uplinkEnd) uplink, [uplinkEnd, NumLinks) fabric.
 	lowerEnd, uplinkEnd int
+	numLinks            int
+
+	// segs memoises island-0 DOR segments keyed by the (fromLocal,
+	// toLocal) class pair; per-island routes are the cached segment
+	// translated by the island's link-id base.
+	segs sync.Map
+
+	cablesOnce sync.Once
+	cables     [][2]int32 // fabric SwitchCables, cached for LinkEnds
+
+	once sync.Once
+	net  *topo.Net // materialised link table; nil until first needed
 }
 
-// New builds a hybrid topology of numSub subtori of the given shape, with
-// one uplink per u QFDBs, attached to the supplied upper-tier fabric. The
-// fabric must offer at least numSub*sub.Size()/u endpoint ports.
+// New builds a materialised hybrid topology of numSub subtori of the given
+// shape, with one uplink per u QFDBs, attached to the supplied upper-tier
+// fabric. The fabric must offer at least numSub*sub.Size()/u endpoint
+// ports.
 func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
+	n, err := newNest(sub, numSub, u, fabric)
+	if err != nil {
+		return nil, err
+	}
+	n.once.Do(n.materialise)
+	return n, nil
+}
+
+// NewImplicit builds a hybrid topology that computes link ids on demand
+// and only materialises its link table if Links() is called. It requires a
+// closed-form fabric (topo.CableIndexer). Routes, link ids and Name are
+// identical to New's.
+func NewImplicit(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
+	n, err := newNest(sub, numSub, u, fabric)
+	if err != nil {
+		return nil, err
+	}
+	if n.cix == nil {
+		return nil, fmt.Errorf("nest: implicit representation needs a closed-form fabric, %s is not a topo.CableIndexer", fabric.Name())
+	}
+	return n, nil
+}
+
+func newNest(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
 	if err := sub.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,11 +135,13 @@ func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
 	}
 	n := &Nest{
 		sub:    append(grid.Shape(nil), sub...),
+		subCod: torus.NewCoder(sub),
 		numSub: numSub,
 		u:      u,
 		fabric: fabric,
 		localN: sub.Size(),
 	}
+	n.cix, _ = fabric.(topo.CableIndexer)
 	n.nodes = numSub * n.localN
 	uplinks := n.nodes / u
 	if fabric.NumEndpointPorts() < uplinks {
@@ -102,43 +155,49 @@ func New(sub grid.Shape, numSub, u int, fabric topo.Fabric) (*Nest, error) {
 	}
 
 	n.swBase = n.nodes
-	n.net.AddVertices(n.nodes + fabric.NumSwitches())
-
-	// Lower tier: torus links inside every subtorus.
-	coord := make([]int, 3)
-	for s := 0; s < numSub; s++ {
-		base := s * n.localN
-		for v := 0; v < n.localN; v++ {
-			sub.CoordInto(v, coord)
-			for d, k := range sub {
-				if k == 1 {
-					continue
-				}
-				if k == 2 && coord[d] == 1 {
-					continue
-				}
-				orig := coord[d]
-				coord[d] = (orig + 1) % k
-				n.net.AddDuplex(base+v, base+sub.Rank(coord))
-				coord[d] = orig
-			}
-		}
-	}
-	n.lowerEnd = n.net.NumLinks()
-	// Uplinks: QFDB -> hosting switch.
-	for s := 0; s < numSub; s++ {
-		for i, lr := range n.upLocal {
-			port := s*len(n.upLocal) + i
-			sw := fabric.AttachSwitch(port)
-			n.net.AddDuplex(s*n.localN+int(lr), n.swBase+sw)
-		}
-	}
-	n.uplinkEnd = n.net.NumLinks()
-	// Upper tier switch cables.
-	for _, c := range fabric.SwitchCables() {
-		n.net.AddDuplex(n.swBase+int(c[0]), n.swBase+int(c[1]))
+	n.cablesPerIsland = n.subCod.NumCables()
+	n.lowerEnd = 2 * n.cablesPerIsland * numSub
+	n.uplinkEnd = n.lowerEnd + 2*uplinks
+	if n.cix != nil {
+		n.numLinks = n.uplinkEnd + 2*n.cix.NumSwitchCables()
+	} else {
+		n.numLinks = n.uplinkEnd + 2*len(fabric.SwitchCables())
 	}
 	return n, nil
+}
+
+func (n *Nest) materialise() {
+	net := &topo.Net{}
+	net.AddVertices(n.nodes + n.fabric.NumSwitches())
+
+	// Lower tier: torus links inside every subtorus, in the canonical
+	// construction order the coder's closed forms reproduce.
+	for s := 0; s < n.numSub; s++ {
+		n.subCod.Materialise(net, s*n.localN)
+	}
+	if net.NumLinks() != n.lowerEnd {
+		panic(fmt.Sprintf("nest: %d subtorus links, closed form predicts %d", net.NumLinks(), n.lowerEnd))
+	}
+	// Uplinks: QFDB -> hosting switch.
+	for s := 0; s < n.numSub; s++ {
+		for i, lr := range n.upLocal {
+			port := s*len(n.upLocal) + i
+			sw := n.fabric.AttachSwitch(port)
+			net.AddDuplex(s*n.localN+int(lr), n.swBase+sw)
+		}
+	}
+	if net.NumLinks() != n.uplinkEnd {
+		panic(fmt.Sprintf("nest: %d lower+uplink links, closed form predicts %d", net.NumLinks(), n.uplinkEnd))
+	}
+	// Upper tier switch cables.
+	for _, c := range n.fabric.SwitchCables() {
+		net.AddDuplex(n.swBase+int(c[0]), n.swBase+int(c[1]))
+	}
+	if net.NumLinks() != n.numLinks {
+		panic(fmt.Sprintf("nest: %d links, closed form predicts %d", net.NumLinks(), n.numLinks))
+	}
+	net.Seal()
+	n.net = net
 }
 
 // computeUplinkPlan fills upLocal, portOf, nearest and maxToUp according to
@@ -216,44 +275,108 @@ func (n *Nest) Name() string { return n.name }
 func (n *Nest) NumEndpoints() int { return n.nodes }
 
 // NumVertices implements topo.Topology.
-func (n *Nest) NumVertices() int { return n.net.NumVertices() }
+func (n *Nest) NumVertices() int { return n.nodes + n.fabric.NumSwitches() }
 
 // NumLinks implements topo.Topology.
-func (n *Nest) NumLinks() int { return n.net.NumLinks() }
+func (n *Nest) NumLinks() int { return n.numLinks }
 
-// Links implements topo.Topology.
-func (n *Nest) Links() []topo.Link { return n.net.Links() }
+// Links implements topo.Topology, materialising the table on first call
+// for implicit instances.
+func (n *Nest) Links() []topo.Link {
+	n.once.Do(n.materialise)
+	return n.net.Links()
+}
+
+// LinkEnds implements topo.Generative.
+func (n *Nest) LinkEnds(id int32) (from, to int32) {
+	if id < 0 || int(id) >= n.numLinks {
+		panic(fmt.Sprintf("nest: link %d out of range", id))
+	}
+	switch {
+	case int(id) < n.lowerEnd:
+		island := int(id) / (2 * n.cablesPerIsland)
+		base := int32(island * n.localN)
+		f, t := n.subCod.LinkEnds(id % int32(2*n.cablesPerIsland))
+		return base + f, base + t
+	case int(id) < n.uplinkEnd:
+		port := (int(id) - n.lowerEnd) / 2
+		island := port / len(n.upLocal)
+		qfdb := int32(island*n.localN + int(n.upLocal[port%len(n.upLocal)]))
+		sw := int32(n.swBase + n.fabric.AttachSwitch(port))
+		if (int(id)-n.lowerEnd)%2 == 0 {
+			return qfdb, sw
+		}
+		return sw, qfdb
+	default:
+		cable := (int(id) - n.uplinkEnd) / 2
+		c := n.cableEnds(int32(cable))
+		f := int32(n.swBase) + c[0]
+		t := int32(n.swBase) + c[1]
+		if (int(id)-n.uplinkEnd)%2 == 0 {
+			return f, t
+		}
+		return t, f
+	}
+}
+
+// cableEnds resolves fabric cable index to its switch pair. Closed-form
+// fabrics regenerate small runs of SwitchCables lazily; to stay O(1) per
+// lookup without holding the whole table, the table is cached on first use
+// (it is ~16 bytes per cable — two orders of magnitude smaller than the
+// link table plus adjacency it replaces).
+func (n *Nest) cableEnds(cable int32) [2]int32 {
+	n.cablesOnce.Do(func() { n.cables = n.fabric.SwitchCables() })
+	return n.cables[cable]
+}
+
+// localSeg returns the memoised island-0 DOR link-id segment for a
+// (fromLocal, toLocal) class pair.
+func (n *Nest) localSeg(from, to int) []int32 {
+	key := int64(from)<<32 | int64(uint32(to))
+	if v, ok := n.segs.Load(key); ok {
+		return v.([]int32)
+	}
+	seg := n.subCod.DORAppend(make([]int32, 0, 8), from, to, 0, 0)
+	v, _ := n.segs.LoadOrStore(key, seg)
+	return v.([]int32)
+}
 
 // dorAppend appends the dimension-order route between two local ranks of
-// subtorus s onto buf.
+// subtorus s onto buf: the island-0 segment of the class pair, translated
+// by the island's link-id base.
 func (n *Nest) dorAppend(buf []int32, s, fromLocal, toLocal int) []int32 {
-	base := s * n.localN
-	cur := base + fromLocal
-	a, b := fromLocal, toLocal
-	stride := 1
-	for _, k := range n.sub {
-		ca, cb := a%k, b%k
-		delta := grid.WrapDelta(ca, cb, k)
-		step := stride
-		if delta < 0 {
-			step, delta = -stride, -delta
-		}
-		for i := 0; i < delta; i++ {
-			c := ((cur - base) / stride) % k
-			next := cur + step
-			if step > 0 && c == k-1 {
-				next = cur - (k-1)*stride
-			} else if step < 0 && c == 0 {
-				next = cur + (k-1)*stride
-			}
-			buf = n.net.AppendHop(buf, cur, next)
-			cur = next
-		}
-		a /= k
-		b /= k
-		stride *= k
+	base := int32(s * 2 * n.cablesPerIsland)
+	for _, id := range n.localSeg(fromLocal, toLocal) {
+		buf = append(buf, base+id)
 	}
 	return buf
+}
+
+// uplinkUp returns the QFDB→switch link id of fabric port p.
+func (n *Nest) uplinkUp(p int) int32 { return int32(n.lowerEnd + 2*p) }
+
+// uplinkDown returns the switch→QFDB link id of fabric port p.
+func (n *Nest) uplinkDown(p int) int32 { return int32(n.lowerEnd + 2*p + 1) }
+
+// fabricLink returns the link id of the hop between adjacent fabric
+// switches x and y (fabric-local ids).
+func (n *Nest) fabricLink(x, y int32) int32 {
+	if n.cix != nil {
+		cable, forward := n.cix.SwitchCableBetween(x, y)
+		id := int32(n.uplinkEnd) + 2*cable
+		if !forward {
+			id++
+		}
+		return id
+	}
+	// Fallback for custom fabrics without closed-form cable ids: the
+	// materialised adjacency.
+	n.once.Do(n.materialise)
+	id, ok := n.net.LinkBetween(n.swBase+int(x), n.swBase+int(y))
+	if !ok {
+		panic(fmt.Sprintf("nest: no fabric link %d -> %d", x, y))
+	}
+	return id
 }
 
 // RouteAppend implements topo.Topology with the paper's three-phase
@@ -276,16 +399,14 @@ func (n *Nest) RouteAppend(buf []int32, src, dst int) []int32 {
 	buf = n.dorAppend(buf, sSub, sLoc, aLoc)
 	aPort := sSub*len(n.upLocal) + int(n.portOf[aLoc])
 	bPort := dSub*len(n.upLocal) + int(n.portOf[bLoc])
-	aSw := n.fabric.AttachSwitch(aPort)
-	bSw := n.fabric.AttachSwitch(bPort)
-	buf = n.net.AppendHop(buf, sSub*n.localN+aLoc, n.swBase+aSw)
+	buf = append(buf, n.uplinkUp(aPort))
 	// Fabric switch path (fabric-local ids, first element == aSw).
 	var spBuf [16]int32
 	sp := n.fabric.SwitchPathAppend(spBuf[:0], aPort, bPort)
 	for i := 1; i < len(sp); i++ {
-		buf = n.net.AppendHop(buf, n.swBase+int(sp[i-1]), n.swBase+int(sp[i]))
+		buf = append(buf, n.fabricLink(sp[i-1], sp[i]))
 	}
-	buf = n.net.AppendHop(buf, n.swBase+bSw, dSub*n.localN+bLoc)
+	buf = append(buf, n.uplinkDown(bPort))
 	if bLoc != dLoc {
 		buf = n.dorAppend(buf, dSub, bLoc, dLoc)
 	}
@@ -329,6 +450,61 @@ func (n *Nest) Diameter() int {
 	return inter
 }
 
+// AvgDistance returns the exact mean route length over ordered distinct
+// endpoint pairs, decomposed by the hierarchy: intra-island pairs follow
+// the subtorus closed form; inter-island pairs add the source's hops to
+// its designated uplink, the two uplink hops, the fabric switch distance
+// and the destination's hops from its uplink. Every uplinked rank serves
+// exactly u locals, so the fabric term is u² times the port-pair distance
+// sum, with same-island port pairs (which never ride the fabric together)
+// subtracted island by island.
+func (n *Nest) AvgDistance() float64 {
+	nn := float64(n.nodes)
+	if n.numSub == 1 {
+		// Single island: pure subtorus; TorusAvgDist averages over ordered
+		// pairs including self, so rescale to distinct pairs.
+		return n.sub.TorusAvgDist() * nn * nn / (nn * (nn - 1))
+	}
+	localN := float64(n.localN)
+	subs := float64(n.numSub)
+	// Intra-island ordered distinct pairs: self-pairs contribute 0 to the
+	// sum, so localN²·mean-including-self is the distinct-pair sum.
+	intraSum := subs * localN * localN * n.sub.TorusAvgDist()
+	// Hops from each local rank to its designated uplink.
+	toUpSum := 0.0
+	for v := 0; v < n.localN; v++ {
+		toUpSum += float64(n.sub.TorusDist(v, int(n.nearest[v])))
+	}
+	interPairs := subs * (subs - 1) * localN * localN
+	interSum := 2*interPairs + 2*subs*(subs-1)*localN*toUpSum
+	// Fabric term: sum of SwitchDistance over ordered port pairs on
+	// different islands, weighted u² (each port serves u locals).
+	ports := n.numSub * len(n.upLocal)
+	var allSum float64
+	if fd, ok := n.fabric.(topo.FabricDistancer); ok {
+		allSum = fd.PortPairDistanceSum()
+	} else {
+		for a := 0; a < ports; a++ {
+			for b := 0; b < ports; b++ {
+				allSum += float64(n.fabric.SwitchDistance(a, b))
+			}
+		}
+	}
+	sameIsland := 0.0
+	perIsland := len(n.upLocal)
+	for s := 0; s < n.numSub; s++ {
+		base := s * perIsland
+		for a := 0; a < perIsland; a++ {
+			for b := 0; b < perIsland; b++ {
+				sameIsland += float64(n.fabric.SwitchDistance(base+a, base+b))
+			}
+		}
+	}
+	u := float64(n.u)
+	interSum += u * u * (allSum - sameIsland)
+	return (intraSum + interSum) / (nn * (nn - 1))
+}
+
 // MaxHopsToUplink returns the worst-case lower-tier hops from a QFDB to its
 // designated uplinked node (0 for u=1, 1 for u=2 and u=4, 3 for u=8).
 func (n *Nest) MaxHopsToUplink() int { return n.maxToUp }
@@ -352,7 +528,7 @@ func (n *Nest) TierName(tier int) string {
 // LinkTier implements topo.Tiered by range over the construction-ordered
 // link id space.
 func (n *Nest) LinkTier(link int32) int {
-	if link < 0 || int(link) >= n.net.NumLinks() {
+	if link < 0 || int(link) >= n.numLinks {
 		panic(fmt.Sprintf("nest: link %d out of range", link))
 	}
 	switch {
@@ -367,3 +543,4 @@ func (n *Nest) LinkTier(link int32) int {
 
 var _ topo.Topology = (*Nest)(nil)
 var _ topo.Tiered = (*Nest)(nil)
+var _ topo.Generative = (*Nest)(nil)

@@ -45,6 +45,35 @@ func Route(t Topology, src, dst int) []int32 {
 	return t.RouteAppend(nil, src, dst)
 }
 
+// Generative is implemented by topologies whose link table is defined by
+// closed-form index arithmetic: any directed link can be described from its
+// id alone, without materialising []Link. Implicit (non-materialised)
+// instances of such topologies still satisfy the full Topology contract —
+// Links() materialises the table lazily on first call — but callers that go
+// through LinkEnds/LinkAt never force that materialisation, which is what
+// keeps n=131,072 instances within memory bounds.
+//
+// Contract: LinkEnds(id) must equal Links()[id] for every id in
+// [0, NumLinks()), i.e. the closed form reproduces the construction order
+// of the materialised builder exactly.
+type Generative interface {
+	Topology
+	// LinkEnds returns the endpoints of directed link id. It panics if the
+	// id is out of range.
+	LinkEnds(id int32) (from, to int32)
+}
+
+// LinkAt returns directed link id of t, using the closed form when the
+// topology is Generative so implicit instances are not forced to
+// materialise their link table.
+func LinkAt(t Topology, id int32) Link {
+	if g, ok := t.(Generative); ok {
+		from, to := g.LinkEnds(id)
+		return Link{From: from, To: to}
+	}
+	return t.Links()[id]
+}
+
 // Hop is an outgoing adjacency entry.
 type Hop struct {
 	To   int32
@@ -52,22 +81,58 @@ type Hop struct {
 }
 
 // Net is the concrete link store topologies build on. The zero value is an
-// empty network ready for use.
+// empty network ready for use. Once construction is complete, Seal compacts
+// the per-vertex adjacency slices into a single CSR layout.
 type Net struct {
 	links []Link
 	out   [][]Hop
+	// CSR adjacency after Seal: hops[start[v]:start[v+1]] is the outgoing
+	// adjacency of v, in the order the links were added.
+	hops  []Hop
+	start []int32
 }
 
 // AddVertices grows the vertex set by k and returns the id of the first new
 // vertex.
 func (n *Net) AddVertices(k int) int {
+	if n.start != nil {
+		panic("topo: AddVertices on a sealed Net")
+	}
 	first := len(n.out)
 	n.out = append(n.out, make([][]Hop, k)...)
 	return first
 }
 
 // NumVertices returns the current vertex count.
-func (n *Net) NumVertices() int { return len(n.out) }
+func (n *Net) NumVertices() int {
+	if n.start != nil {
+		return len(n.start) - 1
+	}
+	return len(n.out)
+}
+
+// Seal compacts the adjacency into CSR form: one flat hop array indexed by
+// a per-vertex offset table, replacing len(out) individual slices. Queries
+// (Neighbors, Degree, LinkBetween, AppendHop) keep working; further
+// construction panics. Sealing an already-sealed Net is a no-op.
+func (n *Net) Seal() {
+	if n.start != nil {
+		return
+	}
+	total := 0
+	for _, hs := range n.out {
+		total += len(hs)
+	}
+	hops := make([]Hop, 0, total)
+	start := make([]int32, len(n.out)+1)
+	for v, hs := range n.out {
+		start[v] = int32(len(hops))
+		hops = append(hops, hs...)
+	}
+	start[len(n.out)] = int32(len(hops))
+	n.hops, n.start = hops, start
+	n.out = nil
+}
 
 // NumLinks returns the number of directed links added so far.
 func (n *Net) NumLinks() int { return len(n.links) }
@@ -77,6 +142,9 @@ func (n *Net) Links() []Link { return n.links }
 
 // addDirected inserts one directed link and returns its id.
 func (n *Net) addDirected(from, to int) int32 {
+	if n.start != nil {
+		panic("topo: link insertion on a sealed Net")
+	}
 	id := int32(len(n.links))
 	n.links = append(n.links, Link{From: int32(from), To: int32(to)})
 	n.out[from] = append(n.out[from], Hop{To: int32(to), Link: id})
@@ -96,7 +164,7 @@ func (n *Net) AddDuplex(a, b int) {
 
 // LinkBetween returns the id of the first directed link from a to b.
 func (n *Net) LinkBetween(a, b int) (int32, bool) {
-	for _, h := range n.out[a] {
+	for _, h := range n.Neighbors(a) {
 		if h.To == int32(b) {
 			return h.Link, true
 		}
@@ -105,10 +173,15 @@ func (n *Net) LinkBetween(a, b int) (int32, bool) {
 }
 
 // Degree returns the out-degree of a vertex.
-func (n *Net) Degree(v int) int { return len(n.out[v]) }
+func (n *Net) Degree(v int) int { return len(n.Neighbors(v)) }
 
 // Neighbors returns the outgoing adjacency of v. Callers must not mutate it.
-func (n *Net) Neighbors(v int) []Hop { return n.out[v] }
+func (n *Net) Neighbors(v int) []Hop {
+	if n.start != nil {
+		return n.hops[n.start[v]:n.start[v+1]]
+	}
+	return n.out[v]
+}
 
 // AppendHop appends the link id from vertex a to adjacent vertex b. It
 // panics if no such link exists, because routing over a missing link is a
@@ -133,15 +206,15 @@ func (n *Net) AppendVertexPath(buf []int32, vertices ...int) []int32 {
 // traverses, starting from the given source vertex. It returns an error if
 // the path is discontinuous.
 func PathVertices(t Topology, src int, path []int32) ([]int32, error) {
-	links := t.Links()
+	numLinks := t.NumLinks()
 	out := make([]int32, 0, len(path)+1)
 	out = append(out, int32(src))
 	cur := int32(src)
 	for i, id := range path {
-		if id < 0 || int(id) >= len(links) {
+		if id < 0 || int(id) >= numLinks {
 			return nil, fmt.Errorf("topo: link id %d out of range at hop %d", id, i)
 		}
-		l := links[id]
+		l := LinkAt(t, id)
 		if l.From != cur {
 			return nil, fmt.Errorf("topo: discontinuous path at hop %d: at %d, link starts at %d", i, cur, l.From)
 		}
@@ -197,15 +270,18 @@ func CheckRouteChoices(t Topology, src, dst int) error {
 // spliced path (e.g. a detour grafted onto a route prefix) whose pieces do
 // not meet at a common fabric node is reported as such.
 func CheckPath(t Topology, src, dst int, path []int32) error {
-	links := t.Links()
+	numLinks := t.NumLinks()
 	for i, id := range path {
-		if id < 0 || int(id) >= len(links) {
+		if id < 0 || int(id) >= numLinks {
 			return fmt.Errorf("topo: link id %d out of range at hop %d", id, i)
 		}
-		if i > 0 && links[path[i-1]].To != links[id].From {
-			return fmt.Errorf("topo: links %d and %d at hops %d-%d share no node (%d -> %d, %d -> %d)",
-				path[i-1], id, i-1, i,
-				links[path[i-1]].From, links[path[i-1]].To, links[id].From, links[id].To)
+		if i > 0 {
+			prev, cur := LinkAt(t, path[i-1]), LinkAt(t, id)
+			if prev.To != cur.From {
+				return fmt.Errorf("topo: links %d and %d at hops %d-%d share no node (%d -> %d, %d -> %d)",
+					path[i-1], id, i-1, i,
+					prev.From, prev.To, cur.From, cur.To)
+			}
 		}
 	}
 	verts, err := PathVertices(t, src, path)
@@ -288,4 +364,28 @@ type Fabric interface {
 	// SwitchDiameter returns the maximum switch-to-switch hop count between
 	// attach switches under the fabric's routing function.
 	SwitchDiameter() int
+}
+
+// CableIndexer is implemented by fabrics whose switch-to-switch cable table
+// is closed-form. It lets a nesting topology map a fabric hop to a link id
+// without materialising SwitchCables(): cable c of the fabric occupies the
+// c-th cable slot of the nest's fabric tier, in SwitchCables() order.
+type CableIndexer interface {
+	Fabric
+	// NumSwitchCables returns len(SwitchCables()) without materialising it.
+	NumSwitchCables() int
+	// SwitchCableBetween returns the SwitchCables() index of the cable
+	// joining adjacent switches a and b (fabric-local ids), and whether the
+	// a→b hop runs in the cable's listed orientation (SwitchCables()[c][0]
+	// → SwitchCables()[c][1]). It panics if the switches are not adjacent.
+	SwitchCableBetween(a, b int32) (cable int32, forward bool)
+}
+
+// FabricDistancer is implemented by fabrics that can report the sum of
+// SwitchDistance over all ordered port pairs (including equal ports) in
+// closed form. Hierarchical topologies use it for exact mean-distance
+// computation at scales where pair enumeration is impossible.
+type FabricDistancer interface {
+	Fabric
+	PortPairDistanceSum() float64
 }
